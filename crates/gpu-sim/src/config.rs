@@ -1,0 +1,217 @@
+//! Device configurations — paper Table 2.
+//!
+//! The three presets encode exactly the architectural features the paper lists for
+//! its testbed cards, plus the texture-cache working set ("between six and eight
+//! KB per multiprocessor", paper §4.2.1 — we use 8 KB).
+
+use serde::{Deserialize, Serialize};
+
+/// NVIDIA compute capability generations relevant to the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ComputeCapability {
+    /// G92-class hardware (8800 GTS 512, 9800 GX2).
+    Cc1_1,
+    /// GT200-class hardware (GTX 280).
+    Cc1_3,
+}
+
+impl std::fmt::Display for ComputeCapability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComputeCapability::Cc1_1 => write!(f, "1.1"),
+            ComputeCapability::Cc1_3 => write!(f, "1.3"),
+        }
+    }
+}
+
+/// Architectural description of a simulated card (paper Table 2 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, e.g. "GeForce GTX 280".
+    pub name: String,
+    /// GPU chip, e.g. "GT200".
+    pub gpu_chip: String,
+    /// Device memory in MB.
+    pub memory_mb: u32,
+    /// Peak device-memory bandwidth in GB/s.
+    pub mem_bandwidth_gbps: f64,
+    /// Number of multiprocessors (SMs).
+    pub sm_count: u32,
+    /// Scalar cores per SM (8 on all CUDA 1.x hardware).
+    pub cores_per_sm: u32,
+    /// Shader (core) clock in MHz — the clock SIMT issue runs at.
+    pub shader_clock_mhz: u32,
+    /// Hardware generation.
+    pub compute_capability: ComputeCapability,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Texture cache working set per SM in bytes (paper: 6–8 KB; we use 8 KB).
+    pub texture_cache_bytes: u32,
+    /// Threads per warp (32).
+    pub warp_size: u32,
+}
+
+impl DeviceConfig {
+    /// GeForce 8800 GTS 512 (G92, compute capability 1.1) — paper §4.2.1.
+    pub fn geforce_8800_gts_512() -> Self {
+        DeviceConfig {
+            name: "GeForce 8800 GTS 512".into(),
+            gpu_chip: "G92".into(),
+            memory_mb: 512,
+            mem_bandwidth_gbps: 57.6,
+            sm_count: 16,
+            cores_per_sm: 8,
+            shader_clock_mhz: 1625,
+            compute_capability: ComputeCapability::Cc1_1,
+            registers_per_sm: 8192,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 24,
+            shared_mem_per_sm: 16 * 1024,
+            texture_cache_bytes: 8 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// GeForce 9800 GX2 (2×G92; the paper drives one GPU of the pair) — §4.2.2.
+    pub fn geforce_9800_gx2() -> Self {
+        DeviceConfig {
+            name: "GeForce 9800 GX2".into(),
+            gpu_chip: "G92".into(),
+            memory_mb: 512,
+            mem_bandwidth_gbps: 64.0,
+            sm_count: 16,
+            cores_per_sm: 8,
+            shader_clock_mhz: 1500,
+            compute_capability: ComputeCapability::Cc1_1,
+            registers_per_sm: 8192,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 24,
+            shared_mem_per_sm: 16 * 1024,
+            texture_cache_bytes: 8 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// GeForce GTX 280 (GT200, compute capability 1.3) — paper §4.2.3.
+    pub fn geforce_gtx_280() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 280".into(),
+            gpu_chip: "GT200".into(),
+            memory_mb: 1024,
+            mem_bandwidth_gbps: 141.7,
+            sm_count: 30,
+            cores_per_sm: 8,
+            shader_clock_mhz: 1296,
+            compute_capability: ComputeCapability::Cc1_3,
+            registers_per_sm: 16384,
+            max_threads_per_block: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_warps_per_sm: 32,
+            shared_mem_per_sm: 16 * 1024,
+            // GT200's per-SM texture L1 is the same 8 KB class as G92's, but it is
+            // backed by a sizeable L2 texture cache that G92 lacks; we model the
+            // pair as a doubled effective per-SM working set.
+            texture_cache_bytes: 16 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// The paper's full testbed, oldest card first.
+    pub fn paper_testbed() -> Vec<DeviceConfig> {
+        vec![
+            Self::geforce_8800_gts_512(),
+            Self::geforce_9800_gx2(),
+            Self::geforce_gtx_280(),
+        ]
+    }
+
+    /// Total scalar cores (`sm_count * cores_per_sm`).
+    pub fn total_cores(&self) -> u32 {
+        self.sm_count * self.cores_per_sm
+    }
+
+    /// Shader clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.shader_clock_mhz as f64 * 1.0e6
+    }
+
+    /// Peak bandwidth in bytes per shader cycle (used for kernel-wide DRAM
+    /// arbitration).
+    pub fn bandwidth_bytes_per_cycle(&self) -> f64 {
+        self.mem_bandwidth_gbps * 1.0e9 / self.clock_hz()
+    }
+
+    /// Maximum resident threads across the whole device.
+    pub fn max_resident_threads(&self) -> u32 {
+        self.sm_count * self.max_threads_per_sm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let gts = DeviceConfig::geforce_8800_gts_512();
+        assert_eq!(gts.total_cores(), 128);
+        assert_eq!(gts.shader_clock_mhz, 1625);
+        assert_eq!(gts.max_warps_per_sm, 24);
+        assert_eq!(gts.registers_per_sm, 8192);
+
+        let gx2 = DeviceConfig::geforce_9800_gx2();
+        assert_eq!(gx2.total_cores(), 128);
+        assert_eq!(gx2.mem_bandwidth_gbps, 64.0);
+        assert_eq!(gx2.compute_capability, ComputeCapability::Cc1_1);
+
+        let gtx = DeviceConfig::geforce_gtx_280();
+        assert_eq!(gtx.total_cores(), 240);
+        assert_eq!(gtx.sm_count, 30);
+        assert_eq!(gtx.max_threads_per_sm, 1024);
+        assert_eq!(gtx.max_warps_per_sm, 32);
+        assert_eq!(gtx.compute_capability, ComputeCapability::Cc1_3);
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let gtx = DeviceConfig::geforce_gtx_280();
+        // 30,720 active threads (paper §5.2.3).
+        assert_eq!(gtx.max_resident_threads(), 30_720);
+        // 141.7 GB/s at 1.296 GHz ≈ 109 B/cycle.
+        let bpc = gtx.bandwidth_bytes_per_cycle();
+        assert!((bpc - 109.3).abs() < 0.5, "{bpc}");
+    }
+
+    #[test]
+    fn testbed_ordering_matches_paper() {
+        let cards = DeviceConfig::paper_testbed();
+        assert_eq!(cards.len(), 3);
+        // Shader clocks: 1625, 1500, 1296 (paper §5.3.1).
+        assert!(cards[0].shader_clock_mhz > cards[1].shader_clock_mhz);
+        assert!(cards[1].shader_clock_mhz > cards[2].shader_clock_mhz);
+        // Bandwidth: GTX 280 far ahead (paper §5.3.2).
+        assert!(cards[2].mem_bandwidth_gbps > 2.0 * cards[0].mem_bandwidth_gbps);
+    }
+
+    #[test]
+    fn capability_display() {
+        assert_eq!(ComputeCapability::Cc1_1.to_string(), "1.1");
+        assert_eq!(ComputeCapability::Cc1_3.to_string(), "1.3");
+        assert!(ComputeCapability::Cc1_1 < ComputeCapability::Cc1_3);
+    }
+}

@@ -1,0 +1,440 @@
+//! The timing engine: occupancy-limited wave scheduling with an
+//! issue/latency/bandwidth interval model.
+//!
+//! Blocks are placed onto SMs in *waves*: each wave fills every SM up to the
+//! kernel's occupancy (`active_blocks`), the wave runs to completion, and the next
+//! wave starts (thread blocks are independent — paper §2.1.2 — and our kernels'
+//! blocks are statistically identical, so greedy list scheduling degenerates to
+//! waves). Per wave and SM, three quantities compete:
+//!
+//! * **issue**: total warp instructions (compute + memory slots + conflict
+//!   replays) of the resident blocks × 4 cycles — the throughput bound when
+//!   enough warps are resident;
+//! * **critical path**: one warp's own serial chain — instructions plus its
+//!   dependent memory latencies. A wave can never beat the slowest warp it
+//!   contains; with few resident warps this is the *latency bound* (the paper's
+//!   small-problem regime, Characterization 4);
+//! * **bandwidth**: DRAM bytes the wave moves, across all SMs, divided by the
+//!   card's bandwidth (Characterization 8's regime).
+//!
+//! Wave time = max(issue, critical, bandwidth) with latency hiding enabled;
+//! without it (ablation) the critical paths of all resident blocks serialize.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::kernel::{KernelSpec, MemKind};
+use crate::occupancy::occupancy;
+use crate::report::{BoundKind, SimCounters, SimReport, TimeComponents};
+use crate::texcache::{StreamPattern, TextureCache};
+use crate::SimError;
+
+/// Simulates one kernel launch on a device.
+///
+/// # Errors
+/// [`SimError`] when the launch is empty, the block exceeds device limits, or a
+/// single block's resources cannot fit on one SM.
+pub fn simulate(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    spec: &KernelSpec,
+) -> Result<SimReport, SimError> {
+    let launch = spec.launch;
+    if launch.blocks == 0 || launch.threads_per_block == 0 {
+        return Err(SimError::EmptyLaunch);
+    }
+    if launch.threads_per_block > dev.max_threads_per_block {
+        return Err(SimError::BlockTooLarge {
+            requested: launch.threads_per_block,
+            max: dev.max_threads_per_block,
+        });
+    }
+    let occ = occupancy(dev, &spec.resources).ok_or(SimError::ResourcesExceedSm {
+        what: "resources (registers/shared memory/threads)",
+    })?;
+
+    let cache = TextureCache::new(dev.texture_cache_bytes, cost);
+    let capacity_per_wave = (occ.active_blocks as u64) * (dev.sm_count as u64);
+    let total_blocks = launch.blocks as u64;
+    let full_waves = total_blocks / capacity_per_wave;
+    let remainder = total_blocks % capacity_per_wave;
+
+    let mut counters = SimCounters::default();
+    let mut components = TimeComponents::default();
+    let mut cycles = 0.0f64;
+    let mut waves = 0u32;
+
+    // Evaluate one wave with `resident` blocks on the busiest SM and
+    // `blocks_in_wave` blocks across `sms_active` SMs.
+    let mut run_wave = |resident: u32, blocks_in_wave: u64, sms_active: u32| {
+        let (wave_cycles, bound_terms) = wave_time(
+            dev,
+            cost,
+            spec,
+            &cache,
+            resident,
+            blocks_in_wave,
+            sms_active,
+            &mut counters,
+        );
+        cycles += wave_cycles;
+        components.issue_cycles += bound_terms.0.min(wave_cycles);
+        components.latency_cycles += bound_terms.1.min(wave_cycles);
+        components.bandwidth_cycles += bound_terms.2.min(wave_cycles);
+        waves += 1;
+    };
+
+    for _ in 0..full_waves {
+        run_wave(occ.active_blocks, capacity_per_wave, dev.sm_count);
+    }
+    if remainder > 0 {
+        let sms_active = remainder.min(dev.sm_count as u64) as u32;
+        let resident = remainder.div_ceil(dev.sm_count as u64) as u32;
+        run_wave(resident.min(occ.active_blocks), remainder, sms_active);
+    }
+
+    let launch_cycles = cost.launch_overhead_us * 1e-6 * dev.clock_hz();
+    components.launch_cycles = launch_cycles;
+    cycles += launch_cycles;
+
+    let bound = classify(&components);
+    Ok(SimReport {
+        cycles,
+        time_ms: cycles / dev.clock_hz() * 1e3,
+        occupancy: occ,
+        waves,
+        bound,
+        components,
+        counters,
+    })
+}
+
+/// Computes one wave's time in cycles; returns (cycles, (issue, critical, bw)).
+#[allow(clippy::too_many_arguments)]
+fn wave_time(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    spec: &KernelSpec,
+    cache: &TextureCache,
+    resident: u32,
+    blocks_in_wave: u64,
+    sms_active: u32,
+    counters: &mut SimCounters,
+) -> (f64, (f64, f64, f64)) {
+    let r = resident.max(1) as u64;
+    let mut issue_slots_sm = 0u64; // per busiest SM
+    let mut critical = 0.0f64; // one block's slowest warp, in cycles
+    let mut dram_bytes_sm = 0u64;
+
+    for phase in &spec.profile.phases {
+        let mut phase_issue = phase.warp_instructions;
+        let mut chain_latency = 0.0;
+        if let Some(mem) = &phase.mem {
+            match mem.kind {
+                MemKind::Texture {
+                    streams_per_block,
+                    unique_bytes,
+                    shared_across_blocks,
+                } => {
+                    let pattern = StreamPattern {
+                        concurrent_streams: streams_per_block as u64 * r,
+                        accesses: mem.touched_bytes * r,
+                        unique_bytes: if shared_across_blocks {
+                            unique_bytes
+                        } else {
+                            unique_bytes.saturating_mul(r)
+                        },
+                    };
+                    let out = cache.stream_scan(&pattern, cost);
+                    // Counters aggregate across the wave's active SMs (the
+                    // cache outcome itself is per SM).
+                    counters.tex_accesses += out.accesses * sms_active as u64;
+                    counters.tex_hits += out.hits * sms_active as u64;
+                    counters.tex_misses += out.misses * sms_active as u64;
+                    dram_bytes_sm += out.dram_bytes;
+                    chain_latency = mem.chain as f64 * out.mean_latency(cost);
+                    phase_issue += mem.requests;
+                }
+                MemKind::Shared { conflict_degree } => {
+                    let degree = if cost.model_bank_conflicts {
+                        conflict_degree.max(1) as u64
+                    } else {
+                        1
+                    };
+                    phase_issue += mem.requests * degree;
+                    chain_latency = mem.chain as f64 * cost.smem_latency * degree as f64;
+                }
+                MemKind::Global => {
+                    phase_issue += mem.requests;
+                    chain_latency = mem.chain as f64 * cost.gmem_latency;
+                    // Global traffic always moves bytes (coalesced transactions).
+                    dram_bytes_sm += mem.touched_bytes * r;
+                }
+            }
+        }
+        issue_slots_sm += phase_issue * r;
+        critical += phase.chain_instructions as f64 * cost.issue_cycles
+            + chain_latency
+            + phase.barriers as f64 * cost.barrier_cycles;
+        counters.barriers += phase.barriers as u64 * blocks_in_wave;
+    }
+
+    counters.issue_slots += issue_slots_sm * sms_active as u64;
+    counters.dram_bytes += dram_bytes_sm * sms_active as u64;
+
+    let issue_cycles = issue_slots_sm as f64 * cost.issue_cycles;
+    let bw_cycles = (dram_bytes_sm as f64 * sms_active as f64) / dev.bandwidth_bytes_per_cycle();
+
+    let wave = if cost.model_latency_hiding {
+        issue_cycles.max(critical).max(bw_cycles)
+    } else {
+        // No hiding: every resident block's critical path serializes on its SM.
+        (critical * r as f64 + issue_cycles).max(bw_cycles)
+    };
+    (wave, (issue_cycles, critical, bw_cycles))
+}
+
+fn classify(c: &TimeComponents) -> BoundKind {
+    let mut best = (c.issue_cycles, BoundKind::Issue);
+    if c.latency_cycles > best.0 {
+        best = (c.latency_cycles, BoundKind::Latency);
+    }
+    if c.bandwidth_cycles > best.0 {
+        best = (c.bandwidth_cycles, BoundKind::Bandwidth);
+    }
+    if c.launch_cycles > best.0 {
+        best = (c.launch_cycles, BoundKind::Launch);
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BlockProfile, LaunchConfig, MemTraffic, Phase};
+    use crate::occupancy::KernelResources;
+
+    fn gtx() -> DeviceConfig {
+        DeviceConfig::geforce_gtx_280()
+    }
+
+    fn compute_kernel(blocks: u32, tpb: u32, instr_per_warp: u64) -> KernelSpec {
+        let warps = tpb.div_ceil(32);
+        KernelSpec {
+            launch: LaunchConfig {
+                blocks,
+                threads_per_block: tpb,
+            },
+            resources: KernelResources::new(tpb),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "compute",
+                    warp_instructions: instr_per_warp * warps as u64,
+                    chain_instructions: instr_per_warp,
+                    mem: None,
+                    barriers: 0,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn empty_launch_rejected() {
+        let spec = compute_kernel(0, 32, 100);
+        assert_eq!(simulate(&gtx(), &CostModel::default(), &spec), Err(SimError::EmptyLaunch));
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut spec = compute_kernel(1, 32, 100);
+        spec.launch.threads_per_block = 513;
+        spec.resources.threads_per_block = 513;
+        assert!(matches!(
+            simulate(&gtx(), &CostModel::default(), &spec),
+            Err(SimError::BlockTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn impossible_resources_rejected() {
+        let mut spec = compute_kernel(1, 64, 100);
+        spec.resources.shared_mem_per_block = 64 * 1024;
+        assert!(matches!(
+            simulate(&gtx(), &CostModel::default(), &spec),
+            Err(SimError::ResourcesExceedSm { .. })
+        ));
+    }
+
+    #[test]
+    fn single_wave_issue_bound_scales_with_work() {
+        let cost = CostModel::default();
+        let a = simulate(&gtx(), &cost, &compute_kernel(30, 256, 100_000)).unwrap();
+        let b = simulate(&gtx(), &cost, &compute_kernel(30, 256, 200_000)).unwrap();
+        assert!(b.cycles > 1.9 * (a.cycles - a.components.launch_cycles));
+        assert_eq!(a.waves, 1);
+    }
+
+    #[test]
+    fn wave_count_follows_occupancy() {
+        // 16-thread blocks: 8 resident per SM, 30 SMs -> capacity 240.
+        let spec = compute_kernel(960, 16, 1000);
+        let rep = simulate(&gtx(), &CostModel::default(), &spec).unwrap();
+        assert_eq!(rep.waves, 4);
+        // 961 blocks need a 5th (partial) wave.
+        let spec = compute_kernel(961, 16, 1000);
+        let rep = simulate(&gtx(), &CostModel::default(), &spec).unwrap();
+        assert_eq!(rep.waves, 5);
+    }
+
+    #[test]
+    fn more_waves_take_longer() {
+        let cost = CostModel::default();
+        let one = simulate(&gtx(), &cost, &compute_kernel(240, 16, 10_000)).unwrap();
+        let four = simulate(&gtx(), &cost, &compute_kernel(960, 16, 10_000)).unwrap();
+        let ratio = (four.cycles - four.components.launch_cycles)
+            / (one.cycles - one.components.launch_cycles);
+        assert!((ratio - 4.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn latency_bound_when_single_warp() {
+        // One block, one warp, long dependent texture chain: critical path rules.
+        let n: u64 = 100_000;
+        let spec = KernelSpec {
+            launch: LaunchConfig {
+                blocks: 1,
+                threads_per_block: 32,
+            },
+            resources: KernelResources::new(32),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "scan",
+                    warp_instructions: n * 8,
+                    chain_instructions: n * 8,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Texture {
+                            streams_per_block: 1,
+                            unique_bytes: n,
+                            shared_across_blocks: true,
+                        },
+                        requests: n,
+                        chain: n,
+                        touched_bytes: n,
+                    }),
+                    barriers: 0,
+                }],
+            },
+        };
+        let rep = simulate(&gtx(), &CostModel::default(), &spec).unwrap();
+        assert_eq!(rep.bound, BoundKind::Latency);
+        // Critical path ≈ n * (8*4 + ~hit latency) cycles.
+        let expected = n as f64 * (32.0 + CostModel::default().tex_hit_latency);
+        assert!(
+            (rep.components.latency_cycles - expected).abs() / expected < 0.05,
+            "latency {} vs expected {expected}",
+            rep.components.latency_cycles
+        );
+    }
+
+    #[test]
+    fn bandwidth_bound_with_thrashing_streams() {
+        // Partitioned scan with far more streams than cache lines.
+        let n: u64 = 400_000;
+        let tpb = 512u32;
+        let spec = KernelSpec {
+            launch: LaunchConfig {
+                blocks: 600,
+                threads_per_block: tpb,
+            },
+            resources: KernelResources::new(tpb),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "scan",
+                    warp_instructions: (n / 32) * 8,
+                    chain_instructions: (n as f64 / tpb as f64) as u64 * 8,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Texture {
+                            streams_per_block: tpb,
+                            unique_bytes: n,
+                            shared_across_blocks: true,
+                        },
+                        requests: n / 32,
+                        chain: n / tpb as u64,
+                        touched_bytes: n,
+                    }),
+                    barriers: 0,
+                }],
+            },
+        };
+        let rep = simulate(&gtx(), &CostModel::default(), &spec).unwrap();
+        assert_eq!(rep.bound, BoundKind::Bandwidth);
+        // Thrash amplification: DRAM traffic far above the logical footprint.
+        assert!(rep.counters.dram_bytes > 10 * n);
+        // The same kernel without the cache model is NOT bandwidth bound.
+        let rep2 = simulate(&gtx(), &CostModel::without_texture_cache(), &spec).unwrap();
+        assert!(rep2.cycles < rep.cycles);
+        assert_eq!(rep2.counters.dram_bytes, 0);
+    }
+
+    #[test]
+    fn latency_hiding_ablation_slows_underoccupied_kernels() {
+        let spec = compute_kernel(240, 16, 50_000);
+        let on = simulate(&gtx(), &CostModel::default(), &spec).unwrap();
+        let off = simulate(&gtx(), &CostModel::without_latency_hiding(), &spec).unwrap();
+        assert!(off.cycles >= on.cycles);
+    }
+
+    #[test]
+    fn launch_overhead_dominates_tiny_kernels() {
+        let rep = simulate(&gtx(), &CostModel::default(), &compute_kernel(1, 32, 10)).unwrap();
+        assert_eq!(rep.bound, BoundKind::Launch);
+        // 15 us at 1.296 GHz ≈ 19 440 cycles.
+        assert!(rep.time_ms > 0.014 && rep.time_ms < 0.04, "{}", rep.time_ms);
+    }
+
+    #[test]
+    fn shader_clock_scales_time() {
+        // Identical issue-bound kernel on the 8800 GTS 512 vs the 9800 GX2: same
+        // SM count, time ratio = inverse clock ratio (Characterization 7).
+        let spec = compute_kernel(128, 256, 100_000);
+        let cost = CostModel::default();
+        let gts = simulate(&DeviceConfig::geforce_8800_gts_512(), &cost, &spec).unwrap();
+        let gx2 = simulate(&DeviceConfig::geforce_9800_gx2(), &cost, &spec).unwrap();
+        assert!(gts.time_ms < gx2.time_ms);
+        let ratio = gx2.time_ms / gts.time_ms;
+        assert!((ratio - 1625.0 / 1500.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn bank_conflicts_multiply_issue_slots() {
+        let mk = |degree: u32| KernelSpec {
+            launch: LaunchConfig {
+                blocks: 30,
+                threads_per_block: 256,
+            },
+            resources: KernelResources::new(256),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "smem",
+                    warp_instructions: 10_000,
+                    chain_instructions: 1250,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Shared {
+                            conflict_degree: degree,
+                        },
+                        requests: 10_000,
+                        chain: 1250,
+                        touched_bytes: 0,
+                    }),
+                    barriers: 0,
+                }],
+            },
+        };
+        let cost = CostModel::default();
+        let free = simulate(&gtx(), &cost, &mk(1)).unwrap();
+        let bad = simulate(&gtx(), &cost, &mk(16)).unwrap();
+        assert!(bad.cycles > 5.0 * free.cycles);
+        // Ablation flattens the difference.
+        let ab = simulate(&gtx(), &CostModel::without_bank_conflicts(), &mk(16)).unwrap();
+        assert!((ab.cycles - free.cycles).abs() < 1.0);
+    }
+}

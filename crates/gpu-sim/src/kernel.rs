@@ -1,0 +1,179 @@
+//! Kernel descriptions: launch geometry and per-block execution profiles.
+//!
+//! A kernel tells the engine *what one block does* as an ordered list of
+//! [`Phase`]s. The figures in a profile come from functional execution of the
+//! real algorithm (see the `tdm-gpu` crate): total issue work across the block's
+//! warps (divergence-adjusted by [`crate::warp::LockstepRecorder`]), the critical
+//! warp's serial dependency chain, and the memory traffic each phase generates.
+//! All quantities are **per block**; the engine scales them by residency and wave
+//! counts.
+
+use crate::occupancy::KernelResources;
+use serde::{Deserialize, Serialize};
+
+/// Grid geometry of a kernel launch (paper §2.1.2: `M` equally-shaped blocks of
+/// `N` threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub blocks: u32,
+    /// Threads per block.
+    pub threads_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Total threads in the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks as u64 * self.threads_per_block as u64
+    }
+}
+
+/// Which memory path a phase's traffic uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemKind {
+    /// Read-only texture path through the per-SM texture cache.
+    Texture {
+        /// Concurrent sequential streams one block keeps alive (warps for a
+        /// broadcast scan, lanes for a partitioned scan).
+        streams_per_block: u32,
+        /// Distinct bytes one block touches.
+        unique_bytes: u64,
+        /// Whether co-resident blocks read the *same* addresses in near-lockstep
+        /// (true for kernels where every block scans the database with the same
+        /// partitioning — temporal sharing dedups their fetches).
+        shared_across_blocks: bool,
+    },
+    /// On-chip shared memory.
+    Shared {
+        /// Bank-conflict serialization degree (1 = conflict-free). See
+        /// [`crate::smem::conflict_degree`].
+        conflict_degree: u32,
+    },
+    /// Device (global) memory — cooperative buffer loads, result writes.
+    Global,
+}
+
+/// Memory traffic of one phase, per block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemTraffic {
+    /// Memory path.
+    pub kind: MemKind,
+    /// Memory instructions issued at warp granularity (issue slots before
+    /// conflict replays).
+    pub requests: u64,
+    /// Dependent accesses along the critical warp's serial chain (the FSM's
+    /// fetch→step→fetch dependency makes scans latency chains).
+    pub chain: u64,
+    /// Logical bytes accessed by the whole block.
+    pub touched_bytes: u64,
+}
+
+/// One phase of a block's execution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Phase {
+    /// Human-readable label (reported in breakdowns).
+    pub label: &'static str,
+    /// Total compute issue work across all the block's warps
+    /// (divergence-adjusted warp instructions).
+    pub warp_instructions: u64,
+    /// Compute instructions along the critical (slowest) warp's own path.
+    pub chain_instructions: u64,
+    /// Optional memory traffic interleaved with the compute.
+    pub mem: Option<MemTraffic>,
+    /// Number of block-wide `__syncthreads()` barriers in this phase.
+    pub barriers: u32,
+}
+
+impl Phase {
+    /// A pure-compute phase where all warps do the same work.
+    pub fn compute(label: &'static str, warp_instructions: u64, warps: u32) -> Self {
+        Phase {
+            label,
+            warp_instructions,
+            chain_instructions: if warps == 0 {
+                warp_instructions
+            } else {
+                warp_instructions / warps as u64
+            },
+            mem: None,
+            barriers: 0,
+        }
+    }
+}
+
+/// Everything one block executes, in order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize)]
+pub struct BlockProfile {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl BlockProfile {
+    /// Total issue work (instructions + memory slots, before replays) per block.
+    pub fn total_issue_work(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| p.warp_instructions + p.mem.map_or(0, |m| m.requests))
+            .sum()
+    }
+}
+
+/// A complete kernel for simulation: geometry, resources, and what a block does.
+///
+/// Profiles may vary across blocks (e.g. ragged last block); `profile` describes
+/// the *statistically representative* block, which is exact for the uniform
+/// mining kernels this crate was built for.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KernelSpec {
+    /// Grid geometry.
+    pub launch: LaunchConfig,
+    /// Occupancy-relevant resources.
+    pub resources: KernelResources,
+    /// Per-block execution profile.
+    pub profile: BlockProfile,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_totals() {
+        let l = LaunchConfig {
+            blocks: 26,
+            threads_per_block: 128,
+        };
+        assert_eq!(l.total_threads(), 26 * 128);
+    }
+
+    #[test]
+    fn compute_phase_divides_chain() {
+        let p = Phase::compute("scan", 800, 4);
+        assert_eq!(p.chain_instructions, 200);
+        assert!(p.mem.is_none());
+        let p0 = Phase::compute("degenerate", 800, 0);
+        assert_eq!(p0.chain_instructions, 800);
+    }
+
+    #[test]
+    fn issue_work_sums_compute_and_memory() {
+        let profile = BlockProfile {
+            phases: vec![
+                Phase {
+                    label: "load",
+                    warp_instructions: 100,
+                    chain_instructions: 50,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Global,
+                        requests: 40,
+                        chain: 20,
+                        touched_bytes: 4096,
+                    }),
+                    barriers: 1,
+                },
+                Phase::compute("scan", 300, 2),
+            ],
+        };
+        assert_eq!(profile.total_issue_work(), 100 + 40 + 300);
+    }
+}

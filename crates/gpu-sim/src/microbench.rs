@@ -1,0 +1,300 @@
+//! Micro-benchmarks that discover the simulated machine's parameters —
+//! the paper's §6 plan, implemented against the simulator:
+//!
+//! > "We plan to pursue a series of micro-benchmarks to discover the underlying
+//! > hardware and architectural features such as scheduling, caching, and
+//! > memory allocation."
+//!
+//! Each probe launches a purpose-built synthetic kernel and infers one machine
+//! parameter *from timing alone*, treating the simulator as a black box — the
+//! same methodology one would use on real silicon. The tests then check that
+//! the discovered values round-trip to the configured [`DeviceConfig`] /
+//! [`CostModel`], which is a strong end-to-end consistency check of the engine:
+//! if the scheduler, cache model, or latency accounting were wrong, the probes
+//! would disagree with the configuration.
+
+use crate::config::DeviceConfig;
+use crate::cost::CostModel;
+use crate::engine::simulate;
+use crate::kernel::{BlockProfile, KernelSpec, LaunchConfig, MemKind, MemTraffic, Phase};
+use crate::occupancy::KernelResources;
+
+/// Result of a full discovery run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveredMachine {
+    /// Measured texture-fetch latency on a resident stream (cycles).
+    pub tex_latency_cycles: f64,
+    /// Measured warp-issue cost per instruction (cycles).
+    pub issue_cycles: f64,
+    /// Inferred texture-cache working set per SM (bytes).
+    pub texture_cache_bytes: u32,
+    /// Inferred maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Measured device bandwidth (GB/s).
+    pub bandwidth_gbps: f64,
+}
+
+fn bare_spec(blocks: u32, tpb: u32, phases: Vec<Phase>) -> KernelSpec {
+    KernelSpec {
+        launch: LaunchConfig {
+            blocks,
+            threads_per_block: tpb,
+        },
+        resources: KernelResources::new(tpb),
+        profile: BlockProfile { phases },
+    }
+}
+
+fn net_cycles(dev: &DeviceConfig, cost: &CostModel, spec: &KernelSpec) -> f64 {
+    let rep = simulate(dev, cost, spec).expect("probe kernels are valid");
+    rep.cycles - rep.components.launch_cycles
+}
+
+/// Pointer-chase probe: one warp, `n` dependent texture fetches with no other
+/// work. Time/access − instruction overhead = the texture pipeline latency.
+pub fn probe_tex_latency(dev: &DeviceConfig, cost: &CostModel) -> f64 {
+    let n: u64 = 100_000;
+    let instr_per_access = 2u64;
+    let spec = bare_spec(
+        1,
+        32,
+        vec![Phase {
+            label: "chase",
+            warp_instructions: n * instr_per_access,
+            chain_instructions: n * instr_per_access,
+            mem: Some(MemTraffic {
+                kind: MemKind::Texture {
+                    streams_per_block: 1,
+                    unique_bytes: n,
+                    shared_across_blocks: true,
+                },
+                requests: n,
+                chain: n,
+                touched_bytes: n,
+            }),
+            barriers: 0,
+        }],
+    );
+    let cycles = net_cycles(dev, cost, &spec);
+    cycles / n as f64 - instr_per_access as f64 * cost.issue_cycles
+}
+
+/// Issue-throughput probe: saturate one SM with warps of pure compute; the
+/// per-instruction cost is total cycles over total instructions.
+pub fn probe_issue_cycles(dev: &DeviceConfig, cost: &CostModel) -> f64 {
+    let instr: u64 = 1_000_000;
+    let warps = 8u32;
+    let spec = bare_spec(
+        1,
+        warps * 32,
+        vec![Phase {
+            label: "alu",
+            warp_instructions: instr * warps as u64,
+            chain_instructions: instr,
+            mem: None,
+            barriers: 0,
+        }],
+    );
+    let cycles = net_cycles(dev, cost, &spec);
+    cycles / (instr * warps as u64) as f64
+}
+
+/// Cache-size probe: one block whose lanes keep `streams` sequential streams
+/// alive. Sweep `streams`; when they stop fitting, the average access latency
+/// rises above the hit latency. Returns the inferred working set in bytes
+/// (largest sweep point whose latency is within 10% of the resident-stream
+/// baseline, times the line size).
+pub fn probe_texture_cache_size(dev: &DeviceConfig, cost: &CostModel) -> u32 {
+    let line = cost.tex_line_bytes;
+    let per_stream_bytes: u64 = 4096;
+    let latency_for = |streams: u32| -> f64 {
+        let accesses = per_stream_bytes * streams as u64;
+        let spec = bare_spec(
+            1,
+            512,
+            vec![Phase {
+                label: "sweep",
+                warp_instructions: accesses * 2 / 32,
+                chain_instructions: accesses * 2 / 512,
+                mem: Some(MemTraffic {
+                    kind: MemKind::Texture {
+                        streams_per_block: streams,
+                        unique_bytes: accesses,
+                        shared_across_blocks: true,
+                    },
+                    requests: accesses / 32,
+                    chain: accesses / 512,
+                    touched_bytes: accesses,
+                }),
+                barriers: 0,
+            }],
+        );
+        let rep = simulate(dev, cost, &spec).expect("valid probe");
+        // Average observed latency per access on the critical chain.
+        1.0 - rep.counters.tex_hit_rate()
+    };
+    let baseline = latency_for(8);
+    let mut best = 8u32;
+    let mut streams = 16u32;
+    while streams <= 4096 {
+        let miss_rate = latency_for(streams);
+        if miss_rate <= baseline + 0.02 + (per_stream_bytes.div_ceil(line as u64) as f64
+            / (per_stream_bytes * streams as u64) as f64)
+        {
+            best = streams;
+        }
+        streams *= 2;
+    }
+    best * line
+}
+
+/// Occupancy probe: launch ever more *latency-bound* blocks (one warp chasing
+/// dependent texture fetches). While blocks co-reside, their chains overlap
+/// and the kernel time stays one chain long; the first grid size that needs a
+/// second wave doubles the time — the staircase edge is the per-SM block
+/// limit. (A compute-bound probe would not work: issue work grows with every
+/// resident block, hiding the residency boundary.)
+pub fn probe_max_blocks(dev: &DeviceConfig, cost: &CostModel) -> u32 {
+    let m: u64 = 20_000; // dependent fetches per block
+    let chase = |blocks: u32| {
+        net_cycles(
+            dev,
+            cost,
+            &bare_spec(
+                blocks,
+                32,
+                vec![Phase {
+                    label: "chase",
+                    warp_instructions: m,
+                    chain_instructions: m,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Texture {
+                            streams_per_block: 1,
+                            unique_bytes: m,
+                            shared_across_blocks: true,
+                        },
+                        requests: m,
+                        chain: m,
+                        touched_bytes: m,
+                    }),
+                    barriers: 0,
+                }],
+            ),
+        )
+    };
+    let one_wave = chase(dev.sm_count);
+    let mut cap = 1u32;
+    for k in 2..=32u32 {
+        let t = chase(k * dev.sm_count);
+        if t < one_wave * 1.5 {
+            cap = k;
+        } else {
+            break;
+        }
+    }
+    cap
+}
+
+/// Stream probe: flood the device with coalesced global traffic and divide
+/// bytes by time.
+pub fn probe_bandwidth(dev: &DeviceConfig, cost: &CostModel) -> f64 {
+    let bytes_per_block: u64 = 64 * 1024 * 1024 / dev.sm_count as u64;
+    let spec = bare_spec(
+        dev.sm_count * dev.max_blocks_per_sm,
+        256,
+        vec![Phase {
+            label: "stream",
+            warp_instructions: 1,
+            chain_instructions: 1,
+            mem: Some(MemTraffic {
+                kind: MemKind::Global,
+                requests: bytes_per_block / 64,
+                chain: 1,
+                touched_bytes: bytes_per_block,
+            }),
+            barriers: 0,
+        }],
+    );
+    let rep = simulate(dev, cost, &spec).expect("valid probe");
+    let seconds = (rep.cycles - rep.components.launch_cycles) / dev.clock_hz();
+    rep.counters.dram_bytes as f64 / seconds / 1e9
+}
+
+/// Runs every probe.
+pub fn discover(dev: &DeviceConfig, cost: &CostModel) -> DiscoveredMachine {
+    DiscoveredMachine {
+        tex_latency_cycles: probe_tex_latency(dev, cost),
+        issue_cycles: probe_issue_cycles(dev, cost),
+        texture_cache_bytes: probe_texture_cache_size(dev, cost),
+        max_blocks_per_sm: probe_max_blocks(dev, cost),
+        bandwidth_gbps: probe_bandwidth(dev, cost),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discovers_texture_latency() {
+        let cost = CostModel::default();
+        for dev in DeviceConfig::paper_testbed() {
+            let lat = probe_tex_latency(&dev, &cost);
+            // Mostly hits on a resident stream: close to the hit latency.
+            assert!(
+                (lat - cost.tex_hit_latency).abs() < 0.05 * cost.tex_hit_latency + 10.0,
+                "{}: {lat} vs {}",
+                dev.name,
+                cost.tex_hit_latency
+            );
+        }
+    }
+
+    #[test]
+    fn discovers_issue_rate() {
+        let cost = CostModel::default();
+        let dev = DeviceConfig::geforce_gtx_280();
+        let issue = probe_issue_cycles(&dev, &cost);
+        assert!((issue - cost.issue_cycles).abs() < 0.1, "{issue}");
+    }
+
+    #[test]
+    fn discovers_cache_working_set_ordering() {
+        let cost = CostModel::default();
+        let g92 = probe_texture_cache_size(&DeviceConfig::geforce_8800_gts_512(), &cost);
+        let gt200 = probe_texture_cache_size(&DeviceConfig::geforce_gtx_280(), &cost);
+        // The probe recovers the configured 2x working-set difference.
+        assert!(gt200 > g92, "gt200 {gt200} vs g92 {g92}");
+        assert!(g92 >= 4 * 1024 && g92 <= 16 * 1024, "{g92}");
+        assert!(gt200 >= 8 * 1024 && gt200 <= 32 * 1024, "{gt200}");
+    }
+
+    #[test]
+    fn discovers_block_limit() {
+        let cost = CostModel::default();
+        for dev in DeviceConfig::paper_testbed() {
+            let blocks = probe_max_blocks(&dev, &cost);
+            assert_eq!(blocks, dev.max_blocks_per_sm, "{}", dev.name);
+        }
+    }
+
+    #[test]
+    fn discovers_bandwidth_within_tolerance() {
+        let cost = CostModel::default();
+        for dev in DeviceConfig::paper_testbed() {
+            let bw = probe_bandwidth(&dev, &cost);
+            let rel = (bw - dev.mem_bandwidth_gbps).abs() / dev.mem_bandwidth_gbps;
+            assert!(rel < 0.15, "{}: probed {bw} vs spec {}", dev.name, dev.mem_bandwidth_gbps);
+        }
+    }
+
+    #[test]
+    fn full_discovery_is_consistent() {
+        let cost = CostModel::default();
+        let dev = DeviceConfig::geforce_gtx_280();
+        let m = discover(&dev, &cost);
+        assert_eq!(m.max_blocks_per_sm, 8);
+        assert!(m.issue_cycles > 3.5 && m.issue_cycles < 4.5);
+        assert!(m.bandwidth_gbps > 100.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation reports: time, bottleneck classification, and hardware counters.
+
+use crate::occupancy::Occupancy;
+use serde::{Deserialize, Serialize};
+
+/// What bound the kernel's runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundKind {
+    /// Warp-issue throughput (compute/divergence bound).
+    Issue,
+    /// Memory latency on under-occupied SMs.
+    Latency,
+    /// Device-memory bandwidth.
+    Bandwidth,
+    /// Fixed launch overhead (sub-millisecond kernels).
+    Launch,
+}
+
+/// Aggregated "hardware counter" style statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimCounters {
+    /// Warp instructions issued (including memory slots and conflict replays).
+    pub issue_slots: u64,
+    /// Texture accesses (logical, byte granularity).
+    pub tex_accesses: u64,
+    /// Texture cache hits.
+    pub tex_hits: u64,
+    /// Texture cache misses.
+    pub tex_misses: u64,
+    /// Bytes moved from device memory (texture misses + global traffic).
+    pub dram_bytes: u64,
+    /// Block-wide barriers executed.
+    pub barriers: u64,
+}
+
+impl SimCounters {
+    /// Texture hit rate (1.0 when no texture access happened).
+    pub fn tex_hit_rate(&self) -> f64 {
+        if self.tex_accesses == 0 {
+            1.0
+        } else {
+            self.tex_hits as f64 / self.tex_accesses as f64
+        }
+    }
+
+    /// Accumulates another counter set.
+    pub fn add(&mut self, o: &SimCounters) {
+        self.issue_slots += o.issue_slots;
+        self.tex_accesses += o.tex_accesses;
+        self.tex_hits += o.tex_hits;
+        self.tex_misses += o.tex_misses;
+        self.dram_bytes += o.dram_bytes;
+        self.barriers += o.barriers;
+    }
+}
+
+/// Contribution of each model term to the total runtime (cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeComponents {
+    /// Cycles attributable to issue-bound waves.
+    pub issue_cycles: f64,
+    /// Cycles attributable to latency-bound waves.
+    pub latency_cycles: f64,
+    /// Cycles attributable to bandwidth-bound waves.
+    pub bandwidth_cycles: f64,
+    /// Launch overhead cycles.
+    pub launch_cycles: f64,
+}
+
+/// The result of simulating one kernel launch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total shader-clock cycles.
+    pub cycles: f64,
+    /// Wall-clock milliseconds at the card's shader clock.
+    pub time_ms: f64,
+    /// The occupancy the launch achieved.
+    pub occupancy: Occupancy,
+    /// Number of scheduling waves the grid needed.
+    pub waves: u32,
+    /// Dominant bottleneck across waves.
+    pub bound: BoundKind,
+    /// Per-term cycle attribution.
+    pub components: TimeComponents,
+    /// Counter totals.
+    pub counters: SimCounters,
+}
+
+impl SimReport {
+    /// Convenience: microseconds.
+    pub fn time_us(&self) -> f64 {
+        self.time_ms * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = SimCounters {
+            issue_slots: 10,
+            tex_accesses: 4,
+            tex_hits: 3,
+            tex_misses: 1,
+            dram_bytes: 32,
+            barriers: 2,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.issue_slots, 20);
+        assert_eq!(a.tex_misses, 2);
+        assert_eq!(a.barriers, 4);
+        assert!((a.tex_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_one() {
+        assert_eq!(SimCounters::default().tex_hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared-memory model: latency and bank conflicts.
+//!
+//! On cc 1.x hardware shared memory has 16 banks of 32-bit words; a half-warp's
+//! accesses are conflict-free when they fall in distinct banks (or all read the
+//! same word — the broadcast case the buffered thread-level kernel enjoys).
+//! Conflicting accesses replay serially, multiplying both the issue slots and the
+//! effective latency of the access — this is the mechanism that penalizes the
+//! buffered block-level kernel's power-of-two slice strides (Algorithm 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Access pattern of one shared-memory read/write per lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmemPattern {
+    /// All lanes of a half-warp read the same address (hardware broadcast).
+    Broadcast,
+    /// Lane `i` accesses `base + i * stride_bytes`.
+    Strided {
+        /// Per-lane stride in bytes.
+        stride_bytes: u32,
+    },
+}
+
+/// The serialization degree of a pattern: 1 = conflict-free, `d` = `d`-way
+/// conflict (the access replays `d` times for a half-warp).
+///
+/// For a byte-granularity stride `s`, lanes `i` and `j` of a half-warp collide
+/// when their words map to the same bank: `floor(i*s/4) ≡ floor(j*s/4) (mod 16)`.
+/// We compute the exact maximum lanes-per-bank over a 16-lane half-warp, which
+/// handles sub-word strides (multiple lanes inside one word count as a broadcast
+/// on cc 1.x only when the *word* is identical for all lanes, which we treat as
+/// conflict-free for same-word pairs — the hardware merges them).
+pub fn conflict_degree(pattern: SmemPattern, banks: u32, half_warp: u32) -> u32 {
+    match pattern {
+        SmemPattern::Broadcast => 1,
+        SmemPattern::Strided { stride_bytes } => {
+            if stride_bytes == 0 {
+                return 1; // degenerate broadcast
+            }
+            let banks = banks.max(1);
+            // Count distinct (bank, word) pairs per bank: accesses to the same
+            // word merge; accesses to different words in the same bank replay.
+            let mut per_bank_words: std::collections::HashMap<u32, std::collections::HashSet<u64>> =
+                std::collections::HashMap::new();
+            for lane in 0..half_warp {
+                let addr = lane as u64 * stride_bytes as u64;
+                let word = addr / 4;
+                let bank = (word % banks as u64) as u32;
+                per_bank_words.entry(bank).or_default().insert(word);
+            }
+            per_bank_words
+                .values()
+                .map(|words| words.len() as u32)
+                .max()
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Convenience: degree with the cc 1.x constants (16 banks, 16-lane half-warp).
+pub fn conflict_degree_cc1x(pattern: SmemPattern) -> u32 {
+    conflict_degree(pattern, 16, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_is_free() {
+        assert_eq!(conflict_degree_cc1x(SmemPattern::Broadcast), 1);
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 0 }),
+            1
+        );
+    }
+
+    #[test]
+    fn word_stride_is_conflict_free() {
+        // 4-byte stride: lanes hit banks 0..15 — perfect.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 4 }),
+            1
+        );
+    }
+
+    #[test]
+    fn two_word_stride_two_way() {
+        // 8-byte stride: words 0,2,4,... -> banks 0,2,..,14,0,2,..: two lanes per
+        // bank but different words -> 2-way.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 8 }),
+            2
+        );
+    }
+
+    #[test]
+    fn large_power_of_two_strides_fully_serialize() {
+        // 64-byte stride: words 0,16,32,... all in bank 0 -> 16-way.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 64 }),
+            16
+        );
+        // 128-byte slice stride (Algorithm 4 with 8 KB / 64 threads): same story.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 128 }),
+            16
+        );
+    }
+
+    #[test]
+    fn sub_word_strides_merge_within_words() {
+        // 1-byte stride: lanes 0..15 touch words 0..3 in banks 0..3; same-word
+        // accesses merge, different words are in different banks -> 1.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 1 }),
+            1
+        );
+        // 2-byte stride: words 0..7, banks 0..7, one word per bank -> 1.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 2 }),
+            1
+        );
+    }
+
+    #[test]
+    fn odd_strides_spread_well() {
+        // 20-byte stride: words 0,5,10,...,75 -> banks spread; max 1 per bank.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 20 }),
+            1
+        );
+        // 36-byte stride (9 words): gcd(9,16)=1 -> conflict-free.
+        assert_eq!(
+            conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: 36 }),
+            1
+        );
+    }
+
+    #[test]
+    fn degree_bounded_by_half_warp() {
+        for s in [1u32, 3, 4, 8, 16, 32, 64, 96, 128, 256, 512, 1024] {
+            let d = conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: s });
+            assert!(d >= 1 && d <= 16, "stride {s} -> degree {d}");
+        }
+    }
+}

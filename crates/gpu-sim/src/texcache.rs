@@ -1,0 +1,294 @@
+//! Texture-cache model.
+//!
+//! The paper's unbuffered kernels (Algorithms 1 and 3) stream the database
+//! through texture memory and rely on the per-SM texture cache ("the texture
+//! cache working set is between six and eight KB per multiprocessor", §4.2.1).
+//! Two regimes matter for the characterizations:
+//!
+//! * **streaming reuse** — while the set of concurrent sequential streams fits in
+//!   the cache, each line is fetched once and the per-byte accesses hit
+//!   (spatial locality); streams that read the *same* addresses (Algorithm 1's
+//!   broadcast, or the identical partitioning of different Algorithm-3 blocks)
+//!   share fetches (temporal locality);
+//! * **thrash** — once concurrent streams outnumber cache lines, a stream's line
+//!   is evicted between its own consecutive accesses: every access misses and
+//!   each miss drags a whole line from DRAM (32× traffic amplification for
+//!   byte-sized items). This cliff is what turns Algorithm 3 bandwidth-bound at
+//!   high thread counts (Characterization 8).
+//!
+//! The model is *pattern-based*: callers describe the access pattern of a
+//! residency epoch (streams, bytes, sharing) and get hit/miss/DRAM totals; the
+//! transition between regimes is the smooth occupancy ratio rather than a step,
+//! matching the gradual upturns in the paper's figures.
+
+use crate::cost::CostModel;
+use serde::{Deserialize, Serialize};
+
+/// A streaming access pattern over the texture path for one SM-residency epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamPattern {
+    /// Number of concurrent sequential streams alive on the SM (e.g. resident
+    /// warps for a broadcast scan; resident lanes for a partitioned scan).
+    pub concurrent_streams: u64,
+    /// Total logical byte accesses issued by all consumers on this SM.
+    pub accesses: u64,
+    /// Distinct bytes underlying those accesses (consumers reading the same
+    /// addresses in near-lockstep share fetches).
+    pub unique_bytes: u64,
+}
+
+/// Outcome of a pattern over the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CacheOutcome {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that went to device memory.
+    pub misses: u64,
+    /// Bytes moved from DRAM (misses × line size).
+    pub dram_bytes: u64,
+}
+
+impl CacheOutcome {
+    /// Hit fraction (1.0 for an empty pattern).
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Average access latency under a cost model.
+    pub fn mean_latency(&self, cost: &CostModel) -> f64 {
+        let hr = self.hit_rate();
+        hr * cost.tex_hit_latency + (1.0 - hr) * cost.tex_miss_latency
+    }
+
+    /// Accumulates another outcome.
+    pub fn add(&mut self, other: &CacheOutcome) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.dram_bytes += other.dram_bytes;
+    }
+}
+
+/// Per-SM texture cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TextureCache {
+    /// Capacity in bytes.
+    pub capacity_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl TextureCache {
+    /// Cache with the given capacity and the cost model's line size.
+    pub fn new(capacity_bytes: u32, cost: &CostModel) -> Self {
+        TextureCache {
+            capacity_bytes,
+            line_bytes: cost.tex_line_bytes,
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> u64 {
+        (self.capacity_bytes / self.line_bytes.max(1)) as u64
+    }
+
+    /// Evaluates a streaming pattern.
+    ///
+    /// With modelling disabled (`cost.model_texture_cache == false`) every access
+    /// hits and no DRAM traffic is charged — the ablation that deletes
+    /// Characterization 8.
+    pub fn stream_scan(&self, pattern: &StreamPattern, cost: &CostModel) -> CacheOutcome {
+        let accesses = pattern.accesses;
+        if accesses == 0 {
+            return CacheOutcome::default();
+        }
+        if !cost.model_texture_cache {
+            return CacheOutcome {
+                accesses,
+                hits: accesses,
+                misses: 0,
+                dram_bytes: 0,
+            };
+        }
+        let line = self.line_bytes.max(1) as u64;
+        // Fraction of streams whose working line survives between their own
+        // consecutive accesses.
+        let resident_fraction = if pattern.concurrent_streams == 0 {
+            1.0
+        } else {
+            (self.lines() as f64 / pattern.concurrent_streams as f64).min(1.0)
+        };
+        // Streaming regime: each distinct line fetched once.
+        let stream_misses = pattern.unique_bytes.div_ceil(line);
+        // Thrash regime: every access misses (and over-fetches a line).
+        let thrash_misses = accesses;
+        let misses_f = resident_fraction * stream_misses as f64
+            + (1.0 - resident_fraction) * thrash_misses as f64;
+        let misses = (misses_f.round() as u64).min(accesses);
+        CacheOutcome {
+            accesses,
+            hits: accesses - misses,
+            misses,
+            dram_bytes: misses * line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> (TextureCache, CostModel) {
+        let cost = CostModel::default();
+        (TextureCache::new(8 * 1024, &cost), cost)
+    }
+
+    #[test]
+    fn line_count() {
+        let (c, _) = cache();
+        assert_eq!(c.lines(), 256); // 8 KB / 32 B
+    }
+
+    #[test]
+    fn single_stream_gets_spatial_reuse() {
+        let (c, cost) = cache();
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 1,
+                accesses: 32_000,
+                unique_bytes: 32_000,
+            },
+            &cost,
+        );
+        // One miss per 32-byte line.
+        assert_eq!(out.misses, 1000);
+        assert_eq!(out.hits, 31_000);
+        assert_eq!(out.dram_bytes, 32_000);
+        assert!((out.hit_rate() - 0.96875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_streams_fetch_unique_bytes_once() {
+        let (c, cost) = cache();
+        // 8 warps broadcasting over the same 32 KB: accesses 8x, unique once.
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 8,
+                accesses: 8 * 32_000,
+                unique_bytes: 32_000,
+            },
+            &cost,
+        );
+        assert_eq!(out.misses, 1000);
+        assert_eq!(out.dram_bytes, 32_000);
+    }
+
+    #[test]
+    fn thrash_regime_misses_everything() {
+        let (c, cost) = cache();
+        // 4096 streams over a 256-line cache: resident fraction 1/16.
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 4096,
+                accesses: 160_000,
+                unique_bytes: 160_000,
+            },
+            &cost,
+        );
+        // ~ 1/16 * 5000 + 15/16 * 160000 ≈ 150 312
+        assert!(out.misses > 140_000, "misses = {}", out.misses);
+        assert_eq!(out.dram_bytes, out.misses * 32);
+        // Traffic amplification: DRAM bytes greatly exceed unique bytes.
+        assert!(out.dram_bytes > 20 * out.accesses);
+    }
+
+    #[test]
+    fn transition_is_monotone_in_streams() {
+        let (c, cost) = cache();
+        let mut last = 0u64;
+        for streams in [16u64, 64, 256, 512, 1024, 4096] {
+            let out = c.stream_scan(
+                &StreamPattern {
+                    concurrent_streams: streams,
+                    accesses: 100_000,
+                    unique_bytes: 100_000,
+                },
+                &cost,
+            );
+            assert!(out.misses >= last, "streams={streams}");
+            last = out.misses;
+        }
+    }
+
+    #[test]
+    fn ablation_disables_misses() {
+        let (c, _) = cache();
+        let cost = CostModel::without_texture_cache();
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 10_000,
+                accesses: 50_000,
+                unique_bytes: 50_000,
+            },
+            &cost,
+        );
+        assert_eq!(out.misses, 0);
+        assert_eq!(out.dram_bytes, 0);
+        assert_eq!(out.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn latency_blends_hit_and_miss() {
+        let (c, cost) = cache();
+        let all_hit = CacheOutcome {
+            accesses: 10,
+            hits: 10,
+            misses: 0,
+            dram_bytes: 0,
+        };
+        assert_eq!(all_hit.mean_latency(&cost), cost.tex_hit_latency);
+        let all_miss = CacheOutcome {
+            accesses: 10,
+            hits: 0,
+            misses: 10,
+            dram_bytes: 320,
+        };
+        assert_eq!(all_miss.mean_latency(&cost), cost.tex_miss_latency);
+        let _ = c;
+    }
+
+    #[test]
+    fn empty_pattern_is_identity() {
+        let (c, cost) = cache();
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 0,
+                accesses: 0,
+                unique_bytes: 0,
+            },
+            &cost,
+        );
+        assert_eq!(out, CacheOutcome::default());
+        assert_eq!(out.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn misses_never_exceed_accesses() {
+        let (c, cost) = cache();
+        let out = c.stream_scan(
+            &StreamPattern {
+                concurrent_streams: 1_000_000,
+                accesses: 10,
+                unique_bytes: 1_000_000,
+            },
+            &cost,
+        );
+        assert!(out.misses <= out.accesses);
+    }
+}

@@ -1,0 +1,257 @@
+//! # tdm-baselines — CPU mining baselines
+//!
+//! The paper motivates its GPU work against "current technology, like GMiner …
+//! limited to a single CPU" (§1). This crate provides that comparison point and
+//! a parallel CPU contender:
+//!
+//! * [`SerialScanBackend`] — one full database scan per episode on one core:
+//!   the direct CPU analogue of what each GPU thread does, and the GMiner-class
+//!   single-CPU baseline;
+//! * [`ActiveSetBackend`] — the optimized single-core counter (one database
+//!   pass for all candidates) re-exported from `tdm-core`;
+//! * [`MapReduceBackend`] — episodes fanned out over a crossbeam worker pool via
+//!   the `tdm-mapreduce` framework (map = count one episode, reduce = identity),
+//!   mirroring the paper's MapReduce framing on a multicore host.
+//!
+//! All three implement [`tdm_core::CountingBackend`], so the level-wise miner
+//! runs unchanged on any of them, and their counts are interchangeable — which
+//! the tests assert.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tdm_core::count::{count_episode, count_episodes};
+use tdm_core::{CountingBackend, Episode, EventDb};
+use tdm_mapreduce::pool::{default_workers, map_items};
+use tdm_mapreduce::{run_parallel, IdentityReducer, Mapper};
+
+/// Single-core, one-scan-per-episode baseline (GMiner-class).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SerialScanBackend;
+
+impl CountingBackend for SerialScanBackend {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        candidates.iter().map(|e| count_episode(db, e)).collect()
+    }
+
+    fn name(&self) -> &str {
+        "cpu-serial-scan"
+    }
+}
+
+/// Single-core active-set counter (one pass over the database for all
+/// candidates) — the fast CPU ground truth.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ActiveSetBackend;
+
+impl CountingBackend for ActiveSetBackend {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        count_episodes(db, candidates)
+    }
+
+    fn name(&self) -> &str {
+        "cpu-active-set"
+    }
+}
+
+/// Parallel CPU backend on the MapReduce framework: map(episode) → (index,
+/// count); identity reduce; workers = threads.
+pub struct MapReduceBackend {
+    workers: usize,
+}
+
+impl MapReduceBackend {
+    /// Backend with an explicit worker count.
+    pub fn new(workers: usize) -> Self {
+        MapReduceBackend {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Backend sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(default_workers())
+    }
+}
+
+struct CountMapper<'a> {
+    db: &'a EventDb,
+}
+
+impl<'a> Mapper for CountMapper<'a> {
+    type Input = (usize, Episode);
+    type Key = usize;
+    type Value = u64;
+
+    fn map(&self, (idx, ep): &(usize, Episode), emit: &mut dyn FnMut(usize, u64)) {
+        emit(*idx, count_episode(self.db, ep));
+    }
+}
+
+impl CountingBackend for MapReduceBackend {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        let inputs: Vec<(usize, Episode)> =
+            candidates.iter().cloned().enumerate().collect();
+        let out = run_parallel(
+            &CountMapper { db },
+            &IdentityReducer::default(),
+            &inputs,
+            self.workers,
+        );
+        // Keys are 0..n sorted; outputs align with candidate order.
+        debug_assert!(out.iter().enumerate().all(|(i, (k, _))| i == *k));
+        out.into_iter().map(|(_, c)| c).collect()
+    }
+
+    fn name(&self) -> &str {
+        "cpu-mapreduce"
+    }
+}
+
+/// Chunked parallel counting without the MapReduce framing (each worker runs
+/// the active-set counter over a slice of the candidates) — the fastest CPU
+/// configuration, used for ground-truth generation at scale.
+pub fn count_parallel_chunks(db: &EventDb, candidates: &[Episode], workers: usize) -> Vec<u64> {
+    if candidates.len() < 64 || workers <= 1 {
+        return count_episodes(db, candidates);
+    }
+    // Split candidates into contiguous chunks; each worker runs one active-set
+    // pass for its chunk.
+    let chunk = candidates.len().div_ceil(workers);
+    let chunks: Vec<&[Episode]> = candidates.chunks(chunk).collect();
+    map_items(&chunks, workers, |c| count_episodes(db, c))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::candidate::permutations;
+    use tdm_core::{Alphabet, Miner, MinerConfig};
+    use tdm_workloads::uniform_letters;
+
+    #[test]
+    fn all_backends_agree() {
+        let db = uniform_letters(20_000, 17);
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let mut serial = SerialScanBackend;
+        let mut active = ActiveSetBackend;
+        let mut mr = MapReduceBackend::new(3);
+        let a = serial.count(&db, &eps);
+        let b = active.count(&db, &eps);
+        let c = mr.count(&db, &eps);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, count_parallel_chunks(&db, &eps, 4));
+    }
+
+    #[test]
+    fn miner_runs_on_every_backend() {
+        let db = uniform_letters(5_000, 3);
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.0005,
+            max_level: Some(2),
+            ..Default::default()
+        });
+        let r1 = miner.mine(&db, &mut SerialScanBackend);
+        let r2 = miner.mine(&db, &mut ActiveSetBackend);
+        let r3 = miner.mine(&db, &mut MapReduceBackend::new(2));
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+        assert!(r1.total_frequent() > 0);
+    }
+
+    #[test]
+    fn backend_names() {
+        use tdm_core::CountingBackend as _;
+        assert_eq!(SerialScanBackend.name(), "cpu-serial-scan");
+        assert_eq!(ActiveSetBackend.name(), "cpu-active-set");
+        assert_eq!(MapReduceBackend::auto().name(), "cpu-mapreduce");
+    }
+
+    #[test]
+    fn parallel_chunks_small_input_falls_back() {
+        let db = uniform_letters(1_000, 5);
+        let eps = permutations(&Alphabet::latin26(), 1);
+        assert_eq!(
+            count_parallel_chunks(&db, &eps, 8),
+            tdm_core::count::count_episodes(&db, &eps)
+        );
+    }
+}
+
+/// Data-parallel counting of a **single** episode: the database is split into
+/// contiguous chunks, each worker computes the chunk's FSM
+/// [`tdm_core::segment::SegmentEffect`] (the transition function for every
+/// possible entry state), and the effects compose left-to-right — exact for
+/// *any* episode, including repeated-item ones where the paper's continuation
+/// scheme is only approximate. This is the classic parallel-FSM decomposition,
+/// complementary to the task-parallel backends above: it accelerates the case
+/// of few episodes over a huge stream (the real-time monitoring setting of the
+/// paper's introduction).
+pub fn count_episode_parallel(db: &EventDb, episode: &Episode, workers: usize) -> u64 {
+    use tdm_core::segment::SegmentEffect;
+    let n = db.len();
+    let workers = workers.max(1);
+    if n < 4096 || workers == 1 {
+        return count_episode(db, episode);
+    }
+    let bounds: Vec<usize> = (0..workers).map(|w| w * n / workers).collect();
+    let ranges: Vec<std::ops::Range<usize>> = bounds
+        .iter()
+        .enumerate()
+        .map(|(i, &start)| {
+            let end = if i + 1 < workers { bounds[i + 1] } else { n };
+            start..end
+        })
+        .collect();
+    let effects = map_items(&ranges, workers, |r| {
+        SegmentEffect::compute(db.symbols(), episode, r.clone())
+    });
+    let mut acc: Option<SegmentEffect> = None;
+    for eff in effects {
+        acc = Some(match acc {
+            None => eff,
+            Some(prev) => prev.then(&eff),
+        });
+    }
+    acc.map(|e| e.completions[0]).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod parallel_fsm_tests {
+    use super::*;
+    use tdm_core::{Alphabet, Episode};
+    use tdm_workloads::{markov_letters, uniform_letters};
+
+    #[test]
+    fn parallel_single_episode_matches_sequential() {
+        let ab = Alphabet::latin26();
+        for (db, name) in [
+            (uniform_letters(50_000, 21), "uniform"),
+            (markov_letters(50_000, 22, 0.8), "markov"),
+        ] {
+            for ep_str in ["A", "AB", "ABC", "ABA", "AAB"] {
+                let ep = Episode::from_str(&ab, ep_str).unwrap();
+                let seq = count_episode(&db, &ep);
+                for workers in [2usize, 3, 8] {
+                    assert_eq!(
+                        count_episode_parallel(&db, &ep, workers),
+                        seq,
+                        "{name}/{ep_str}/{workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let ab = Alphabet::latin26();
+        let db = uniform_letters(100, 3);
+        let ep = Episode::from_str(&ab, "AB").unwrap();
+        assert_eq!(count_episode_parallel(&db, &ep, 8), count_episode(&db, &ep));
+    }
+}

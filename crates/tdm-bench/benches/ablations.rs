@@ -1,0 +1,114 @@
+//! Ablation benches (DESIGN.md §8): re-run representative figure cells with
+//! one timing-model mechanism disabled, demonstrating which characterization
+//! each mechanism carries. Criterion reports the *simulated* time moving (the
+//! measured wall time is the pipeline; the printed `sim_ms` values are the
+//! scientific payload, also asserted in the harness tests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{CostModel, DeviceConfig};
+use std::hint::black_box;
+use tdm_core::candidate::permutations;
+use tdm_core::Alphabet;
+use tdm_gpu::{Algorithm, MiningProblem, SimOptions};
+use tdm_workloads::paper_database_scaled;
+
+const BENCH_SCALE: f64 = 0.02;
+
+fn run_sim(algo: Algorithm, level: usize, tpb: u32, cost: &CostModel, opts: &SimOptions) -> f64 {
+    let db = paper_database_scaled(BENCH_SCALE);
+    let episodes = permutations(&Alphabet::latin26(), level);
+    let mut problem = MiningProblem::new(&db, &episodes);
+    problem
+        .run(algo, tpb, &DeviceConfig::geforce_gtx_280(), cost, opts)
+        .unwrap()
+        .report
+        .time_ms
+}
+
+/// Texture-cache model on/off: carries Characterization 8 (Algorithm 3's
+/// bandwidth sensitivity).
+fn ablation_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cache");
+    g.sample_size(10);
+    for (name, cost) in [
+        ("on", CostModel::default()),
+        ("off", CostModel::without_texture_cache()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(format!("A3-L2-512tpb-cache_{name}")), |b| {
+            b.iter(|| black_box(run_sim(Algorithm::BlockTexture, 2, 512, &cost, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+/// Divergence serialization on/off: carries Algorithm 1's cost structure.
+fn ablation_divergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_divergence");
+    g.sample_size(10);
+    for (name, cost) in [
+        ("on", CostModel::default()),
+        ("off", CostModel::without_divergence()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(format!("A1-L2-128tpb-div_{name}")), |b| {
+            b.iter(|| black_box(run_sim(Algorithm::ThreadTexture, 2, 128, &cost, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+/// Latency hiding on/off: carries Characterization 4 (the latency-bound
+/// small-problem regime).
+fn ablation_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_latency");
+    g.sample_size(10);
+    for (name, cost) in [
+        ("on", CostModel::default()),
+        ("off", CostModel::without_latency_hiding()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(format!("A1-L1-256tpb-hiding_{name}")), |b| {
+            b.iter(|| black_box(run_sim(Algorithm::ThreadTexture, 1, 256, &cost, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+/// Bank-conflict model on/off: carries Algorithm 4's slice-stride penalty.
+fn ablation_bank_conflicts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bank_conflicts");
+    g.sample_size(10);
+    for (name, cost) in [
+        ("on", CostModel::default()),
+        ("off", CostModel::without_bank_conflicts()),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(format!("A4-L2-64tpb-banks_{name}")), |b| {
+            b.iter(|| black_box(run_sim(Algorithm::BlockBuffered, 2, 64, &cost, &SimOptions::default())))
+        });
+    }
+    g.finish();
+}
+
+/// Buffer-size sweep for the buffered kernels (Characterization 2's knob).
+fn ablation_buffer_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_buffer_size");
+    g.sample_size(10);
+    for buffer in [1024u32, 2048, 4096, 8192] {
+        let opts = SimOptions {
+            buffer_bytes: buffer,
+            ..Default::default()
+        };
+        g.bench_function(BenchmarkId::from_parameter(format!("A2-L1-256tpb-buf{buffer}")), |b| {
+            b.iter(|| black_box(run_sim(Algorithm::ThreadBuffered, 1, 256, &CostModel::default(), &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_cache,
+    ablation_divergence,
+    ablation_latency,
+    ablation_bank_conflicts,
+    ablation_buffer_size
+);
+criterion_main!(benches);

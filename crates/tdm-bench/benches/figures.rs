@@ -1,0 +1,148 @@
+//! Criterion benches, one group per paper artifact (DESIGN.md §6).
+//!
+//! Each group regenerates the *data* behind one table or figure at a reduced
+//! database scale (the `reproduce` binary emits the full-scale CSVs; these
+//! benches time the machinery that produces them and track regressions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::{CostModel, DeviceConfig};
+use std::hint::black_box;
+use tdm_bench::{figures, Grid, GridConfig};
+use tdm_core::candidate::permutations;
+use tdm_core::Alphabet;
+use tdm_gpu::{Algorithm, MiningProblem, SimOptions};
+use tdm_workloads::paper_database_scaled;
+
+const BENCH_SCALE: f64 = 0.02; // ~7,860 letters: shapes preserved, benches quick
+
+fn bench_cell(
+    c: &mut Criterion,
+    group: &str,
+    id: String,
+    algo: Algorithm,
+    level: usize,
+    tpb: u32,
+    card: &DeviceConfig,
+) {
+    let db = paper_database_scaled(BENCH_SCALE);
+    let episodes = permutations(&Alphabet::latin26(), level);
+    let cost = CostModel::default();
+    let opts = SimOptions::default();
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter(id), |b| {
+        b.iter(|| {
+            // Fresh problem per iteration: measures the full pipeline
+            // (ground-truth counts + warp sampling + timing simulation).
+            let mut problem = MiningProblem::new(&db, &episodes);
+            let run = problem.run(algo, tpb, card, &cost, &opts).unwrap();
+            black_box(run.report.time_ms)
+        })
+    });
+    g.finish();
+}
+
+/// Table 1: candidate-space generation (the paper's combinatorial growth).
+fn table1_candidates(c: &mut Criterion) {
+    let ab = Alphabet::latin26();
+    let mut g = c.benchmark_group("table1_candidates");
+    for level in [1usize, 2, 3] {
+        g.bench_function(BenchmarkId::from_parameter(format!("L{level}")), |b| {
+            b.iter(|| black_box(permutations(&ab, level).len()))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6: impact of level — Algorithm 1 and 4 at the levels' extremes.
+fn fig6_level_impact(c: &mut Criterion) {
+    let gtx = DeviceConfig::geforce_gtx_280();
+    for (algo, level) in [
+        (Algorithm::ThreadTexture, 1),
+        (Algorithm::ThreadTexture, 3),
+        (Algorithm::BlockBuffered, 1),
+        (Algorithm::BlockBuffered, 3),
+    ] {
+        bench_cell(
+            c,
+            "fig6_level_impact",
+            format!("A{}-L{level}-tpb128", algo.number()),
+            algo,
+            level,
+            128,
+            &gtx,
+        );
+    }
+}
+
+/// Figure 7: impact of algorithm — all four kernels at level 2 on the GTX 280.
+fn fig7_algo_impact(c: &mut Criterion) {
+    let gtx = DeviceConfig::geforce_gtx_280();
+    for algo in Algorithm::ALL {
+        bench_cell(
+            c,
+            "fig7_algo_impact",
+            format!("A{}-L2-tpb64", algo.number()),
+            algo,
+            2,
+            64,
+            &gtx,
+        );
+    }
+}
+
+/// Figure 8: impact of card — Algorithm 1 (clock-bound) and Algorithm 3
+/// (bandwidth-bound) across the testbed.
+fn fig8_card_impact(c: &mut Criterion) {
+    for card in DeviceConfig::paper_testbed() {
+        let tag = card.name.replace("GeForce ", "").replace(' ', "");
+        bench_cell(
+            c,
+            "fig8_card_impact",
+            format!("A1-L2-{tag}"),
+            Algorithm::ThreadTexture,
+            2,
+            128,
+            &card,
+        );
+        bench_cell(
+            c,
+            "fig8_card_impact",
+            format!("A3-L1-{tag}"),
+            Algorithm::BlockTexture,
+            1,
+            128,
+            &card,
+        );
+    }
+}
+
+/// Figure 9 / full grid: the whole sweep at bench scale (what `reproduce`
+/// does at full scale), including figure rendering.
+fn fig9_grid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_grid");
+    g.sample_size(10);
+    let cfg = GridConfig {
+        scale: BENCH_SCALE,
+        tpb_sweep: vec![16, 64, 256, 512],
+        ..Default::default()
+    };
+    g.bench_function("full_sweep_and_render", |b| {
+        b.iter(|| {
+            let grid = Grid::compute(&cfg);
+            let f = figures::fig9(&grid);
+            black_box(f.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_candidates,
+    fig6_level_impact,
+    fig7_algo_impact,
+    fig8_card_impact,
+    fig9_grid
+);
+criterion_main!(benches);

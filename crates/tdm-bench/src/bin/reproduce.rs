@@ -1,0 +1,185 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! reproduce [TARGETS..] [--out DIR] [--scale S] [--exact] [--quiet]
+//!
+//! TARGETS: table1 table2 fig6 fig7 fig8 fig9 best characterizations grid ext
+//!          all (default: all; `ext` also runs the paper's future-work
+//!          extensions: level-4 sweep, phase pipelining, hardware discovery)
+//! --out DIR    output directory for CSV/markdown files (default: results)
+//! --scale S    database scale in (0,1], 1.0 = the paper's 393,019 letters
+//! --exact      execute every warp exactly instead of sampling (slow; small S)
+//! --quiet      suppress ASCII previews
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use tdm_bench::figures::{best_config, fig6, fig7, fig8, fig9, grid_csv, Figure};
+use tdm_bench::{characterize, tables, Grid, GridConfig};
+
+fn save(fig: &Figure, out_dir: &Path, quiet: bool, written: &mut Vec<String>) {
+    let path = out_dir.join(format!("{}.csv", fig.name));
+    std::fs::write(&path, &fig.csv).expect("write failed");
+    written.push(path.display().to_string());
+    if !quiet {
+        println!("\n{}", fig.preview);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: BTreeSet<String> = BTreeSet::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut scale = 1.0f64;
+    let mut exact = false;
+    let mut quiet = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out_dir = PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            "--scale" => {
+                scale = it
+                    .next()
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("--scale must be a number in (0,1]");
+            }
+            "--exact" => exact = true,
+            "--quiet" => quiet = true,
+            t => {
+                targets.insert(t.to_string());
+            }
+        }
+    }
+    if targets.is_empty() || targets.contains("all") {
+        targets = [
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "best",
+            "characterizations",
+            "grid",
+            "ext",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    std::fs::create_dir_all(&out_dir).expect("cannot create output directory");
+    let mut written: Vec<String> = Vec::new();
+
+    // Tables need no simulation.
+    if targets.contains("table1") {
+        let path = out_dir.join("table1.csv");
+        std::fs::write(&path, tables::table1_csv(6)).expect("write failed");
+        written.push(path.display().to_string());
+        if !quiet {
+            println!("Table 1 (episodes per level, N=26):");
+            for (l, n) in tables::table1(6) {
+                println!("  L={l}: {n}");
+            }
+        }
+    }
+    if targets.contains("table2") {
+        let path = out_dir.join("table2.csv");
+        std::fs::write(&path, tables::table2()).expect("write failed");
+        written.push(path.display().to_string());
+    }
+
+    let need_grid = [
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "best",
+        "characterizations",
+        "grid",
+    ]
+    .iter()
+    .any(|t| targets.contains(*t));
+    if need_grid {
+        eprintln!(
+            "computing measurement grid (scale {scale}, {} mode)...",
+            if exact { "exact" } else { "sampled" }
+        );
+        let mut cfg = GridConfig {
+            scale,
+            ..Default::default()
+        };
+        cfg.opts.exact = exact;
+        let started = std::time::Instant::now();
+        let grid = Grid::compute(&cfg);
+        eprintln!(
+            "grid: {} cells in {:.1}s (db = {} letters)",
+            grid.cells.len(),
+            started.elapsed().as_secs_f64(),
+            grid.db_len
+        );
+
+        if targets.contains("fig6") {
+            for f in fig6(&grid) {
+                save(&f, &out_dir, quiet, &mut written);
+            }
+        }
+        if targets.contains("fig7") {
+            for f in fig7(&grid) {
+                save(&f, &out_dir, quiet, &mut written);
+            }
+        }
+        if targets.contains("fig8") {
+            for f in fig8(&grid) {
+                save(&f, &out_dir, quiet, &mut written);
+            }
+        }
+        if targets.contains("fig9") {
+            for f in fig9(&grid) {
+                save(&f, &out_dir, quiet, &mut written);
+            }
+        }
+        if targets.contains("best") {
+            let f = best_config(&grid);
+            save(&f, &out_dir, false, &mut written);
+        }
+        if targets.contains("grid") {
+            let f = grid_csv(&grid);
+            save(&f, &out_dir, true, &mut written);
+        }
+        if targets.contains("characterizations") {
+            let results = characterize::all(&grid);
+            let md = characterize::markdown(&results, &grid);
+            let path = out_dir.join("characterizations.md");
+            std::fs::write(&path, &md).expect("write failed");
+            written.push(path.display().to_string());
+            println!("\n{md}");
+            let passed = results.iter().filter(|r| r.passed).count();
+            eprintln!("characterizations: {passed}/8 reproduced");
+        }
+    }
+
+    if targets.contains("ext") {
+        eprintln!("running extension experiments (level-4 sweep, pipelining, discovery)...");
+        let ext_scale = scale.min(0.25); // level-4 ground truth is CPU-heavy
+        let fig = tdm_bench::extensions::level4_extension(ext_scale);
+        save(&fig, &out_dir, quiet, &mut written);
+        let pipeline = tdm_bench::extensions::pipeline_report(scale.min(0.5));
+        let discovery = tdm_bench::extensions::discovery_report();
+        let path = out_dir.join("extensions.md");
+        std::fs::write(&path, format!("{pipeline}\n{discovery}")).expect("write failed");
+        written.push(path.display().to_string());
+        if !quiet {
+            println!("\n{pipeline}\n{discovery}");
+        }
+    }
+
+    eprintln!("\nwrote {} files:", written.len());
+    for w in &written {
+        eprintln!("  {w}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal ASCII line charts for terminal previews of the figures.
+
+/// Renders series as an ASCII chart (x = positions of `xs`, y auto-scaled).
+/// Each series gets a distinct glyph; a legend line follows the plot.
+pub fn ascii_chart(
+    title: &str,
+    xs: &[u32],
+    series: &[(String, Vec<f64>)],
+    height: usize,
+    log_y: bool,
+) -> String {
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let height = height.max(4);
+    let width = xs.len();
+    if width == 0 || series.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let transform = |v: f64| if log_y { v.max(1e-9).log10() } else { v };
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, ys) in series {
+        for &y in ys {
+            let t = transform(y);
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return format!("{title}\n(no finite data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut rows = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            let t = (transform(y) - lo) / (hi - lo);
+            let r = ((1.0 - t) * (height - 1) as f64).round() as usize;
+            rows[r.min(height - 1)][xi] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let top = if log_y {
+        format!("10^{hi:.2}")
+    } else {
+        format!("{hi:.3}")
+    };
+    let bottom = if log_y {
+        format!("10^{lo:.2}")
+    } else {
+        format!("{lo:.3}")
+    };
+    for (i, row) in rows.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{top:>10} |")
+        } else if i == height - 1 {
+            format!("{bottom:>10} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10} +{}\n{:>10}  x: tpb {}..{}\n",
+        "",
+        "-".repeat(width),
+        "",
+        xs.first().unwrap(),
+        xs.last().unwrap()
+    ));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let xs = vec![16, 32, 64, 128];
+        let series = vec![
+            ("up".to_string(), vec![1.0, 2.0, 3.0, 4.0]),
+            ("down".to_string(), vec![4.0, 3.0, 2.0, 1.0]),
+        ];
+        let s = ascii_chart("test", &xs, &series, 6, false);
+        assert!(s.contains("test"));
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("up") && s.contains("down"));
+    }
+
+    #[test]
+    fn log_scale_labels() {
+        let xs = vec![1, 2];
+        let series = vec![("s".to_string(), vec![1.0, 1000.0])];
+        let s = ascii_chart("log", &xs, &series, 5, true);
+        assert!(s.contains("10^"));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ascii_chart("empty", &[], &[], 5, false).contains("no data"));
+        let s = ascii_chart(
+            "flat",
+            &[1, 2],
+            &[("f".to_string(), vec![2.0, 2.0])],
+            5,
+            false,
+        );
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,279 @@
+//! Figure generators: each returns CSV text (and an ASCII preview) from a
+//! computed [`Grid`].
+
+use crate::chart::ascii_chart;
+use crate::grid::Grid;
+
+/// A rendered figure: CSV payload plus a terminal preview.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// File stem, e.g. `fig6a`.
+    pub name: String,
+    /// Human title (matches the paper's caption).
+    pub title: String,
+    /// CSV content.
+    pub csv: String,
+    /// ASCII preview.
+    pub preview: String,
+}
+
+const GTX: &str = "GeForce GTX 280";
+
+fn series_csv(name: &str, title: &str, xs: &[u32], series: &[(String, Vec<f64>)], log_y: bool) -> Figure {
+    let mut csv = String::from("tpb");
+    for (label, _) in series {
+        csv.push_str(&format!(",{label}"));
+    }
+    csv.push('\n');
+    for (i, x) in xs.iter().enumerate() {
+        csv.push_str(&x.to_string());
+        for (_, ys) in series {
+            csv.push_str(&format!(",{:.6}", ys[i]));
+        }
+        csv.push('\n');
+    }
+    let preview = ascii_chart(title, xs, series, 12, log_y);
+    Figure {
+        name: name.to_string(),
+        title: title.to_string(),
+        csv,
+        preview,
+    }
+}
+
+/// Figure 6 (a–d): per algorithm on the GTX 280, execution time of each level
+/// *relative to level 1* vs. threads per block.
+pub fn fig6(grid: &Grid) -> Vec<Figure> {
+    let xs = grid.tpb_axis();
+    let levels = grid.levels();
+    (1u8..=4)
+        .map(|algo| {
+            let base: Vec<f64> = xs.iter().map(|&t| grid.get(algo, 1, t, GTX).time_ms).collect();
+            let series: Vec<(String, Vec<f64>)> = levels
+                .iter()
+                .map(|&l| {
+                    (
+                        format!("Level{l}"),
+                        xs.iter()
+                            .enumerate()
+                            .map(|(i, &t)| grid.get(algo, l, t, GTX).time_ms / base[i])
+                            .collect(),
+                    )
+                })
+                .collect();
+            let letter = (b'a' + algo - 1) as char;
+            series_csv(
+                &format!("fig6{letter}"),
+                &format!("Fig 6({letter}): Execution Time of Algorithm{algo} on GTX280 (relative to Level1)"),
+                &xs,
+                &series,
+                false,
+            )
+        })
+        .collect()
+}
+
+/// Figure 7 (a–c): per level on the GTX 280, absolute time of the four
+/// algorithms vs. threads per block.
+pub fn fig7(grid: &Grid) -> Vec<Figure> {
+    let xs = grid.tpb_axis();
+    grid.levels()
+        .iter()
+        .enumerate()
+        .map(|(i, &level)| {
+            let series: Vec<(String, Vec<f64>)> = (1u8..=4)
+                .map(|algo| {
+                    (
+                        format!("Algorithm{algo}"),
+                        xs.iter().map(|&t| grid.get(algo, level, t, GTX).time_ms).collect(),
+                    )
+                })
+                .collect();
+            let letter = (b'a' + i as u8) as char;
+            series_csv(
+                &format!("fig7{letter}"),
+                &format!("Fig 7({letter}): Execution Time of Level{level} on GTX280 using Different Algorithms (ms, log preview)"),
+                &xs,
+                &series,
+                true,
+            )
+        })
+        .collect()
+}
+
+/// Figure 8: (a) Algorithm 1 at level 2 across cards; (b) Algorithm 3 at level
+/// 1 across cards.
+pub fn fig8(grid: &Grid) -> Vec<Figure> {
+    let xs = grid.tpb_axis();
+    let cards = grid.cards();
+    let mk = |name: &str, title: &str, algo: u8, level: usize| {
+        let series: Vec<(String, Vec<f64>)> = cards
+            .iter()
+            .map(|card| {
+                (
+                    card.replace("GeForce ", "").replace(' ', ""),
+                    xs.iter().map(|&t| grid.get(algo, level, t, card).time_ms).collect(),
+                )
+            })
+            .collect();
+        series_csv(name, title, &xs, &series, false)
+    };
+    vec![
+        mk(
+            "fig8a",
+            "Fig 8(a): Algorithm1 on Level2 across cards (ms) — shader-clock ordering",
+            1,
+            2,
+        ),
+        mk(
+            "fig8b",
+            "Fig 8(b): Algorithm3 on Level1 across cards (ms) — bandwidth ordering",
+            3,
+            1,
+        ),
+    ]
+}
+
+/// Figure 9 (a–l): the appendix grid — every (algorithm, level) with the three
+/// cards as series.
+pub fn fig9(grid: &Grid) -> Vec<Figure> {
+    let xs = grid.tpb_axis();
+    let cards = grid.cards();
+    let mut out = Vec::new();
+    let mut letter = b'a';
+    for algo in 1u8..=4 {
+        for &level in &grid.levels() {
+            let series: Vec<(String, Vec<f64>)> = cards
+                .iter()
+                .map(|card| {
+                    (
+                        card.replace("GeForce ", "").replace(' ', ""),
+                        xs.iter().map(|&t| grid.get(algo, level, t, card).time_ms).collect(),
+                    )
+                })
+                .collect();
+            out.push(series_csv(
+                &format!("fig9{}", letter as char),
+                &format!(
+                    "Fig 9({}): Algorithm{algo} on Level{level} across cards (ms)",
+                    letter as char
+                ),
+                &xs,
+                &series,
+                false,
+            ));
+            letter += 1;
+        }
+    }
+    out
+}
+
+/// The conclusion's best-configuration table: per level, the fastest
+/// (algorithm, tpb) on the GTX 280, next to the paper's reported optimum.
+pub fn best_config(grid: &Grid) -> Figure {
+    let paper_claims = [
+        (1usize, "Algorithm4 @ 256 (block-level, buffered)"),
+        (2, "Algorithm3 @ 64 (block-level, unbuffered)"),
+        (3, "thread-level @ 96 (Algorithm1/2)"),
+    ];
+    let mut csv = String::from("level,best_algo,best_tpb,best_ms,paper_claim\n");
+    let mut preview = String::from("Best configuration per level (GTX 280):\n");
+    for &level in &grid.levels() {
+        let (algo, tpb, ms) = grid.best_config(level, GTX);
+        let claim = paper_claims
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|(_, c)| *c)
+            .unwrap_or("-");
+        csv.push_str(&format!("{level},Algorithm{algo},{tpb},{ms:.4},\"{claim}\"\n"));
+        preview.push_str(&format!(
+            "  L{level}: Algorithm{algo} @ {tpb} tpb -> {ms:.3} ms   (paper: {claim})\n"
+        ));
+    }
+    Figure {
+        name: "best_config".into(),
+        title: "Best configuration per level".into(),
+        csv,
+        preview,
+    }
+}
+
+/// Raw grid dump (every cell) for downstream analysis.
+pub fn grid_csv(grid: &Grid) -> Figure {
+    let mut csv = String::from(
+        "algo,level,tpb,card,time_ms,bound,blocks,waves,occupancy,dram_mb,tex_hit_rate,episodes,total_count\n",
+    );
+    for c in &grid.cells {
+        csv.push_str(&format!(
+            "{},{},{},\"{}\",{:.6},{},{},{},{:.4},{:.3},{:.5},{},{}\n",
+            c.algo,
+            c.level,
+            c.tpb,
+            c.card,
+            c.time_ms,
+            c.bound,
+            c.blocks,
+            c.waves,
+            c.occupancy,
+            c.dram_mb,
+            c.tex_hit_rate,
+            c.episodes,
+            c.total_count
+        ));
+    }
+    Figure {
+        name: "grid".into(),
+        title: "Full measurement grid".into(),
+        csv,
+        preview: format!("{} cells over db of {} letters\n", grid.cells.len(), grid.db_len),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridConfig;
+    use gpu_sim::DeviceConfig;
+
+    fn grid() -> Grid {
+        let cfg = GridConfig {
+            scale: 0.01,
+            levels: vec![1, 2],
+            tpb_sweep: vec![64, 256],
+            cards: DeviceConfig::paper_testbed(),
+            ..Default::default()
+        };
+        Grid::compute(&cfg)
+    }
+
+    #[test]
+    fn figures_have_expected_shapes() {
+        let g = grid();
+        let f6 = fig6(&g);
+        assert_eq!(f6.len(), 4);
+        assert!(f6[0].csv.starts_with("tpb,Level1,Level2"));
+        // Level-1 relative series is identically 1.
+        for line in f6[0].csv.lines().skip(1) {
+            let v: Vec<&str> = line.split(',').collect();
+            let rel: f64 = v[1].parse().unwrap();
+            assert!((rel - 1.0).abs() < 1e-9);
+        }
+        let f7 = fig7(&g);
+        assert_eq!(f7.len(), 2); // two levels in this test grid
+        assert!(f7[0].csv.contains("Algorithm4"));
+        let f8 = fig8(&g);
+        assert_eq!(f8.len(), 2);
+        assert!(f8[0].csv.contains("8800GTS512"));
+        let f9 = fig9(&g);
+        assert_eq!(f9.len(), 8); // 4 algos x 2 levels
+    }
+
+    #[test]
+    fn best_config_and_dump() {
+        let g = grid();
+        let best = best_config(&g);
+        assert!(best.csv.lines().count() >= 3);
+        let dump = grid_csv(&g);
+        assert_eq!(dump.csv.lines().count(), g.cells.len() + 1);
+    }
+}

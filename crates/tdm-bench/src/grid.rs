@@ -1,0 +1,258 @@
+//! The measurement grid: every (algorithm, level, block size, card) cell of the
+//! paper's evaluation, simulated.
+
+use gpu_sim::{CostModel, DeviceConfig};
+use serde::Serialize;
+use tdm_core::candidate::permutations;
+use tdm_core::{Alphabet, Episode, EventDb};
+use tdm_gpu::{Algorithm, MiningProblem, SimOptions};
+use tdm_workloads::{paper_database_scaled, PAPER_DB_LEN};
+
+/// Grid parameters.
+#[derive(Debug, Clone)]
+pub struct GridConfig {
+    /// Database scale relative to the paper's 393,019 letters (1.0 = full).
+    pub scale: f64,
+    /// Episode levels to evaluate (paper: 1, 2, 3).
+    pub levels: Vec<usize>,
+    /// Block-size sweep (paper: 16 and multiples of 32 up to 512).
+    pub tpb_sweep: Vec<u32>,
+    /// Cards to simulate.
+    pub cards: Vec<DeviceConfig>,
+    /// Timing-model constants (ablations swap these).
+    pub cost: CostModel,
+    /// Kernel execution options.
+    pub opts: SimOptions,
+    /// Which algorithms to run (paper: all four).
+    pub algorithms: Vec<Algorithm>,
+}
+
+impl Default for GridConfig {
+    fn default() -> Self {
+        GridConfig {
+            scale: 1.0,
+            levels: vec![1, 2, 3],
+            tpb_sweep: tdm_gpu::launch::paper_tpb_sweep(),
+            cards: DeviceConfig::paper_testbed(),
+            cost: CostModel::default(),
+            opts: SimOptions::default(),
+            algorithms: Algorithm::ALL.to_vec(),
+        }
+    }
+}
+
+impl GridConfig {
+    /// A fast configuration for tests and smoke runs: 5% database, coarse
+    /// sweep.
+    pub fn quick() -> Self {
+        GridConfig {
+            scale: 0.05,
+            tpb_sweep: vec![16, 64, 128, 256, 512],
+            ..Default::default()
+        }
+    }
+}
+
+/// One simulated measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct GridCell {
+    /// Algorithm number (1–4).
+    pub algo: u8,
+    /// Episode level (length).
+    pub level: usize,
+    /// Threads per block.
+    pub tpb: u32,
+    /// Card name.
+    pub card: String,
+    /// Simulated kernel time, milliseconds.
+    pub time_ms: f64,
+    /// Dominant bottleneck.
+    pub bound: String,
+    /// Blocks in the launch.
+    pub blocks: u32,
+    /// Scheduling waves.
+    pub waves: u32,
+    /// Occupancy fraction (CUDA-calculator style).
+    pub occupancy: f64,
+    /// DRAM traffic in MB.
+    pub dram_mb: f64,
+    /// Texture hit rate.
+    pub tex_hit_rate: f64,
+    /// Candidate episodes counted.
+    pub episodes: usize,
+    /// Sum of all counts (functional checksum).
+    pub total_count: u64,
+}
+
+/// The full grid plus its provenance.
+#[derive(Debug, Clone, Serialize)]
+pub struct Grid {
+    /// All measurements.
+    pub cells: Vec<GridCell>,
+    /// Database length used.
+    pub db_len: usize,
+    /// Scale relative to the paper's database.
+    pub scale: f64,
+}
+
+impl Grid {
+    /// Computes the grid. Sampling work is shared across cards and reused
+    /// between Algorithms 1/2 (identical inner loops), so the sweep is fast even
+    /// at full database scale.
+    pub fn compute(cfg: &GridConfig) -> Grid {
+        let db = paper_database_scaled(cfg.scale);
+        Self::compute_on(cfg, &db)
+    }
+
+    /// Computes the grid over a caller-supplied database.
+    pub fn compute_on(cfg: &GridConfig, db: &EventDb) -> Grid {
+        let alphabet = Alphabet::latin26();
+        let mut cells = Vec::new();
+        for &level in &cfg.levels {
+            let episodes: Vec<Episode> = permutations(&alphabet, level);
+            let mut problem = MiningProblem::new(db, &episodes);
+            let total_count: u64 = problem.counts().iter().sum();
+            for &algo in &cfg.algorithms {
+                for &tpb in &cfg.tpb_sweep {
+                    for card in &cfg.cards {
+                        let run = problem
+                            .run(algo, tpb, card, &cfg.cost, &cfg.opts)
+                            .expect("paper-sweep launches are always valid");
+                        cells.push(GridCell {
+                            algo: algo.number(),
+                            level,
+                            tpb,
+                            card: card.name.clone(),
+                            time_ms: run.report.time_ms,
+                            bound: format!("{:?}", run.report.bound),
+                            blocks: run.launch.blocks,
+                            waves: run.report.waves,
+                            occupancy: run.report.occupancy.occupancy_fraction,
+                            dram_mb: run.report.counters.dram_bytes as f64 / 1e6,
+                            tex_hit_rate: run.report.counters.tex_hit_rate(),
+                            episodes: episodes.len(),
+                            total_count,
+                        });
+                    }
+                    eprint!(".");
+                }
+            }
+            eprintln!(" level {level} done ({} episodes)", episodes.len());
+        }
+        Grid {
+            cells,
+            db_len: db.len(),
+            scale: db.len() as f64 / PAPER_DB_LEN as f64,
+        }
+    }
+
+    /// Looks a cell up (panics if absent — grid cells are total over the config).
+    pub fn get(&self, algo: u8, level: usize, tpb: u32, card: &str) -> &GridCell {
+        self.cells
+            .iter()
+            .find(|c| c.algo == algo && c.level == level && c.tpb == tpb && c.card == card)
+            .unwrap_or_else(|| panic!("missing cell algo={algo} level={level} tpb={tpb} card={card}"))
+    }
+
+    /// The sorted block-size axis present in the grid.
+    pub fn tpb_axis(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.cells.iter().map(|c| c.tpb).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Card names in insertion order.
+    pub fn cards(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        for c in &self.cells {
+            if !v.contains(&c.card) {
+                v.push(c.card.clone());
+            }
+        }
+        v
+    }
+
+    /// Levels present.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.cells.iter().map(|c| c.level).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The fastest time for a level on a card, restricted to a set of
+    /// algorithm numbers (e.g. thread-level = `[1, 2]`).
+    pub fn best_of_algos(&self, algos: &[u8], level: usize, card: &str) -> f64 {
+        self.cells
+            .iter()
+            .filter(|c| c.level == level && c.card == card && algos.contains(&c.algo))
+            .map(|c| c.time_ms)
+            .min_by(|a, b| a.total_cmp(b))
+            .expect("algorithms present in grid")
+    }
+
+    /// The fastest (algo, tpb, time) for a level on a card.
+    pub fn best_config(&self, level: usize, card: &str) -> (u8, u32, f64) {
+        self.cells
+            .iter()
+            .filter(|c| c.level == level && c.card == card)
+            .min_by(|a, b| a.time_ms.total_cmp(&b.time_ms))
+            .map(|c| (c.algo, c.tpb, c.time_ms))
+            .expect("level present in grid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> Grid {
+        let cfg = GridConfig {
+            scale: 0.01,
+            levels: vec![1, 2],
+            tpb_sweep: vec![64, 256],
+            cards: vec![DeviceConfig::geforce_gtx_280()],
+            ..Default::default()
+        };
+        Grid::compute(&cfg)
+    }
+
+    #[test]
+    fn grid_is_total_over_config() {
+        let g = tiny_grid();
+        // 2 levels x 4 algos x 2 tpb x 1 card
+        assert_eq!(g.cells.len(), 16);
+        assert_eq!(g.tpb_axis(), vec![64, 256]);
+        assert_eq!(g.levels(), vec![1, 2]);
+        assert_eq!(g.cards(), vec!["GeForce GTX 280".to_string()]);
+        let c = g.get(3, 2, 64, "GeForce GTX 280");
+        assert_eq!(c.blocks, 650);
+        assert!(c.time_ms > 0.0);
+    }
+
+    #[test]
+    fn best_config_returns_minimum() {
+        let g = tiny_grid();
+        let (algo, tpb, t) = g.best_config(1, "GeForce GTX 280");
+        for c in g.cells.iter().filter(|c| c.level == 1) {
+            assert!(t <= c.time_ms);
+        }
+        assert!(algo >= 1 && algo <= 4);
+        assert!(tpb == 64 || tpb == 256);
+    }
+
+    #[test]
+    fn functional_checksums_consistent_across_algos() {
+        let g = tiny_grid();
+        for level in [1usize, 2] {
+            let sums: Vec<u64> = g
+                .cells
+                .iter()
+                .filter(|c| c.level == level)
+                .map(|c| c.total_count)
+                .collect();
+            assert!(sums.windows(2).all(|w| w[0] == w[1]), "level {level}");
+        }
+    }
+}

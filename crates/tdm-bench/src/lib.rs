@@ -1,0 +1,28 @@
+//! # tdm-bench — the reproduction harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§5, Appendix A)
+//! from the simulated kernels:
+//!
+//! * Table 1 — candidate-count growth ([`tables::table1`]);
+//! * Table 2 — card architectural features ([`tables::table2`]);
+//! * Figures 6a–d — impact of problem size (level) per algorithm on the GTX 280;
+//! * Figures 7a–c — impact of algorithm per level on the GTX 280;
+//! * Figures 8a–b — impact of card (shader clock vs. memory bandwidth);
+//! * Figures 9a–l — the full appendix grid;
+//! * the conclusion's best-configuration table and the eight characterizations.
+//!
+//! Everything is driven by one [`grid::Grid`] of simulated measurements; the
+//! `reproduce` binary writes CSVs plus ASCII previews, and the criterion benches
+//! measure representative cells.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chart;
+pub mod characterize;
+pub mod extensions;
+pub mod figures;
+pub mod grid;
+pub mod tables;
+
+pub use grid::{Grid, GridCell, GridConfig};

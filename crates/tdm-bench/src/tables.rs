@@ -1,0 +1,100 @@
+//! Table 1 (candidate growth) and Table 2 (card features) of the paper.
+
+use gpu_sim::DeviceConfig;
+use tdm_core::candidate::permutation_count;
+
+/// Table 1: the number of distinct-item episodes of length `L` from an alphabet
+/// of size `N = 26`, for `L = 1..=max_level`. Returns `(L, count)` rows.
+pub fn table1(max_level: usize) -> Vec<(usize, u64)> {
+    (1..=max_level)
+        .map(|l| {
+            (
+                l,
+                permutation_count(26, l).expect("26-symbol alphabet fits u64 up to L=15"),
+            )
+        })
+        .collect()
+}
+
+/// Table 1 as CSV (matches the paper's row: episodes per level).
+pub fn table1_csv(max_level: usize) -> String {
+    let mut out = String::from("level,episodes\n");
+    for (l, n) in table1(max_level) {
+        out.push_str(&format!("{l},{n}\n"));
+    }
+    out
+}
+
+/// Table 2: the architectural features of the three cards, one row per feature
+/// (mirrors the paper's layout).
+pub fn table2() -> String {
+    let cards = DeviceConfig::paper_testbed();
+    let mut out = String::from("feature");
+    for c in &cards {
+        out.push_str(&format!(",{}", c.name));
+    }
+    out.push('\n');
+    let mut push_row = |name: &str, f: &dyn Fn(&DeviceConfig) -> String| {
+        out.push_str(name);
+        for c in &cards {
+            out.push_str(&format!(",{}", f(c)));
+        }
+        out.push('\n');
+    };
+    push_row("GPU", &|c| c.gpu_chip.clone());
+    push_row("Memory (MB)", &|c| c.memory_mb.to_string());
+    push_row("Memory Bandwidth (GBps)", &|c| {
+        format!("{}", c.mem_bandwidth_gbps)
+    });
+    push_row("Multiprocessors", &|c| c.sm_count.to_string());
+    push_row("Cores", &|c| c.total_cores().to_string());
+    push_row("Processor Clock (MHz)", &|c| c.shader_clock_mhz.to_string());
+    push_row("Compute Capability", &|c| c.compute_capability.to_string());
+    push_row("Registers per Multiprocessor", &|c| {
+        c.registers_per_sm.to_string()
+    });
+    push_row("Threads per Block (Max)", &|c| {
+        c.max_threads_per_block.to_string()
+    });
+    push_row("Active Threads per Multiprocessor (Max)", &|c| {
+        c.max_threads_per_sm.to_string()
+    });
+    push_row("Active Blocks per Multiprocessor (Max)", &|c| {
+        c.max_blocks_per_sm.to_string()
+    });
+    push_row("Active Warps per Multiprocessor (Max)", &|c| {
+        c.max_warps_per_sm.to_string()
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let rows = table1(3);
+        assert_eq!(rows, vec![(1, 26), (2, 650), (3, 15_600)]);
+    }
+
+    #[test]
+    fn table1_csv_form() {
+        let csv = table1_csv(4);
+        assert!(csv.starts_with("level,episodes\n"));
+        assert!(csv.contains("3,15600\n"));
+        assert!(csv.contains("4,358800\n"));
+    }
+
+    #[test]
+    fn table2_contains_paper_numbers() {
+        let t = table2();
+        // Spot checks straight from the paper's Table 2.
+        assert!(t.contains("GeForce GTX 280"));
+        assert!(t.contains("141.7"));
+        assert!(t.contains("Multiprocessors,16,16,30"));
+        assert!(t.contains("Cores,128,128,240"));
+        assert!(t.contains("Processor Clock (MHz),1625,1500,1296"));
+        assert!(t.contains("Compute Capability,1.1,1.1,1.3"));
+    }
+}

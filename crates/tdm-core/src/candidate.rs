@@ -1,0 +1,212 @@
+//! Candidate episode generation — the "generation step" of the paper's
+//! Algorithm 1, and the combinatorics of Table 1.
+//!
+//! The paper's candidate space at level `L` is the set of ordered `L`-tuples of
+//! *distinct* symbols: `N! / (N - L)!` episodes (Table 1), giving 26 / 650 /
+//! 15,600 candidates at levels 1–3 over the Latin alphabet. [`permutations`]
+//! enumerates that space directly; [`apriori_join`] grows candidates
+//! level-by-level from the surviving frequent set, which is what the mining loop
+//! uses once elimination starts pruning.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::episode::Episode;
+
+/// The number of distinct-item episodes of length `level` over an alphabet of
+/// `n` symbols: `n! / (n - level)!` (paper Table 1). Returns `None` on overflow
+/// or when `level > n`.
+pub fn permutation_count(n: usize, level: usize) -> Option<u64> {
+    if level > n {
+        return Some(0);
+    }
+    let mut acc: u64 = 1;
+    for k in 0..level {
+        acc = acc.checked_mul((n - k) as u64)?;
+    }
+    Some(acc)
+}
+
+/// Enumerates every distinct-item episode of length `level` over the alphabet, in
+/// lexicographic order — the paper's level-`L` candidate space.
+///
+/// # Panics
+/// Panics when `level == 0` (episodes are non-empty by definition).
+pub fn permutations(alphabet: &Alphabet, level: usize) -> Vec<Episode> {
+    assert!(level > 0, "episode level must be at least 1");
+    let n = alphabet.len();
+    let expected = permutation_count(n, level)
+        .expect("candidate space too large to materialize") as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut current = Vec::with_capacity(level);
+    let mut used = vec![false; n];
+    fn rec(
+        n: usize,
+        level: usize,
+        current: &mut Vec<u8>,
+        used: &mut [bool],
+        out: &mut Vec<Episode>,
+    ) {
+        if current.len() == level {
+            out.push(Episode::new(current.clone()).expect("non-empty by construction"));
+            return;
+        }
+        for s in 0..n {
+            if !used[s] {
+                used[s] = true;
+                current.push(s as u8);
+                rec(n, level, current, used, out);
+                current.pop();
+                used[s] = false;
+            }
+        }
+    }
+    rec(n, level, &mut current, &mut used, &mut out);
+    debug_assert_eq!(out.len(), expected);
+    out
+}
+
+/// All level-1 candidates (one per symbol).
+pub fn level1(alphabet: &Alphabet) -> Vec<Episode> {
+    alphabet.symbols().map(|s| Episode::new(vec![s.0]).unwrap()).collect()
+}
+
+/// Apriori-style join: builds level `k+1` candidates from frequent level-`k`
+/// episodes. `alpha = <a1..ak>` joins `beta = <b1..bk>` when `alpha`'s suffix
+/// equals `beta`'s prefix, producing `<a1..ak, bk>`. With `distinct_only`, items
+/// already in `alpha` are not appended (keeps the space inside the paper's
+/// permutation universe).
+///
+/// The join includes the standard contiguous-subepisode prune: a candidate is
+/// emitted only when both its prefix and suffix are frequent (which the join
+/// guarantees by construction for serial episodes).
+pub fn apriori_join(frequent: &[Episode], distinct_only: bool) -> Vec<Episode> {
+    if frequent.is_empty() {
+        return Vec::new();
+    }
+    let k = frequent[0].level();
+    debug_assert!(frequent.iter().all(|e| e.level() == k));
+
+    if k == 1 {
+        // Level 1 -> 2: all ordered pairs of frequent singletons.
+        let mut out = Vec::new();
+        for a in frequent {
+            for b in frequent {
+                if distinct_only && a.items()[0] == b.items()[0] {
+                    continue;
+                }
+                out.push(a.extended(Symbol(b.items()[0])));
+            }
+        }
+        return out;
+    }
+
+    // Index by (k-1)-prefix for the suffix == prefix join.
+    use std::collections::HashMap;
+    let mut by_prefix: HashMap<&[u8], Vec<&Episode>> = HashMap::new();
+    for e in frequent {
+        by_prefix.entry(e.prefix().unwrap()).or_default().push(e);
+    }
+
+    let mut out = Vec::new();
+    for a in frequent {
+        let suffix = a.suffix().unwrap();
+        if let Some(matches) = by_prefix.get(suffix) {
+            for b in matches {
+                let new_item = *b.items().last().unwrap();
+                if distinct_only && a.items().contains(&new_item) {
+                    continue;
+                }
+                out.push(a.extended(Symbol(new_item)));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table1_counts_for_latin26() {
+        // Paper Table 1 / §5: 26, 650, 15600 candidates at levels 1..3.
+        assert_eq!(permutation_count(26, 1), Some(26));
+        assert_eq!(permutation_count(26, 2), Some(650));
+        assert_eq!(permutation_count(26, 3), Some(15_600));
+        assert_eq!(permutation_count(26, 4), Some(358_800));
+        assert_eq!(permutation_count(26, 27), Some(0));
+    }
+
+    #[test]
+    fn permutation_enumeration_matches_formula() {
+        let ab = Alphabet::numbered(5).unwrap();
+        for level in 1..=5 {
+            let eps = permutations(&ab, level);
+            assert_eq!(eps.len() as u64, permutation_count(5, level).unwrap());
+            // All distinct items, all unique episodes.
+            assert!(eps.iter().all(|e| e.has_distinct_items()));
+            let mut dedup = eps.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(dedup.len(), eps.len());
+        }
+    }
+
+    #[test]
+    fn latin26_level_sizes() {
+        let ab = Alphabet::latin26();
+        assert_eq!(permutations(&ab, 1).len(), 26);
+        assert_eq!(permutations(&ab, 2).len(), 650);
+        assert_eq!(level1(&ab).len(), 26);
+    }
+
+    #[test]
+    fn join_from_level1_gives_ordered_pairs() {
+        let ab = Alphabet::numbered(4).unwrap();
+        let l1 = level1(&ab);
+        let joined = apriori_join(&l1, true);
+        assert_eq!(joined.len(), 4 * 3);
+        let with_repeats = apriori_join(&l1, false);
+        assert_eq!(with_repeats.len(), 4 * 4);
+    }
+
+    #[test]
+    fn join_uses_suffix_prefix_overlap() {
+        let ab = Alphabet::numbered(5).unwrap();
+        let freq: Vec<Episode> = [[0u8, 1], [1, 2], [2, 3]]
+            .iter()
+            .map(|v| Episode::new(v.to_vec()).unwrap())
+            .collect();
+        let joined = apriori_join(&freq, true);
+        // <0,1>+<1,2> -> <0,1,2>; <1,2>+<2,3> -> <1,2,3>; <2,3> has no continuation.
+        let expect: Vec<Episode> = [[0u8, 1, 2], [1, 2, 3]]
+            .iter()
+            .map(|v| Episode::new(v.to_vec()).unwrap())
+            .collect();
+        assert_eq!(joined, expect);
+        drop(ab);
+    }
+
+    #[test]
+    fn join_empty_is_empty() {
+        assert!(apriori_join(&[], true).is_empty());
+    }
+
+    proptest! {
+        /// Joining the FULL distinct permutation space at level k yields exactly
+        /// the full space at level k+1 (the join is complete, not just sound).
+        #[test]
+        fn join_of_full_space_is_full_space(n in 2usize..6, k in 1usize..3) {
+            prop_assume!(k < n);
+            let ab = Alphabet::numbered(n).unwrap();
+            let full_k = permutations(&ab, k);
+            let mut joined = apriori_join(&full_k, true);
+            joined.sort();
+            let mut expected = permutations(&ab, k + 1);
+            expected.sort();
+            prop_assert_eq!(joined, expected);
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Sequential counters — the "counting step" of the paper's Algorithm 1.
+//!
+//! Two implementations are provided:
+//!
+//! * [`count_episode`] / [`count_episodes_naive`]: one full database scan per
+//!   episode — exactly what each GPU thread (Algorithms 1/2) or block (3/4) does.
+//! * [`count_episodes`]: a single-pass *active-set* counter that advances every
+//!   candidate's FSM simultaneously, exploiting the fact that in realistic data
+//!   almost every FSM sits at the start state almost all the time. This is the
+//!   fast CPU ground truth used to validate the simulated kernels and to drive the
+//!   level-wise miner at scale.
+
+use crate::episode::Episode;
+use crate::fsm::EpisodeFsm;
+use crate::sequence::EventDb;
+
+/// Counts a single episode with the paper's FSM over the whole database.
+pub fn count_episode(db: &EventDb, episode: &Episode) -> u64 {
+    let mut fsm = EpisodeFsm::new(episode);
+    fsm.run(db.symbols())
+}
+
+/// Counts every episode by independent full scans (the per-thread work of the
+/// paper's kernels; also the obviously-correct reference for tests).
+pub fn count_episodes_naive(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
+    episodes.iter().map(|e| count_episode(db, e)).collect()
+}
+
+/// Single-pass multi-episode counter.
+///
+/// Maintains the invariant that `active` holds exactly the episode indices whose
+/// FSM state is non-zero. For each database character `c`:
+///
+/// 1. every active episode steps its FSM (advance / restart / reset / complete);
+/// 2. every episode whose first item is `c` and whose state is 0 is activated
+///    (single-item episodes complete immediately and stay inactive).
+///
+/// Per-character work is proportional to the number of *in-progress* matches plus
+/// the number of episodes anchored at `c`, instead of the total candidate count.
+pub fn count_episodes(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
+    let n_eps = episodes.len();
+    let mut counts = vec![0u64; n_eps];
+    if n_eps == 0 || db.is_empty() {
+        return counts;
+    }
+
+    // Episode items flattened for cache-friendly access.
+    let items: Vec<&[u8]> = episodes.iter().map(|e| e.items()).collect();
+    let mut state = vec![0u8; n_eps];
+    // Position at which an episode last took a phase-1 step. The sequential FSM
+    // consumes the character it steps on, so an episode that completed or reset in
+    // phase 1 must not re-anchor on the very same character in phase 2.
+    let mut last_step = vec![u64::MAX; n_eps];
+
+    // by_first[c] = indices of episodes with a1 == c.
+    let mut by_first: Vec<Vec<u32>> = vec![Vec::new(); db.alphabet().len()];
+    for (i, it) in items.iter().enumerate() {
+        by_first[it[0] as usize].push(i as u32);
+    }
+
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+
+    for (pos, &c) in db.symbols().iter().enumerate() {
+        let pos = pos as u64;
+        // Phase 1: step in-progress matches.
+        for &ei in &active {
+            let e = ei as usize;
+            let it = items[e];
+            let j = state[e] as usize;
+            last_step[e] = pos;
+            if c == it[j] {
+                if j + 1 == it.len() {
+                    counts[e] += 1;
+                    state[e] = 0; // completed: leaves the active set
+                } else {
+                    state[e] += 1;
+                    next_active.push(ei);
+                }
+            } else if c == it[0] {
+                state[e] = 1; // restart, stays active
+                next_active.push(ei);
+            } else {
+                state[e] = 0; // reset: leaves the active set
+            }
+        }
+        std::mem::swap(&mut active, &mut next_active);
+        next_active.clear();
+
+        // Phase 2: anchor fresh matches. Only episodes at state 0 (i.e. not in the
+        // active set) are eligible, so no duplicates can enter `active`; episodes
+        // that already consumed this character in phase 1 are skipped.
+        for &ei in &by_first[c as usize] {
+            let e = ei as usize;
+            if state[e] == 0 && last_step[e] != pos {
+                if items[e].len() == 1 {
+                    counts[e] += 1; // level-1 episodes complete on their anchor
+                } else {
+                    state[e] = 1;
+                    active.push(ei);
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::candidate::permutations;
+    use proptest::prelude::*;
+
+    fn db_of(s: &str) -> EventDb {
+        EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap()
+    }
+
+    #[test]
+    fn active_set_matches_naive_on_small_inputs() {
+        let ab = Alphabet::latin26();
+        let db = db_of("ABCABCABZZQABC");
+        let eps: Vec<Episode> = ["A", "AB", "ABC", "CBA", "ZQ", "QZ", "BCA", "AA", "ABA"]
+            .iter()
+            .map(|s| Episode::from_str(&ab, s).unwrap())
+            .collect();
+        assert_eq!(count_episodes(&db, &eps), count_episodes_naive(&db, &eps));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::new(ab.clone(), vec![]).unwrap();
+        let ep = Episode::from_str(&ab, "AB").unwrap();
+        assert_eq!(count_episode(&db, &ep), 0);
+        assert_eq!(count_episodes(&db, &[ep]), vec![0]);
+        let db2 = db_of("ABC");
+        assert_eq!(count_episodes(&db2, &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn level2_permutation_space_consistency() {
+        // All 650 ordered pairs over a modest random-ish text.
+        let ab = Alphabet::latin26();
+        let text: String = (0..2000u32)
+            .map(|i| char::from(b'A' + ((i.wrapping_mul(2654435761) >> 7) % 26) as u8))
+            .collect();
+        let db = db_of(&text);
+        let eps = permutations(&ab, 2);
+        assert_eq!(eps.len(), 650);
+        assert_eq!(count_episodes(&db, &eps), count_episodes_naive(&db, &eps));
+    }
+
+    #[test]
+    fn level1_counts_equal_histogram() {
+        let ab = Alphabet::latin26();
+        let db = db_of("AAKXYZKKA");
+        let eps = permutations(&ab, 1);
+        let counts = count_episodes(&db, &eps);
+        assert_eq!(counts, db.histogram());
+    }
+
+    proptest! {
+        /// The single-pass active-set counter is observationally identical to
+        /// running each episode's FSM independently, for arbitrary data and
+        /// arbitrary (possibly repeated-item) episodes.
+        #[test]
+        fn active_set_equals_naive(
+            data in proptest::collection::vec(0u8..6, 0..400),
+            eps in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..25),
+        ) {
+            let ab = Alphabet::numbered(6).unwrap();
+            let db = EventDb::new(ab, data).unwrap();
+            let episodes: Vec<Episode> =
+                eps.into_iter().map(|v| Episode::new(v).unwrap()).collect();
+            prop_assert_eq!(
+                count_episodes(&db, &episodes),
+                count_episodes_naive(&db, &episodes)
+            );
+        }
+
+        /// FSM counts never exceed the distinct-starts reference for
+        /// distinct-item episodes (each completion consumes a distinct anchor).
+        #[test]
+        fn fsm_bounded_by_distinct_starts(
+            data in proptest::collection::vec(0u8..5, 0..300),
+        ) {
+            let ab = Alphabet::numbered(5).unwrap();
+            let db = EventDb::new(ab, data).unwrap();
+            let ep = Episode::new(vec![0, 1, 2]).unwrap();
+            let fsm = count_episode(&db, &ep);
+            let starts = crate::semantics::count_distinct_starts(db.symbols(), ep.items());
+            prop_assert!(fsm <= starts);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Episode expiration — the paper's §6 future-work feature, implemented.
+//!
+//! > "One feature is episode expiration where A ⇒ B iff B.time() − A.time() <
+//! > Threshold. Currently, there is no expiration on the episodes which makes
+//! > spanning boundaries likely. With episode expiration, we expect the reduce
+//! > phase in Algorithms 3 and 4 will be decreased as less episodes will span
+//! > boundaries."
+//!
+//! We implement the consecutive-gap interpretation: each *advance* of the FSM must
+//! happen within `threshold` time units of the previously matched item, otherwise
+//! the partial match has expired — the incoming character is then re-evaluated as
+//! a fresh anchor. Expiry also bounds how far a partial match can span a segment
+//! boundary, which [`max_span_window`] quantifies for the block-level kernels.
+
+use crate::episode::Episode;
+use crate::sequence::EventDb;
+use crate::{CoreError, Result};
+
+/// A Figure-3 FSM with a consecutive-gap expiry threshold.
+#[derive(Debug, Clone)]
+pub struct ExpiringFsm<'a> {
+    items: &'a [u8],
+    threshold: u64,
+    state: u8,
+    last_match_time: u64,
+    count: u64,
+}
+
+impl<'a> ExpiringFsm<'a> {
+    /// Creates the machine. `threshold` is the maximum allowed gap between the
+    /// timestamps of consecutively matched items.
+    pub fn new(episode: &'a Episode, threshold: u64) -> Self {
+        ExpiringFsm {
+            items: episode.items(),
+            threshold,
+            state: 0,
+            last_match_time: 0,
+            count: 0,
+        }
+    }
+
+    /// Current state.
+    #[inline]
+    pub fn state(&self) -> u8 {
+        self.state
+    }
+
+    /// Completions so far.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Feeds one timestamped character.
+    pub fn step(&mut self, c: u8, t: u64) {
+        // Expire a stale partial before interpreting the character.
+        if self.state > 0 && t.saturating_sub(self.last_match_time) >= self.threshold {
+            self.state = 0;
+        }
+        let j = self.state as usize;
+        if c == self.items[j] {
+            self.last_match_time = t;
+            if j + 1 == self.items.len() {
+                self.count += 1;
+                self.state = 0;
+            } else {
+                self.state += 1;
+            }
+        } else if self.state == 0 {
+            // idle
+        } else if c == self.items[0] {
+            self.state = 1;
+            self.last_match_time = t;
+        } else {
+            self.state = 0;
+        }
+    }
+}
+
+/// Counts an episode with expiry over a timestamped database.
+///
+/// # Errors
+/// [`CoreError::MissingTimestamps`] when the database has no timestamps.
+pub fn count_with_expiry(db: &EventDb, episode: &Episode, threshold: u64) -> Result<u64> {
+    let times = db.require_times()?;
+    let mut fsm = ExpiringFsm::new(episode, threshold);
+    for (&c, &t) in db.symbols().iter().zip(times) {
+        fsm.step(c, t);
+    }
+    Ok(fsm.count())
+}
+
+/// Upper bound on how many events past a segment boundary a live partial match
+/// can still complete within, given the expiry threshold and the minimum
+/// inter-event time `min_dt` (> 0). The paper's prediction that expiry shrinks
+/// the Algorithms-3/4 reduce phase follows from this bound: the continuation
+/// window becomes `O(threshold / min_dt)` instead of unbounded.
+pub fn max_span_window(threshold: u64, min_dt: u64) -> Result<u64> {
+    if min_dt == 0 {
+        return Err(CoreError::UnsortedTimestamps { at: 0 });
+    }
+    Ok(threshold / min_dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn timed(sym: &str, times: Vec<u64>) -> EventDb {
+        let ab = Alphabet::latin26();
+        let symbols: Vec<u8> = sym.bytes().map(|b| b - b'A').collect();
+        EventDb::with_times(ab, symbols, times).unwrap()
+    }
+
+    fn ep(s: &str) -> Episode {
+        Episode::from_str(&Alphabet::latin26(), s).unwrap()
+    }
+
+    #[test]
+    fn within_threshold_counts() {
+        let db = timed("AB", vec![0, 5]);
+        assert_eq!(count_with_expiry(&db, &ep("AB"), 10).unwrap(), 1);
+    }
+
+    #[test]
+    fn expired_gap_discards_partial() {
+        let db = timed("AB", vec![0, 50]);
+        assert_eq!(count_with_expiry(&db, &ep("AB"), 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn expiry_reanchors_on_first_item() {
+        // A at t=0 expires; the A at t=100 anchors a fresh match completing at 105.
+        let db = timed("AAB", vec![0, 100, 105]);
+        assert_eq!(count_with_expiry(&db, &ep("AB"), 10).unwrap(), 1);
+    }
+
+    #[test]
+    fn consecutive_gaps_each_checked() {
+        // Each hop is within threshold even though the total span exceeds it.
+        let db = timed("ABC", vec![0, 9, 18]);
+        assert_eq!(count_with_expiry(&db, &ep("ABC"), 10).unwrap(), 1);
+        // One oversized hop in the middle kills it.
+        let db = timed("ABC", vec![0, 9, 40]);
+        assert_eq!(count_with_expiry(&db, &ep("ABC"), 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_threshold_only_simultaneous() {
+        // threshold 0 means "strictly less than 0 apart" is impossible -> only
+        // level-1 anchors count.
+        let db = timed("AB", vec![0, 0]);
+        assert_eq!(count_with_expiry(&db, &ep("AB"), 0).unwrap(), 0);
+        assert_eq!(count_with_expiry(&db, &ep("A"), 0).unwrap(), 1);
+    }
+
+    #[test]
+    fn requires_timestamps() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::from_str_symbols(&ab, "AB").unwrap();
+        assert!(matches!(
+            count_with_expiry(&db, &ep("AB"), 10),
+            Err(CoreError::MissingTimestamps)
+        ));
+    }
+
+    #[test]
+    fn span_window_bound() {
+        assert_eq!(max_span_window(100, 10).unwrap(), 10);
+        assert_eq!(max_span_window(5, 10).unwrap(), 0);
+        assert!(max_span_window(5, 0).is_err());
+    }
+
+    #[test]
+    fn no_expiry_matches_plain_fsm_when_threshold_huge() {
+        let db = timed("ABCABCAB", vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let plain = {
+            let ab = Alphabet::latin26();
+            let plain_db = EventDb::from_str_symbols(&ab, "ABCABCAB").unwrap();
+            crate::count::count_episode(&plain_db, &ep("ABC"))
+        };
+        assert_eq!(
+            count_with_expiry(&db, &ep("ABC"), u64::MAX).unwrap(),
+            plain
+        );
+    }
+}

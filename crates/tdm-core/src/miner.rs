@@ -1,0 +1,203 @@
+//! The level-wise mining loop — the paper's Algorithm 1.
+//!
+//! ```text
+//! k <- 1; candidates <- all level-1 episodes
+//! while candidates not empty:
+//!     count every candidate                (counting step   — pluggable backend)
+//!     keep those with count/n > alpha      (elimination step)
+//!     candidates <- join(frequent_k)       (generation step)
+//! ```
+//!
+//! The counting step is behind the [`CountingBackend`] trait so that the same loop
+//! can run on the sequential CPU counter, the parallel CPU MapReduce baseline, or
+//! any of the four simulated GPU kernels.
+
+use crate::candidate::{apriori_join, level1};
+use crate::episode::Episode;
+use crate::sequence::EventDb;
+use crate::stats::{support, LevelResult, MiningResult};
+
+/// A strategy for the counting step: given the database and the candidate set,
+/// produce one appearance count per candidate (same order).
+pub trait CountingBackend {
+    /// Counts every candidate episode over the database.
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64>;
+
+    /// A short human-readable name (used in reports).
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// The built-in sequential backend (active-set counter from [`crate::count`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SequentialBackend;
+
+impl CountingBackend for SequentialBackend {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        crate::count::count_episodes(db, candidates)
+    }
+
+    fn name(&self) -> &str {
+        "sequential-active-set"
+    }
+}
+
+/// Mining-loop configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MinerConfig {
+    /// Support threshold α: an episode is frequent when `count / n > alpha`.
+    pub alpha: f64,
+    /// Stop after this level even if candidates remain (the paper's "limit the
+    /// length of A_j from n to q" runtime bound; `None` = unbounded).
+    pub max_level: Option<usize>,
+    /// Restrict candidates to distinct-item episodes (the paper's permutation
+    /// universe). Default true.
+    pub distinct_items_only: bool,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        MinerConfig {
+            alpha: 0.0,
+            max_level: None,
+            distinct_items_only: true,
+        }
+    }
+}
+
+/// The level-wise miner.
+#[derive(Debug, Clone)]
+pub struct Miner {
+    config: MinerConfig,
+}
+
+impl Miner {
+    /// Creates a miner with the given configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        Miner { config }
+    }
+
+    /// Runs the full level-wise loop with the supplied counting backend.
+    pub fn mine<B: CountingBackend>(&self, db: &EventDb, backend: &mut B) -> MiningResult {
+        let n = db.len();
+        let mut result = MiningResult {
+            levels: Vec::new(),
+            db_len: n,
+        };
+        let mut candidates = level1(db.alphabet());
+        let mut level = 1usize;
+        while !candidates.is_empty() {
+            if let Some(maxl) = self.config.max_level {
+                if level > maxl {
+                    break;
+                }
+            }
+            let counts = backend.count(db, &candidates);
+            assert_eq!(
+                counts.len(),
+                candidates.len(),
+                "backend returned wrong number of counts"
+            );
+            let frequent: Vec<(Episode, u64)> = candidates
+                .iter()
+                .cloned()
+                .zip(counts.iter().copied())
+                .filter(|(_, c)| support(*c, n) > self.config.alpha)
+                .collect();
+            let next_seed: Vec<Episode> = frequent.iter().map(|(e, _)| e.clone()).collect();
+            result.levels.push(LevelResult {
+                level,
+                candidates: candidates.len(),
+                frequent,
+            });
+            if next_seed.is_empty() {
+                break;
+            }
+            candidates = apriori_join(&next_seed, self.config.distinct_items_only);
+            level += 1;
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn db_of(s: &str) -> EventDb {
+        EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap()
+    }
+
+    #[test]
+    fn mines_planted_chain() {
+        // "ABC" repeated: every level up to 3 should surface the chain.
+        let db = db_of(&"ABC".repeat(50));
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.1,
+            ..Default::default()
+        });
+        let res = miner.mine(&db, &mut SequentialBackend);
+        let ab = Alphabet::latin26();
+        assert_eq!(res.levels[0].len(), 3); // A, B, C each support 1/3
+        assert!(res
+            .count_of(&Episode::from_str(&ab, "AB").unwrap())
+            .is_some());
+        assert!(res
+            .count_of(&Episode::from_str(&ab, "ABC").unwrap())
+            .is_some());
+        // Nothing of level 4 exists in a 3-letter alphabet of distinct items that
+        // passes 10% support.
+        assert!(res.levels.len() <= 4);
+    }
+
+    #[test]
+    fn high_threshold_stops_immediately() {
+        let db = db_of("ABCDEFG");
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.9,
+            ..Default::default()
+        });
+        let res = miner.mine(&db, &mut SequentialBackend);
+        assert_eq!(res.levels.len(), 1);
+        assert!(res.levels[0].is_empty());
+        assert_eq!(res.total_frequent(), 0);
+    }
+
+    #[test]
+    fn max_level_bounds_the_loop() {
+        let db = db_of(&"AB".repeat(100));
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.01,
+            max_level: Some(1),
+            ..Default::default()
+        });
+        let res = miner.mine(&db, &mut SequentialBackend);
+        assert_eq!(res.levels.len(), 1);
+        assert_eq!(res.levels[0].level, 1);
+    }
+
+    #[test]
+    fn level_candidate_counts_match_paper_shape() {
+        // With alpha = 0 every singleton present keeps the space permutation-like.
+        let db = db_of(&"ABCD".repeat(30));
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.0,
+            max_level: Some(2),
+            ..Default::default()
+        });
+        let res = miner.mine(&db, &mut SequentialBackend);
+        assert_eq!(res.levels[0].candidates, 26);
+        // Only A..D are frequent, so level 2 candidates = 4*3 ordered pairs.
+        assert_eq!(res.levels[1].candidates, 12);
+    }
+
+    #[test]
+    fn empty_database_yields_single_empty_level() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::new(ab, vec![]).unwrap();
+        let res = Miner::new(MinerConfig::default()).mine(&db, &mut SequentialBackend);
+        assert_eq!(res.total_frequent(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Counting semantics.
+//!
+//! The paper counts appearances with the Figure-3 FSM (see [`crate::fsm`]), which
+//! is *greedy* and consumes matched characters. Temporal-data-mining literature
+//! also uses other occurrence notions; we provide two useful alternatives so that
+//! library users can choose, and so that the FSM semantics can be tested against
+//! independent references:
+//!
+//! * [`CountSemantics::PaperFsm`] — the paper's machine (default everywhere);
+//! * [`CountSemantics::NonOverlapping`] — greedy *subsequence* matching with no
+//!   resets on foreign characters: counts non-overlapped occurrences in the
+//!   Laxman sense (each occurrence completes before the next one begins);
+//! * [`CountSemantics::DistinctStarts`] — counts database positions at which an
+//!   occurrence of the episode *starts* (a non-greedy reference that upper-bounds
+//!   the FSM count for distinct-item episodes).
+
+use crate::episode::Episode;
+use crate::fsm::EpisodeFsm;
+use crate::sequence::EventDb;
+use serde::{Deserialize, Serialize};
+
+/// Which notion of "appearance" a counter uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CountSemantics {
+    /// The paper's Figure-3 FSM: advance / restart-on-`a1` / reset.
+    #[default]
+    PaperFsm,
+    /// Greedy non-overlapped subsequence occurrences (foreign characters are
+    /// skipped instead of resetting the match).
+    NonOverlapping,
+    /// Number of positions where an occurrence (as a subsequence) begins.
+    DistinctStarts,
+}
+
+/// Counts one episode under the chosen semantics (sequential reference).
+pub fn count_with(db: &EventDb, episode: &Episode, semantics: CountSemantics) -> u64 {
+    match semantics {
+        CountSemantics::PaperFsm => {
+            let mut fsm = EpisodeFsm::new(episode);
+            fsm.run(db.symbols())
+        }
+        CountSemantics::NonOverlapping => count_non_overlapping(db.symbols(), episode.items()),
+        CountSemantics::DistinctStarts => count_distinct_starts(db.symbols(), episode.items()),
+    }
+}
+
+/// Greedy non-overlapped subsequence count: scan left to right, matching episode
+/// items in order and restarting only after each completion. Foreign characters
+/// are ignored (no reset) — the standard non-overlapped occurrence semantics for
+/// serial episodes (each counted occurrence ends before the next begins).
+pub fn count_non_overlapping(stream: &[u8], items: &[u8]) -> u64 {
+    let mut next = 0usize;
+    let mut count = 0u64;
+    for &c in stream {
+        if c == items[next] {
+            next += 1;
+            if next == items.len() {
+                count += 1;
+                next = 0;
+            }
+        }
+    }
+    count
+}
+
+/// Counts stream positions at which an occurrence of the episode starts, i.e.
+/// positions `p` with `stream[p] == a1` and the remaining items appearing in order
+/// somewhere after `p`.
+pub fn count_distinct_starts(stream: &[u8], items: &[u8]) -> u64 {
+    // For each position, the earliest index >= p at which each next item occurs is
+    // found by scanning from the back with successor tables; a simple O(n * L)
+    // two-pointer is clear and fast enough for a reference implementation.
+    //
+    // matched[k] = number of stream positions where items[k..] occurs as a
+    // subsequence starting with items[k] at that position. Computed right-to-left.
+    let n = stream.len();
+    let l = items.len();
+    // seen_suffix = can items[k+1..] be matched strictly after position i?
+    // We sweep i from n-1 down to 0 maintaining, for each k, whether a full match
+    // of items[k..] starts at or after i+1. Represent as the minimal start position
+    // of a match of items[k..] within stream[i..].
+    const INF: usize = usize::MAX;
+    let mut earliest: Vec<usize> = vec![INF; l + 1]; // earliest[k] = min start of items[k..] in current suffix
+    earliest[l] = 0; // empty suffix matches anywhere (sentinel, not positional)
+    let mut count = 0u64;
+    for i in (0..n).rev() {
+        // Update from the deepest item backwards so this position can chain.
+        for k in (0..l).rev() {
+            if stream[i] == items[k] {
+                let need_rest = if k + 1 == l {
+                    true
+                } else {
+                    earliest[k + 1] != INF && earliest[k + 1] > i
+                };
+                if need_rest {
+                    earliest[k] = i;
+                }
+            }
+        }
+        if earliest[0] == i {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn setup(db: &str, ep: &str) -> (EventDb, Episode) {
+        let ab = Alphabet::latin26();
+        (
+            EventDb::from_str_symbols(&ab, db).unwrap(),
+            Episode::from_str(&ab, ep).unwrap(),
+        )
+    }
+
+    #[test]
+    fn paper_fsm_resets_on_foreign_characters() {
+        let (db, ep) = setup("AXB", "AB");
+        assert_eq!(count_with(&db, &ep, CountSemantics::PaperFsm), 0);
+        assert_eq!(count_with(&db, &ep, CountSemantics::NonOverlapping), 1);
+    }
+
+    #[test]
+    fn non_overlapping_takes_sequential_occurrences() {
+        let (db, ep) = setup("AABB", "AB");
+        // Laxman-style non-overlapped: A@0..B@2 completes, then only B@3 remains.
+        assert_eq!(count_with(&db, &ep, CountSemantics::NonOverlapping), 1);
+        // It tolerates foreign characters where the FSM resets:
+        let (db2, ep2) = setup("AXBAXB", "AB");
+        assert_eq!(count_with(&db2, &ep2, CountSemantics::NonOverlapping), 2);
+        assert_eq!(count_with(&db2, &ep2, CountSemantics::PaperFsm), 0);
+    }
+
+    #[test]
+    fn distinct_starts_counts_anchor_positions() {
+        let (db, ep) = setup("AAB", "AB");
+        // Both A positions can start an occurrence.
+        assert_eq!(count_with(&db, &ep, CountSemantics::DistinctStarts), 2);
+        let (db, ep) = setup("ABA", "AB");
+        assert_eq!(count_with(&db, &ep, CountSemantics::DistinctStarts), 1);
+        let (db, ep) = setup("BBB", "AB");
+        assert_eq!(count_with(&db, &ep, CountSemantics::DistinctStarts), 0);
+    }
+
+    #[test]
+    fn single_item_episodes_agree_across_semantics() {
+        let (db, ep) = setup("ABABZA", "A");
+        for s in [
+            CountSemantics::PaperFsm,
+            CountSemantics::NonOverlapping,
+            CountSemantics::DistinctStarts,
+        ] {
+            assert_eq!(count_with(&db, &ep, s), 3, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_starts_upper_bounds_fsm_for_distinct_items() {
+        // A hand-rolled spread of cases; the property test in count.rs covers more.
+        for (db, ep) in [
+            ("ABCABC", "ABC"),
+            ("AABBCC", "ABC"),
+            ("ABABAB", "AB"),
+            ("CBACBA", "ABC"),
+        ] {
+            let (db, ep) = setup(db, ep);
+            let fsm = count_with(&db, &ep, CountSemantics::PaperFsm);
+            let starts = count_with(&db, &ep, CountSemantics::DistinctStarts);
+            assert!(fsm <= starts, "fsm={fsm} starts={starts}");
+        }
+    }
+
+    #[test]
+    fn default_semantics_is_paper_fsm() {
+        assert_eq!(CountSemantics::default(), CountSemantics::PaperFsm);
+    }
+}

@@ -1,0 +1,200 @@
+//! The ordered event database `D = {d1, d2, ..., dn}` (paper §3.1).
+//!
+//! The database is a flat `Vec<u8>` of symbol ids — exactly the representation the
+//! paper's kernels stream through texture or shared memory — plus optional
+//! per-event timestamps, which the episode-expiry extension (paper §6) requires.
+
+use crate::alphabet::{Alphabet, Symbol};
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// An ordered database of events over an [`Alphabet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventDb {
+    alphabet: Alphabet,
+    symbols: Vec<u8>,
+    /// Optional non-decreasing timestamps, one per symbol.
+    times: Option<Vec<u64>>,
+}
+
+impl EventDb {
+    /// Builds a database from raw symbol ids, validating them against the alphabet.
+    ///
+    /// # Errors
+    /// [`CoreError::SymbolOutOfRange`] when an id is not in the alphabet.
+    pub fn new(alphabet: Alphabet, symbols: Vec<u8>) -> Result<Self> {
+        if let Some(&bad) = symbols.iter().find(|&&s| s as usize >= alphabet.len()) {
+            return Err(CoreError::SymbolOutOfRange {
+                id: bad,
+                alphabet: alphabet.len(),
+            });
+        }
+        Ok(EventDb {
+            alphabet,
+            symbols,
+            times: None,
+        })
+    }
+
+    /// Builds a timestamped database. Timestamps must be non-decreasing and one per
+    /// symbol.
+    ///
+    /// # Errors
+    /// [`CoreError::LengthMismatch`] or [`CoreError::UnsortedTimestamps`] on invalid
+    /// input (plus the validations of [`EventDb::new`]).
+    pub fn with_times(alphabet: Alphabet, symbols: Vec<u8>, times: Vec<u64>) -> Result<Self> {
+        if symbols.len() != times.len() {
+            return Err(CoreError::LengthMismatch {
+                symbols: symbols.len(),
+                times: times.len(),
+            });
+        }
+        if let Some(at) = times.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CoreError::UnsortedTimestamps { at: at + 1 });
+        }
+        let mut db = EventDb::new(alphabet, symbols)?;
+        db.times = Some(times);
+        Ok(db)
+    }
+
+    /// Parses a string of single-character symbol names (e.g. `"ABCAB"` over
+    /// [`Alphabet::latin26`]).
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownSymbol`] for characters outside the alphabet.
+    pub fn from_str_symbols(alphabet: &Alphabet, s: &str) -> Result<Self> {
+        let mut symbols = Vec::with_capacity(s.len());
+        for ch in s.chars() {
+            symbols.push(alphabet.symbol(&ch.to_string())?.0);
+        }
+        EventDb::new(alphabet.clone(), symbols)
+    }
+
+    /// The alphabet the events are drawn from.
+    #[inline]
+    pub fn alphabet(&self) -> &Alphabet {
+        &self.alphabet
+    }
+
+    /// The raw symbol stream (one byte per event).
+    #[inline]
+    pub fn symbols(&self) -> &[u8] {
+        &self.symbols
+    }
+
+    /// Optional timestamps (present only for timestamped databases).
+    #[inline]
+    pub fn times(&self) -> Option<&[u64]> {
+        self.times.as_deref()
+    }
+
+    /// Timestamps or an error when absent.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingTimestamps`].
+    pub fn require_times(&self) -> Result<&[u64]> {
+        self.times.as_deref().ok_or(CoreError::MissingTimestamps)
+    }
+
+    /// Number of events `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True for an empty database.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// The event at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Symbol {
+        Symbol(self.symbols[i])
+    }
+
+    /// Renders the database back to single-character names (diagnostics/tests).
+    pub fn to_display_string(&self) -> String {
+        self.symbols
+            .iter()
+            .map(|&s| self.alphabet.name(Symbol(s)).to_string())
+            .collect()
+    }
+
+    /// Per-symbol occurrence histogram (length = alphabet size).
+    pub fn histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.alphabet.len()];
+        for &s in &self.symbols {
+            h[s as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_str_round_trips() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::from_str_symbols(&ab, "HELLOWORLD").unwrap();
+        assert_eq!(db.len(), 10);
+        assert_eq!(db.to_display_string(), "HELLOWORLD");
+        assert_eq!(db.get(0), Symbol(b'H' - b'A'));
+    }
+
+    #[test]
+    fn rejects_out_of_alphabet_ids() {
+        let ab = Alphabet::numbered(4).unwrap();
+        assert!(matches!(
+            EventDb::new(ab, vec![0, 1, 7]),
+            Err(CoreError::SymbolOutOfRange { id: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn timestamps_validated() {
+        let ab = Alphabet::numbered(3).unwrap();
+        assert!(matches!(
+            EventDb::with_times(ab.clone(), vec![0, 1], vec![5]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            EventDb::with_times(ab.clone(), vec![0, 1, 2], vec![5, 4, 6]),
+            Err(CoreError::UnsortedTimestamps { at: 1 })
+        ));
+        let db = EventDb::with_times(ab, vec![0, 1, 2], vec![5, 5, 6]).unwrap();
+        assert_eq!(db.require_times().unwrap(), &[5, 5, 6]);
+    }
+
+    #[test]
+    fn missing_timestamps_error() {
+        let ab = Alphabet::numbered(2).unwrap();
+        let db = EventDb::new(ab, vec![0, 1]).unwrap();
+        assert!(matches!(
+            db.require_times(),
+            Err(CoreError::MissingTimestamps)
+        ));
+    }
+
+    #[test]
+    fn histogram_counts_every_symbol() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::from_str_symbols(&ab, "AABBBZ").unwrap();
+        let h = db.histogram();
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 3);
+        assert_eq!(h[25], 1);
+        assert_eq!(h.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn empty_database_is_fine() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::new(ab, vec![]).unwrap();
+        assert!(db.is_empty());
+        assert_eq!(db.histogram().iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Mining results and support statistics.
+
+use crate::episode::Episode;
+use serde::{Deserialize, Serialize};
+
+/// Support of an episode: `count / n` (paper §3.1 defines frequency against the
+/// database length `n`).
+pub fn support(count: u64, db_len: usize) -> f64 {
+    if db_len == 0 {
+        0.0
+    } else {
+        count as f64 / db_len as f64
+    }
+}
+
+/// One mined level: the surviving (frequent) episodes with their counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelResult {
+    /// Episode length at this level.
+    pub level: usize,
+    /// Number of candidates examined at this level.
+    pub candidates: usize,
+    /// Frequent episodes (count/n > alpha) with their appearance counts.
+    pub frequent: Vec<(Episode, u64)>,
+}
+
+impl LevelResult {
+    /// The number of frequent episodes at this level.
+    pub fn len(&self) -> usize {
+        self.frequent.len()
+    }
+
+    /// True when no episode survived elimination.
+    pub fn is_empty(&self) -> bool {
+        self.frequent.is_empty()
+    }
+}
+
+/// The complete output of a mining run (paper Algorithm 1's `S_A`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MiningResult {
+    /// Results per level, in increasing level order.
+    pub levels: Vec<LevelResult>,
+    /// Database length used for support computation.
+    pub db_len: usize,
+}
+
+impl MiningResult {
+    /// Total number of frequent episodes across all levels.
+    pub fn total_frequent(&self) -> usize {
+        self.levels.iter().map(|l| l.frequent.len()).sum()
+    }
+
+    /// Total number of candidates counted across all levels.
+    pub fn total_candidates(&self) -> usize {
+        self.levels.iter().map(|l| l.candidates).sum()
+    }
+
+    /// Looks up the count of a specific episode, if it was found frequent.
+    pub fn count_of(&self, episode: &Episode) -> Option<u64> {
+        let lvl = episode.level();
+        self.levels
+            .iter()
+            .find(|l| l.level == lvl)
+            .and_then(|l| l.frequent.iter().find(|(e, _)| e == episode))
+            .map(|(_, c)| *c)
+    }
+
+    /// Iterates over every frequent episode with its count and support.
+    pub fn iter(&self) -> impl Iterator<Item = (&Episode, u64, f64)> + '_ {
+        let n = self.db_len;
+        self.levels
+            .iter()
+            .flat_map(move |l| l.frequent.iter().map(move |(e, c)| (e, *c, support(*c, n))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    #[test]
+    fn support_is_count_over_n() {
+        assert_eq!(support(5, 10), 0.5);
+        assert_eq!(support(0, 10), 0.0);
+        assert_eq!(support(3, 0), 0.0);
+    }
+
+    #[test]
+    fn result_accessors() {
+        let ab = Alphabet::latin26();
+        let a = Episode::from_str(&ab, "A").unwrap();
+        let abep = Episode::from_str(&ab, "AB").unwrap();
+        let res = MiningResult {
+            levels: vec![
+                LevelResult {
+                    level: 1,
+                    candidates: 26,
+                    frequent: vec![(a.clone(), 7)],
+                },
+                LevelResult {
+                    level: 2,
+                    candidates: 650,
+                    frequent: vec![(abep.clone(), 3)],
+                },
+            ],
+            db_len: 100,
+        };
+        assert_eq!(res.total_frequent(), 2);
+        assert_eq!(res.total_candidates(), 676);
+        assert_eq!(res.count_of(&a), Some(7));
+        assert_eq!(res.count_of(&abep), Some(3));
+        assert_eq!(
+            res.count_of(&Episode::from_str(&ab, "Z").unwrap()),
+            None
+        );
+        let rows: Vec<_> = res.iter().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].2, 0.07);
+    }
+}

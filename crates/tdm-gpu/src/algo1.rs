@@ -1,0 +1,241 @@
+//! Algorithm 1 — thread-level parallelism, no buffering (paper §3.3.2).
+//!
+//! One thread searches for one episode over the entire database, which lives in
+//! texture memory; threads are packed into blocks in episode order. The reduce
+//! function is the identity (each thread owns its episode's count). The map
+//! phase is a single texture-fetch → FSM-step loop per character, and because
+//! all threads advance through the database in lockstep, every lane of a warp
+//! reads the *same* address (a broadcast stream with strong temporal and spatial
+//! locality — "the spatial and temporal locality of the data-access pattern
+//! should be able to be exploited by the texture cache", §3.3.2).
+
+use crate::launch::thread_level_grid;
+use crate::lockstep::{run_broadcast_warp, FsmCosts};
+use crate::{Algorithm, KernelRun, MiningProblem, ProfileStats, SimOptions};
+use gpu_sim::{
+    simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec, MemKind,
+    MemTraffic, Phase, SimError,
+};
+use tdm_core::{Episode, EventDb};
+
+/// Cache key: block size plus the divergence-model bit (bit 16).
+pub(crate) fn stats_key(tpb: u32, serialize: bool) -> u32 {
+    tpb | ((serialize as u32) << 16)
+}
+
+/// Samples thread-level warps (shared by Algorithms 1 and 2, whose inner compute
+/// loops are identical — they differ only in where the characters come from).
+pub(crate) fn sample_thread_level(
+    db: &EventDb,
+    episodes: &[Episode],
+    tpb: u32,
+    serialize: bool,
+    opts: &SimOptions,
+) -> ProfileStats {
+    let lanes = (tpb.min(32)).max(1) as usize;
+    let n_warps = episodes.len().div_ceil(lanes).max(1);
+    let costs = FsmCosts::default();
+
+    let sample_ids: Vec<usize> = if opts.exact || n_warps <= opts.sample_warps {
+        (0..n_warps).collect()
+    } else {
+        // Evenly spaced sample across the warp population.
+        let s = opts.sample_warps.max(1);
+        (0..s)
+            .map(|i| i * (n_warps - 1) / (s - 1).max(1))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    };
+
+    let mut total = 0u64;
+    let mut max = 0u64;
+    for &w in &sample_ids {
+        let lo = w * lanes;
+        let hi = ((w + 1) * lanes).min(episodes.len());
+        if lo >= hi {
+            continue;
+        }
+        let warp_eps: Vec<&Episode> = episodes[lo..hi].iter().collect();
+        let out = run_broadcast_warp(db.symbols(), &warp_eps, &costs, serialize);
+        let issue = out.recorder.issue_instructions();
+        total += issue;
+        max = max.max(issue);
+    }
+    let mean = total as f64 / sample_ids.len().max(1) as f64;
+    ProfileStats {
+        mean_warp_issue: mean,
+        max_warp_issue: max as f64,
+        mean_span_window: 0.0,
+        live_boundary_fraction: 0.0,
+    }
+}
+
+/// Runs Algorithm 1.
+///
+/// # Errors
+/// Propagates launch-validation failures from the simulator.
+pub fn run(
+    problem: &mut MiningProblem<'_>,
+    tpb: u32,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    opts: &SimOptions,
+) -> Result<KernelRun, SimError> {
+    let n = problem.db().len() as u64;
+    let n_eps = problem.episodes().len();
+    let launch = thread_level_grid(n_eps, tpb);
+    let opts_c = *opts;
+    let stats = problem.cached_stats(
+        (Algorithm::ThreadTexture, stats_key(tpb, cost.model_divergence)),
+        |db, eps| sample_thread_level(db, eps, tpb, cost.model_divergence, &opts_c),
+    );
+
+    let lanes = (tpb.min(32)).max(1) as usize;
+    let active_warps = n_eps.div_ceil(lanes).max(1) as f64;
+    let blocks = launch.blocks as f64;
+    let warps_per_block = active_warps / blocks; // mean active warps per block
+
+    let grid_issue = stats.mean_warp_issue * active_warps;
+    let profile = BlockProfile {
+        phases: vec![Phase {
+            label: "texture-scan",
+            warp_instructions: (grid_issue / blocks).round() as u64,
+            chain_instructions: stats.max_warp_issue.round() as u64,
+            mem: Some(MemTraffic {
+                kind: MemKind::Texture {
+                    streams_per_block: warps_per_block.ceil().max(1.0) as u32,
+                    unique_bytes: n,
+                    shared_across_blocks: true,
+                },
+                requests: (n as f64 * warps_per_block).round() as u64,
+                chain: n,
+                touched_bytes: (n as f64 * warps_per_block).round() as u64,
+            }),
+            barriers: 0,
+        }],
+    };
+
+    let spec = KernelSpec {
+        launch,
+        resources: KernelResources::new(tpb).with_registers(opts.registers_per_thread),
+        profile,
+    };
+    let report = simulate(dev, cost, &spec)?;
+    Ok(KernelRun {
+        algo: Algorithm::ThreadTexture,
+        launch,
+        counts: problem.counts().to_vec(),
+        report,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::candidate::permutations;
+    use tdm_core::Alphabet;
+
+    fn small_db() -> EventDb {
+        // Deterministic pseudo-random text, long enough to be meaningful.
+        let symbols: Vec<u8> = (0..20_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 26) as u8)
+            .collect();
+        EventDb::new(Alphabet::latin26(), symbols).unwrap()
+    }
+
+    #[test]
+    fn counts_match_ground_truth() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let mut problem = MiningProblem::new(&db, &eps);
+        let expected = tdm_core::count::count_episodes(&db, &eps);
+        let run = run(
+            &mut problem,
+            128,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.counts, expected);
+        assert_eq!(run.launch.blocks, 6); // ceil(650/128)
+        assert!(run.report.time_ms > 0.0);
+    }
+
+    #[test]
+    fn level1_is_latency_bound_with_one_block() {
+        // 26 episodes at tpb >= 32: one block, one active warp — the paper's
+        // small-problem regime (Characterization 4).
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 1);
+        let mut problem = MiningProblem::new(&db, &eps);
+        let run = run(
+            &mut problem,
+            256,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.launch.blocks, 1);
+        assert_eq!(run.report.bound, gpu_sim::BoundKind::Latency);
+    }
+
+    #[test]
+    fn level3_like_load_is_issue_bound() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2); // 650 episodes: 21 warps
+        let mut problem = MiningProblem::new(&db, &eps);
+        let run96 = run(
+            &mut problem,
+            96,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        // 650 episodes over 96-thread blocks: 7 blocks; plenty of warps.
+        assert_eq!(run96.launch.blocks, 7);
+        assert!(run96.report.cycles > 0.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let dev = DeviceConfig::geforce_gtx_280();
+        let cost = CostModel::default();
+        let opts = SimOptions::default();
+        let mut p1 = MiningProblem::new(&db, &eps);
+        let mut p2 = MiningProblem::new(&db, &eps);
+        let a = run(&mut p1, 64, &dev, &cost, &opts).unwrap();
+        let b = run(&mut p2, 64, &dev, &cost, &opts).unwrap();
+        assert_eq!(a.report.cycles, b.report.cycles);
+    }
+
+    #[test]
+    fn exact_mode_matches_sampled_closely() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let dev = DeviceConfig::geforce_gtx_280();
+        let cost = CostModel::default();
+        let mut p1 = MiningProblem::new(&db, &eps);
+        let mut p2 = MiningProblem::new(&db, &eps);
+        let sampled = run(&mut p1, 128, &dev, &cost, &SimOptions::default()).unwrap();
+        let exact = run(
+            &mut p2,
+            128,
+            &dev,
+            &cost,
+            &SimOptions {
+                exact: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let rel = (sampled.report.cycles - exact.report.cycles).abs() / exact.report.cycles;
+        assert!(rel < 0.15, "sampled vs exact diverge by {rel}");
+    }
+}

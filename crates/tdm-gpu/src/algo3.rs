@@ -1,0 +1,310 @@
+//! Algorithm 3 — block-level parallelism, no buffering (paper §3.3.3).
+//!
+//! One block searches for one episode; the block's `t` threads each scan a
+//! different slice of the database through texture memory ("each of the t
+//! threads within a block start at a different offset"). Because an appearance
+//! can span slice boundaries (paper Fig. 5), an intermediate step between map
+//! and reduce resolves live partial matches by scanning past the boundary; the
+//! reduce step then sums the per-thread counts.
+//!
+//! Performance-wise this kernel keeps `tpb × resident-blocks` concurrent
+//! texture streams alive per SM — the cache-thrash / bandwidth regime of
+//! Characterization 8 once that number outgrows the texture cache.
+
+use crate::launch::{block_level_grid, thread_ranges};
+use crate::lockstep::{measure_spans, run_partitioned_warp, FsmCosts, SpanStats};
+use crate::{Algorithm, KernelRun, MiningProblem, ProfileStats, SimOptions};
+use gpu_sim::{
+    simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec, MemKind,
+    MemTraffic, Phase, SimError,
+};
+use tdm_core::segment::even_bounds;
+use tdm_core::{Episode, EventDb};
+
+pub(crate) fn sample_block_level(
+    db: &EventDb,
+    episodes: &[Episode],
+    tpb: u32,
+    serialize: bool,
+    opts: &SimOptions,
+) -> ProfileStats {
+    let costs = FsmCosts::default();
+    let n = db.len();
+    let ranges = thread_ranges(n, tpb);
+    let warps: Vec<&[std::ops::Range<usize>]> = ranges.chunks(32).collect();
+
+    // Sample blocks (episodes) evenly.
+    let n_blocks = episodes.len();
+    let block_ids: Vec<usize> = if opts.exact || n_blocks <= opts.sample_blocks {
+        (0..n_blocks).collect()
+    } else {
+        let s = opts.sample_blocks.max(1);
+        (0..s)
+            .map(|i| i * (n_blocks - 1) / (s - 1).max(1))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect()
+    };
+
+    let mut total = 0u64;
+    let mut max = 0u64;
+    let mut samples = 0u64;
+    let mut spans = SpanStats::default();
+    let bounds = even_bounds(n, tpb as usize);
+    for &b in &block_ids {
+        let episode = &episodes[b];
+        // Sample warps within the block.
+        let warp_ids: Vec<usize> = if opts.exact || warps.len() <= opts.sample_warps {
+            (0..warps.len()).collect()
+        } else {
+            let s = opts.sample_warps.max(1);
+            (0..s)
+                .map(|i| i * (warps.len() - 1) / (s - 1).max(1))
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        };
+        for &w in &warp_ids {
+            let out = run_partitioned_warp(db.symbols(), episode, warps[w], &costs, serialize);
+            let issue = out.recorder.issue_instructions();
+            total += issue;
+            max = max.max(issue);
+            samples += 1;
+        }
+        let (_, s) = measure_spans(db.symbols(), episode, &bounds);
+        spans.boundaries += s.boundaries;
+        spans.live += s.live;
+        spans.continuation_chars += s.continuation_chars;
+        spans.recovered += s.recovered;
+    }
+
+    ProfileStats {
+        mean_warp_issue: total as f64 / samples.max(1) as f64,
+        max_warp_issue: max as f64,
+        mean_span_window: spans.mean_window(),
+        live_boundary_fraction: spans.live_fraction(),
+    }
+}
+
+/// Builds the span-check and reduce phases shared by Algorithms 3 and 4.
+/// `boundaries_per_thread` is how many segment ends each thread must resolve
+/// (1 for Algorithm 3; one per epoch for Algorithm 4).
+pub(crate) fn span_and_reduce_phases(
+    stats: &ProfileStats,
+    tpb: u32,
+    boundaries_per_thread: u64,
+    texture_continuations: bool,
+) -> Vec<Phase> {
+    let warps = tpb.div_ceil(32).max(1) as u64;
+    let lanes = tpb.min(32).max(1) as f64;
+    // Probability at least one lane in a warp has a live partial this boundary.
+    let p_any = 1.0 - (1.0 - stats.live_boundary_fraction).powf(lanes);
+    // Warp cost per boundary: bookkeeping (save/restore FSM state, store the
+    // partial, recompute the lane's next global index, predicate the pending
+    // carry) plus, when any lane continues, the continuation loop, which
+    // SIMT-executes for the longest lane. The bookkeeping is fixed per
+    // boundary, so for Algorithm 4 — whose boundary count per thread equals the
+    // epoch count while its per-thread scan shrinks as 1/tpb — this term grows
+    // linearly with the block size, the paper's Characterization-3 slope.
+    let per_boundary = 16.0 + p_any * (stats.mean_span_window.max(1.0)) * 3.0;
+    let span_instr = (per_boundary * boundaries_per_thread as f64).round() as u64;
+    let continuation_reads =
+        (stats.live_boundary_fraction * stats.mean_span_window * boundaries_per_thread as f64)
+            .ceil() as u64;
+
+    let span_phase = Phase {
+        label: "span-check",
+        warp_instructions: span_instr * warps,
+        chain_instructions: span_instr,
+        mem: Some(if texture_continuations {
+            MemTraffic {
+                kind: MemKind::Texture {
+                    streams_per_block: tpb,
+                    unique_bytes: continuation_reads * 32,
+                    shared_across_blocks: true,
+                },
+                requests: continuation_reads.max(1) * warps,
+                chain: continuation_reads.max(1),
+                touched_bytes: continuation_reads * tpb as u64,
+            }
+        } else {
+            MemTraffic {
+                kind: MemKind::Shared { conflict_degree: 1 },
+                requests: continuation_reads.max(1) * warps,
+                chain: continuation_reads.max(1),
+                touched_bytes: 0,
+            }
+        }),
+        barriers: 0,
+    };
+
+    // Reduce: every thread stores its partial count to shared memory, one
+    // barrier, thread 0 sums tpb values serially and writes the result.
+    let reduce_phase = Phase {
+        label: "reduce",
+        warp_instructions: warps * 2 + tpb as u64 * 3,
+        chain_instructions: tpb as u64 * 3,
+        mem: Some(MemTraffic {
+            kind: MemKind::Shared { conflict_degree: 1 },
+            requests: warps + tpb as u64,
+            chain: tpb as u64,
+            touched_bytes: 0,
+        }),
+        barriers: 1,
+    };
+
+    // Result write-back: one global transaction per block.
+    let write_phase = Phase {
+        label: "result-write",
+        warp_instructions: 2,
+        chain_instructions: 2,
+        mem: Some(MemTraffic {
+            kind: MemKind::Global,
+            requests: 1,
+            chain: 1,
+            touched_bytes: 32,
+        }),
+        barriers: 0,
+    };
+
+    vec![span_phase, reduce_phase, write_phase]
+}
+
+/// Runs Algorithm 3.
+///
+/// # Errors
+/// Propagates launch-validation failures from the simulator.
+pub fn run(
+    problem: &mut MiningProblem<'_>,
+    tpb: u32,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    opts: &SimOptions,
+) -> Result<KernelRun, SimError> {
+    let n = problem.db().len() as u64;
+    let n_eps = problem.episodes().len();
+    let launch = block_level_grid(n_eps, tpb);
+    let opts_c = *opts;
+    let stats = problem.cached_stats(
+        (
+            Algorithm::BlockTexture,
+            crate::algo1::stats_key(tpb, cost.model_divergence),
+        ),
+        |db, eps| sample_block_level(db, eps, tpb, cost.model_divergence, &opts_c),
+    );
+
+    let warps = tpb.div_ceil(32).max(1) as u64;
+    let steps_per_lane = n.div_ceil(tpb as u64).max(1);
+
+    let scan_phase = Phase {
+        label: "texture-scan",
+        warp_instructions: (stats.mean_warp_issue * warps as f64).round() as u64,
+        chain_instructions: stats.max_warp_issue.round() as u64,
+        mem: Some(MemTraffic {
+            kind: MemKind::Texture {
+                // Every lane is its own sequential stream.
+                streams_per_block: tpb,
+                unique_bytes: n,
+                // All blocks use the same partitioning of the same database.
+                shared_across_blocks: true,
+            },
+            requests: steps_per_lane * warps,
+            chain: steps_per_lane,
+            touched_bytes: n,
+        }),
+        barriers: 0,
+    };
+
+    let mut phases = vec![scan_phase];
+    phases.extend(span_and_reduce_phases(&stats, tpb, 1, true));
+
+    let spec = KernelSpec {
+        launch,
+        resources: KernelResources::new(tpb)
+            .with_registers(opts.registers_per_thread)
+            .with_shared_mem(4 * tpb), // per-thread partial counts
+        profile: BlockProfile { phases },
+    };
+    let report = simulate(dev, cost, &spec)?;
+    Ok(KernelRun {
+        algo: Algorithm::BlockTexture,
+        launch,
+        counts: problem.counts().to_vec(),
+        report,
+        spec,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::candidate::permutations;
+    use tdm_core::Alphabet;
+
+    fn small_db() -> EventDb {
+        let symbols: Vec<u8> = (0..20_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 26) as u8)
+            .collect();
+        EventDb::new(Alphabet::latin26(), symbols).unwrap()
+    }
+
+    #[test]
+    fn one_block_per_episode() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 1);
+        let mut p = MiningProblem::new(&db, &eps);
+        let run = run(
+            &mut p,
+            64,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(run.launch.blocks, 26);
+        assert_eq!(run.counts, tdm_core::count::count_episodes(&db, &eps));
+    }
+
+    #[test]
+    fn much_faster_than_thread_level_at_level1() {
+        // Characterization 4: at L = 1, block-level wins by orders of magnitude.
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 1);
+        let dev = DeviceConfig::geforce_gtx_280();
+        let cost = CostModel::default();
+        let opts = SimOptions::default();
+        let mut p = MiningProblem::new(&db, &eps);
+        let a1 = crate::algo1::run(&mut p, 256, &dev, &cost, &opts).unwrap();
+        let a3 = run(&mut p, 256, &dev, &cost, &opts).unwrap();
+        assert!(
+            a3.report.time_ms * 5.0 < a1.report.time_ms,
+            "A3 {} vs A1 {}",
+            a3.report.time_ms,
+            a1.report.time_ms
+        );
+    }
+
+    #[test]
+    fn bandwidth_pressure_grows_with_tpb() {
+        // Characterization 8's mechanism: more threads -> more concurrent
+        // streams -> more cache thrash -> more DRAM traffic.
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let dev = DeviceConfig::geforce_8800_gts_512();
+        let cost = CostModel::default();
+        let opts = SimOptions::default();
+        let mut p = MiningProblem::new(&db, &eps);
+        let t64 = run(&mut p, 64, &dev, &cost, &opts).unwrap();
+        let t512 = run(&mut p, 512, &dev, &cost, &opts).unwrap();
+        assert!(t512.report.counters.dram_bytes > t64.report.counters.dram_bytes);
+    }
+
+    #[test]
+    fn span_statistics_present_for_multi_item_episodes() {
+        let db = small_db();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let stats = sample_block_level(&db, &eps, 128, true, &SimOptions::default());
+        assert!(stats.live_boundary_fraction >= 0.0);
+        assert!(stats.mean_warp_issue > 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Grid shaping and sweep helpers.
+//!
+//! The paper assigns work two ways (§3.3): thread-level kernels pack one episode
+//! per thread and fill blocks in order ("threads 1–512 are assigned to thread
+//! block 1, …"); block-level kernels launch one block per episode, with the
+//! block's threads splitting the database evenly.
+
+use gpu_sim::LaunchConfig;
+
+/// Thread-level grid: `ceil(episodes / tpb)` blocks of `tpb` threads.
+pub fn thread_level_grid(episodes: usize, threads_per_block: u32) -> LaunchConfig {
+    LaunchConfig {
+        blocks: (episodes as u64).div_ceil(threads_per_block as u64).max(1) as u32,
+        threads_per_block,
+    }
+}
+
+/// Block-level grid: one block per episode.
+pub fn block_level_grid(episodes: usize, threads_per_block: u32) -> LaunchConfig {
+    LaunchConfig {
+        blocks: episodes.max(1) as u32,
+        threads_per_block,
+    }
+}
+
+/// The paper's block-size sweep (x-axes of Figures 6–9): every multiple of 32
+/// from 32 to 512, plus the 16-thread starting point.
+pub fn paper_tpb_sweep() -> Vec<u32> {
+    let mut v = vec![16];
+    v.extend((1..=16).map(|i| i * 32));
+    v
+}
+
+/// A coarser sweep for quick runs (powers of two plus the paper's named optima
+/// 96 and 240).
+pub fn coarse_tpb_sweep() -> Vec<u32> {
+    vec![16, 32, 64, 96, 128, 192, 240, 256, 320, 384, 448, 512]
+}
+
+/// Per-thread byte ranges for a block-level kernel: thread `t` of `tpb` scans
+/// `[t*n/tpb, (t+1)*n/tpb)` (paper §3.3.3).
+pub fn thread_ranges(n: usize, tpb: u32) -> Vec<std::ops::Range<usize>> {
+    let tpb = tpb.max(1) as usize;
+    (0..tpb)
+        .map(|t| (t * n / tpb)..((t + 1) * n / tpb))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_level_geometry() {
+        // Paper §5.2.2: at level 2, blocks = ceil(650 / tpb).
+        assert_eq!(thread_level_grid(650, 16).blocks, 41);
+        assert_eq!(thread_level_grid(650, 512).blocks, 2);
+        // Level 1: any tpb >= 26 gives one block (paper §5.2.2).
+        assert_eq!(thread_level_grid(26, 32).blocks, 1);
+        assert_eq!(thread_level_grid(26, 16).blocks, 2);
+    }
+
+    #[test]
+    fn block_level_geometry() {
+        assert_eq!(block_level_grid(15_600, 64).blocks, 15_600);
+        assert_eq!(block_level_grid(26, 256).blocks, 26);
+    }
+
+    #[test]
+    fn sweeps_cover_the_paper_axis() {
+        let sweep = paper_tpb_sweep();
+        assert_eq!(sweep.first(), Some(&16));
+        assert_eq!(sweep.last(), Some(&512));
+        assert!(sweep.contains(&96) && sweep.contains(&256));
+        assert_eq!(sweep.len(), 17);
+        let coarse = coarse_tpb_sweep();
+        assert!(coarse.contains(&240)); // the paper's Algo-4 crossover point
+    }
+
+    #[test]
+    fn ranges_partition_exactly() {
+        for (n, tpb) in [(1000usize, 7u32), (393_019, 64), (10, 32)] {
+            let rs = thread_ranges(n, tpb);
+            assert_eq!(rs.len(), tpb as usize);
+            assert_eq!(rs[0].start, 0);
+            assert_eq!(rs.last().unwrap().end, n);
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let total: usize = rs.iter().map(|r| r.len()).sum();
+            assert_eq!(total, n);
+        }
+    }
+}

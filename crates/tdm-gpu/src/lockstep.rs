@@ -1,0 +1,336 @@
+//! Warp-lockstep functional execution of the FSM kernels.
+//!
+//! The inner loop of every kernel is: fetch one character, take one FSM
+//! transition. SIMT hardware runs 32 lanes of that loop together; lanes whose
+//! transition differs (advance vs. reset vs. restart…) serialize. This module
+//! executes that inner loop *for real* — every lane holds a live
+//! [`tdm_core::fsm::EpisodeFsm`] over the real database — while a
+//! [`gpu_sim::warp::LockstepRecorder`] charges the union of taken paths per step.
+//! The measured per-warp instruction totals feed the kernels' block profiles, and
+//! the lane counters double as a functional cross-check of the counting results.
+
+use gpu_sim::warp::{LockstepRecorder, PathTaken};
+use tdm_core::episode::Episode;
+use tdm_core::fsm::{EpisodeFsm, StepKind};
+use tdm_core::segment::SegmentScan;
+
+/// Instruction costs of the FSM's branch paths, in scalar instructions.
+///
+/// The values mirror a hand-written CUDA inner loop: compare + branch for the
+/// match test, a state update, plus the extra compare for the restart test on
+/// the reset path, and counter/store work on completion. `loop_overhead` is the
+/// per-iteration index/bounds bookkeeping every lane shares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FsmCosts {
+    /// At start state, character is not `a1` (fall-through).
+    pub idle: u32,
+    /// Matched the next expected item.
+    pub advance: u32,
+    /// Completing advance: counter increment + reset.
+    pub complete: u32,
+    /// Re-anchor on `a1`.
+    pub restart: u32,
+    /// Fall back to the start state.
+    pub reset: u32,
+    /// Per-step shared bookkeeping (loop counter, address arithmetic).
+    pub loop_overhead: u32,
+}
+
+impl Default for FsmCosts {
+    fn default() -> Self {
+        FsmCosts {
+            idle: 2,
+            advance: 3,
+            complete: 6,
+            restart: 3,
+            reset: 3,
+            loop_overhead: 2,
+        }
+    }
+}
+
+impl FsmCosts {
+    /// Maps a transition to its SIMT path id and cost.
+    #[inline]
+    pub fn path(&self, kind: StepKind) -> PathTaken {
+        let (id, instructions) = match kind {
+            StepKind::Idle => (0, self.idle),
+            StepKind::Advance => (1, self.advance),
+            StepKind::Complete => (2, self.complete),
+            StepKind::Restart => (3, self.restart),
+            StepKind::Reset => (4, self.reset),
+        };
+        PathTaken { id, instructions }
+    }
+}
+
+/// Outcome of executing one warp in lockstep.
+#[derive(Debug, Clone)]
+pub struct WarpOutcome {
+    /// Divergence-adjusted issue accounting.
+    pub recorder: LockstepRecorder,
+    /// Per-lane completion counts.
+    pub lane_counts: Vec<u64>,
+    /// Per-lane FSM end states (for segmented kernels' span handling).
+    pub lane_end_states: Vec<u8>,
+}
+
+/// Executes a *broadcast* warp: every lane reads the same character stream
+/// (thread-level kernels — each lane searches its own episode over the whole
+/// database).
+pub fn run_broadcast_warp(
+    stream: &[u8],
+    episodes: &[&Episode],
+    costs: &FsmCosts,
+    serialize_divergence: bool,
+) -> WarpOutcome {
+    assert!(
+        !episodes.is_empty() && episodes.len() <= 32,
+        "a warp holds 1..=32 lanes"
+    );
+    let mut fsms: Vec<EpisodeFsm> = episodes.iter().map(|e| EpisodeFsm::new(e)).collect();
+    let mut recorder = LockstepRecorder::new();
+    let mut paths: Vec<PathTaken> = Vec::with_capacity(fsms.len());
+    for &c in stream {
+        paths.clear();
+        for fsm in &mut fsms {
+            paths.push(costs.path(fsm.step(c)));
+        }
+        recorder.record_step(&paths, costs.loop_overhead, serialize_divergence);
+    }
+    WarpOutcome {
+        recorder,
+        lane_counts: fsms.iter().map(|f| f.count()).collect(),
+        lane_end_states: fsms.iter().map(|f| f.state()).collect(),
+    }
+}
+
+/// Executes a *partitioned* warp: lane `i` scans its own byte range of the
+/// stream while all lanes search the same episode (block-level kernels).
+/// Ranges may have unequal lengths; exhausted lanes drop out of the step.
+pub fn run_partitioned_warp(
+    stream: &[u8],
+    episode: &Episode,
+    ranges: &[std::ops::Range<usize>],
+    costs: &FsmCosts,
+    serialize_divergence: bool,
+) -> WarpOutcome {
+    assert!(
+        !ranges.is_empty() && ranges.len() <= 32,
+        "a warp holds 1..=32 lanes"
+    );
+    let mut fsms: Vec<EpisodeFsm> = ranges.iter().map(|_| EpisodeFsm::new(episode)).collect();
+    let mut recorder = LockstepRecorder::new();
+    let steps = ranges.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut paths: Vec<PathTaken> = Vec::with_capacity(ranges.len());
+    for k in 0..steps {
+        paths.clear();
+        for (lane, r) in ranges.iter().enumerate() {
+            if r.start + k < r.end {
+                let c = stream[r.start + k];
+                paths.push(costs.path(fsms[lane].step(c)));
+            }
+        }
+        if !paths.is_empty() {
+            recorder.record_step(&paths, costs.loop_overhead, serialize_divergence);
+        }
+    }
+    WarpOutcome {
+        recorder,
+        lane_counts: fsms.iter().map(|f| f.count()).collect(),
+        lane_end_states: fsms.iter().map(|f| f.state()).collect(),
+    }
+}
+
+/// Per-boundary span statistics for the block-level kernels: scans the episode
+/// over the segmentation `bounds` and measures, per boundary, whether a partial
+/// match was live and how many continuation characters it consumed
+/// (paper Fig. 5's intermediate step).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of interior boundaries inspected.
+    pub boundaries: u64,
+    /// Boundaries where the segment ended mid-match.
+    pub live: u64,
+    /// Total continuation characters consumed across live boundaries.
+    pub continuation_chars: u64,
+    /// Spanning completions recovered by the continuations.
+    pub recovered: u64,
+}
+
+impl SpanStats {
+    /// Mean continuation window per boundary (0 when no boundaries).
+    pub fn mean_window(&self) -> f64 {
+        if self.boundaries == 0 {
+            0.0
+        } else {
+            self.continuation_chars as f64 / self.boundaries as f64
+        }
+    }
+
+    /// Fraction of boundaries with a live partial.
+    pub fn live_fraction(&self) -> f64 {
+        if self.boundaries == 0 {
+            0.0
+        } else {
+            self.live as f64 / self.boundaries as f64
+        }
+    }
+}
+
+/// Measures span statistics (and the segmented count, returned alongside) for
+/// one episode over a segmentation.
+pub fn measure_spans(stream: &[u8], episode: &Episode, bounds: &[usize]) -> (u64, SpanStats) {
+    let mut stats = SpanStats::default();
+    let mut total = 0u64;
+    let mut start = 0usize;
+    let items = episode.items();
+    for &b in bounds.iter().chain(std::iter::once(&stream.len())) {
+        let scan: SegmentScan = tdm_core::segment::scan_segment(stream, episode, start..b);
+        total += scan.count;
+        if b < stream.len() {
+            stats.boundaries += 1;
+            if scan.end_state > 0 {
+                stats.live += 1;
+                // Replay the continuation to count the characters it consumes.
+                let mut j = scan.end_state as usize;
+                let mut consumed = 0u64;
+                for &c in &stream[b..] {
+                    if c == items[j] {
+                        consumed += 1;
+                        j += 1;
+                        if j == items.len() {
+                            stats.recovered += 1;
+                            total += 1;
+                            break;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                stats.continuation_chars += consumed;
+            }
+        }
+        start = b;
+    }
+    (total, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::count::count_episode;
+    use tdm_core::segment::even_bounds;
+    use tdm_core::{Alphabet, EventDb};
+
+    fn db_of(s: &str) -> EventDb {
+        EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap()
+    }
+
+    fn ep(s: &str) -> Episode {
+        Episode::from_str(&Alphabet::latin26(), s).unwrap()
+    }
+
+    #[test]
+    fn broadcast_lane_counts_match_sequential() {
+        let db = db_of("ABCABCABXYZXYZQQQABC");
+        let e1 = ep("ABC");
+        let e2 = ep("XYZ");
+        let e3 = ep("Q");
+        let eps = [&e1, &e2, &e3];
+        let out = run_broadcast_warp(db.symbols(), &eps, &FsmCosts::default(), true);
+        assert_eq!(out.lane_counts[0], count_episode(&db, &e1));
+        assert_eq!(out.lane_counts[1], count_episode(&db, &e2));
+        assert_eq!(out.lane_counts[2], count_episode(&db, &e3));
+        assert_eq!(out.recorder.steps(), db.len() as u64);
+    }
+
+    #[test]
+    fn divergence_costs_more_than_uniform() {
+        let db = db_of(&"ABCXYZ".repeat(200));
+        let e1 = ep("ABC");
+        let e2 = ep("XYZ");
+        // Two different episodes diverge; two copies of the same one do not.
+        let diverse = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), true);
+        let uniform = run_broadcast_warp(db.symbols(), &[&e1, &e1], &FsmCosts::default(), true);
+        assert!(diverse.recorder.issue_instructions() > uniform.recorder.issue_instructions());
+        assert!(diverse.recorder.divergent_steps() > 0);
+        assert_eq!(uniform.recorder.divergent_steps(), 0);
+    }
+
+    #[test]
+    fn ablation_reduces_divergence_cost() {
+        let db = db_of(&"ABCXYZ".repeat(100));
+        let e1 = ep("ABC");
+        let e2 = ep("XYZ");
+        let on = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), true);
+        let off = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), false);
+        assert!(off.recorder.issue_instructions() < on.recorder.issue_instructions());
+        // Functional results identical either way.
+        assert_eq!(on.lane_counts, off.lane_counts);
+    }
+
+    #[test]
+    fn partitioned_lanes_scan_their_ranges() {
+        let text = "ABABABABABABABAB"; // 16 chars, 8 "AB" pairs
+        let db = db_of(text);
+        let e = ep("AB");
+        let ranges: Vec<_> = (0..4).map(|i| (i * 4)..((i + 1) * 4)).collect();
+        let out = run_partitioned_warp(db.symbols(), &e, &ranges, &FsmCosts::default(), true);
+        // Each 4-char segment "ABAB" holds 2 appearances.
+        assert_eq!(out.lane_counts, vec![2, 2, 2, 2]);
+        assert_eq!(out.recorder.steps(), 4);
+    }
+
+    #[test]
+    fn partitioned_handles_ragged_ranges() {
+        let db = db_of("AAAAAAA"); // 7 chars
+        let e = ep("A");
+        let ranges = vec![0..3, 3..6, 6..7];
+        let out = run_partitioned_warp(db.symbols(), &e, &ranges, &FsmCosts::default(), true);
+        assert_eq!(out.lane_counts, vec![3, 3, 1]);
+        assert_eq!(out.recorder.steps(), 3);
+    }
+
+    #[test]
+    fn span_measurement_matches_sequential_count() {
+        let db = db_of(&"QABCP".repeat(300));
+        let e = ep("ABC");
+        let seq = count_episode(&db, &e);
+        for parts in [2usize, 3, 7, 16, 64] {
+            let bounds = even_bounds(db.len(), parts);
+            let (total, stats) = measure_spans(db.symbols(), &e, &bounds);
+            assert_eq!(total, seq, "parts={parts}");
+            assert_eq!(stats.boundaries, (parts - 1) as u64);
+        }
+    }
+
+    #[test]
+    fn span_stats_detect_live_boundaries() {
+        // Cut right inside an appearance: boundary is live and recovers it.
+        let db = db_of("XXABC");
+        let e = ep("ABC");
+        let (total, stats) = measure_spans(db.symbols(), &e, &[3]); // "XXA | BC"
+        assert_eq!(total, 1);
+        assert_eq!(stats.live, 1);
+        assert_eq!(stats.recovered, 1);
+        assert_eq!(stats.continuation_chars, 2);
+        assert_eq!(stats.mean_window(), 2.0);
+        assert_eq!(stats.live_fraction(), 1.0);
+    }
+
+    #[test]
+    fn longer_episodes_span_more() {
+        // Characterization 3's mechanism: higher level -> more live boundaries.
+        let db = db_of(&"ABCDEFX".repeat(500));
+        let bounds = even_bounds(db.len(), 64);
+        let (_, s2) = measure_spans(db.symbols(), &ep("AB"), &bounds);
+        let (_, s6) = measure_spans(db.symbols(), &ep("ABCDEF"), &bounds);
+        assert!(
+            s6.live_fraction() >= s2.live_fraction(),
+            "L6 {} vs L2 {}",
+            s6.live_fraction(),
+            s2.live_fraction()
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Phase pipelining — the paper's §6 future-work item, implemented:
+//!
+//! > "…the effect of pipelining multiple phases of the overall algorithm
+//! > together as searching for candidates of episode length 3 can proceed
+//! > while episode lengths of 2 and 4 are also computed."
+//!
+//! Two forms of overlap are modelled:
+//!
+//! 1. **CPU/GPU pipelining** — candidate generation for level `k+1` (a CPU
+//!    phase) overlaps the level-`k` counting kernel: a classic two-stage
+//!    pipeline whose makespan is `gen_1 + Σ max(kernel_k, gen_{k+1}) +
+//!    kernel_last`.
+//! 2. **Device co-scheduling** — counting kernels of *different levels* run
+//!    concurrently, filling SMs the other kernel leaves idle (level 1 uses one
+//!    block; level 3 floods the card). The makespan bound is the standard
+//!    area/critical-path argument: `max(Σ SM-seconds / SM-count, longest
+//!    kernel)` — attainable by any work-conserving block scheduler because
+//!    blocks are independent (paper §2.1.2).
+//!
+//! The harness's `ext` target reports both against serial execution.
+
+use crate::{Algorithm, MiningProblem, SimOptions};
+use gpu_sim::{occupancy, CostModel, DeviceConfig, KernelResources, SimError};
+use tdm_core::{Episode, EventDb};
+
+/// One phase in a pipeline schedule.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Label, e.g. `count-L2` or `generate-L3`.
+    pub label: String,
+    /// Phase duration in milliseconds.
+    pub time_ms: f64,
+    /// SMs the phase actually occupies (CPU phases use 0).
+    pub sms_used: f64,
+}
+
+/// Makespan of kernels co-scheduled on one device: the greater of the
+/// bandwidth-style area bound and the longest individual kernel.
+pub fn coscheduled_makespan(phases: &[PhaseTiming], total_sms: u32) -> f64 {
+    let area: f64 = phases.iter().map(|p| p.time_ms * p.sms_used).sum();
+    let longest = phases.iter().map(|p| p.time_ms).fold(0.0, f64::max);
+    (area / total_sms as f64).max(longest)
+}
+
+/// Makespan of a two-stage generate→count pipeline (generation of level `k+1`
+/// overlaps counting of level `k`).
+pub fn two_stage_makespan(gen_ms: &[f64], count_ms: &[f64]) -> f64 {
+    assert_eq!(gen_ms.len(), count_ms.len(), "one generation per level");
+    if gen_ms.is_empty() {
+        return 0.0;
+    }
+    let mut t = gen_ms[0];
+    for k in 0..count_ms.len() {
+        let next_gen = if k + 1 < gen_ms.len() { gen_ms[k + 1] } else { 0.0 };
+        t += count_ms[k].max(next_gen);
+    }
+    t
+}
+
+/// Report comparing serial, CPU/GPU-pipelined, and co-scheduled execution of a
+/// multi-level counting workload.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Per-level kernel timings.
+    pub phases: Vec<PhaseTiming>,
+    /// Measured CPU generation time per level (ms).
+    pub generation_ms: Vec<f64>,
+    /// Strictly serial execution: Σ (generation + kernel).
+    pub serial_ms: f64,
+    /// Generation overlapped with the previous level's kernel.
+    pub pipelined_ms: f64,
+    /// All counting kernels co-scheduled on the device (generation done once
+    /// up front, as the paper's phrasing implies for a fixed candidate space).
+    pub coscheduled_ms: f64,
+}
+
+impl PipelineReport {
+    /// Speedup of the CPU/GPU pipeline over serial.
+    pub fn pipeline_speedup(&self) -> f64 {
+        self.serial_ms / self.pipelined_ms
+    }
+
+    /// Speedup of device co-scheduling over running kernels back to back.
+    pub fn coschedule_speedup(&self) -> f64 {
+        let kernels: f64 = self.phases.iter().map(|p| p.time_ms).sum();
+        kernels / self.coscheduled_ms
+    }
+}
+
+/// Simulates the pipelined mining of several candidate levels with one kernel
+/// configuration.
+///
+/// # Errors
+/// Propagates simulator launch errors.
+pub fn simulate_pipelined_mining(
+    db: &EventDb,
+    levels: &[Vec<Episode>],
+    algo: Algorithm,
+    tpb: u32,
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    opts: &SimOptions,
+) -> Result<PipelineReport, SimError> {
+    let mut phases = Vec::with_capacity(levels.len());
+    let mut generation_ms = Vec::with_capacity(levels.len());
+    for episodes in levels {
+        // Measure real candidate-generation cost on this host (the CPU stage).
+        let level = episodes.first().map(|e| e.level()).unwrap_or(1);
+        let t0 = std::time::Instant::now();
+        let regenerated = tdm_core::candidate::permutations(db.alphabet(), level);
+        let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(regenerated.len(), episodes.len(), "level mismatch");
+        generation_ms.push(gen_ms);
+
+        let mut problem = MiningProblem::new(db, episodes);
+        let run = problem.run(algo, tpb, dev, cost, opts)?;
+        let occ = occupancy(
+            dev,
+            &KernelResources::new(tpb).with_registers(opts.registers_per_thread),
+        )
+        .expect("validated by run");
+        let sms_used = (run.launch.blocks as f64 / occ.active_blocks as f64)
+            .ceil()
+            .min(dev.sm_count as f64);
+        phases.push(PhaseTiming {
+            label: format!("count-L{level}"),
+            time_ms: run.report.time_ms,
+            sms_used: if run.report.waves > 1 {
+                dev.sm_count as f64 // multi-wave kernels keep the device busy
+            } else {
+                sms_used
+            },
+        });
+    }
+
+    let count_ms: Vec<f64> = phases.iter().map(|p| p.time_ms).collect();
+    let serial_ms: f64 = generation_ms.iter().sum::<f64>() + count_ms.iter().sum::<f64>();
+    let pipelined_ms = two_stage_makespan(&generation_ms, &count_ms);
+    let coscheduled_ms =
+        generation_ms.iter().sum::<f64>() + coscheduled_makespan(&phases, dev.sm_count);
+    Ok(PipelineReport {
+        phases,
+        generation_ms,
+        serial_ms,
+        pipelined_ms,
+        coscheduled_ms,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::candidate::permutations;
+    use tdm_core::Alphabet;
+
+    #[test]
+    fn area_bound_fills_idle_sms() {
+        // One long skinny kernel + one short wide one: co-scheduling hides the
+        // short one entirely.
+        let phases = vec![
+            PhaseTiming {
+                label: "skinny".into(),
+                time_ms: 100.0,
+                sms_used: 1.0,
+            },
+            PhaseTiming {
+                label: "wide".into(),
+                time_ms: 10.0,
+                sms_used: 29.0,
+            },
+        ];
+        let makespan = coscheduled_makespan(&phases, 30);
+        assert_eq!(makespan, 100.0); // longest job dominates
+        // Serial would be 110.
+    }
+
+    #[test]
+    fn area_bound_kicks_in_when_everything_is_wide() {
+        let phases = vec![
+            PhaseTiming {
+                label: "a".into(),
+                time_ms: 50.0,
+                sms_used: 30.0,
+            },
+            PhaseTiming {
+                label: "b".into(),
+                time_ms: 50.0,
+                sms_used: 30.0,
+            },
+        ];
+        assert_eq!(coscheduled_makespan(&phases, 30), 100.0); // no free lunch
+    }
+
+    #[test]
+    fn two_stage_pipeline_overlaps_generation() {
+        // gen = [2, 8, 2], count = [10, 10, 10]:
+        // serial = 12 + 18 + 12 = 42; pipelined = 2 + max(10,8) + max(10,2) + 10 = 32.
+        let t = two_stage_makespan(&[2.0, 8.0, 2.0], &[10.0, 10.0, 10.0]);
+        assert_eq!(t, 32.0);
+        assert_eq!(two_stage_makespan(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn pipelined_mining_reports_consistent_bounds() {
+        let symbols: Vec<u8> = (0..12_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 26) as u8)
+            .collect();
+        let db = tdm_core::EventDb::new(Alphabet::latin26(), symbols).unwrap();
+        let ab = Alphabet::latin26();
+        let levels: Vec<Vec<Episode>> = vec![permutations(&ab, 1), permutations(&ab, 2)];
+        let report = simulate_pipelined_mining(
+            &db,
+            &levels,
+            Algorithm::BlockTexture,
+            64,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        // Pipelining never slows things down, and never beats the longest kernel.
+        assert!(report.pipelined_ms <= report.serial_ms + 1e-9);
+        let longest = report
+            .phases
+            .iter()
+            .map(|p| p.time_ms)
+            .fold(0.0, f64::max);
+        assert!(report.coscheduled_ms >= longest);
+        assert!(report.pipeline_speedup() >= 1.0);
+        assert!(report.coschedule_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn coscheduling_helps_level1_plus_level3_shapes() {
+        // L1 (26 blocks, underfills a 30-SM card) co-scheduled with L2 (650
+        // blocks, multi-wave): the L1 kernel should ride along nearly free.
+        let symbols: Vec<u8> = (0..20_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 26) as u8)
+            .collect();
+        let db = tdm_core::EventDb::new(Alphabet::latin26(), symbols).unwrap();
+        let ab = Alphabet::latin26();
+        let levels: Vec<Vec<Episode>> = vec![permutations(&ab, 1), permutations(&ab, 2)];
+        let report = simulate_pipelined_mining(
+            &db,
+            &levels,
+            Algorithm::BlockTexture,
+            64,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap();
+        assert!(report.coschedule_speedup() > 1.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cross-validation of the simulated kernels against sequential ground truth.
+//!
+//! The paper's kernels must all compute the same counts; ours must additionally
+//! match `tdm-core`'s sequential FSM scan. [`validate_counts`] checks a
+//! [`crate::KernelRun`] against the reference, and [`validate_all`] sweeps every
+//! kernel at a block size — used by integration tests and available to library
+//! users as a sanity gate after configuration changes.
+
+use crate::{Algorithm, KernelRun, MiningProblem, SimOptions};
+use gpu_sim::{CostModel, DeviceConfig};
+use tdm_core::{Episode, EventDb};
+
+/// A count mismatch found by validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountMismatch {
+    /// Index of the episode in the candidate list.
+    pub episode_index: usize,
+    /// The episode itself.
+    pub episode: Episode,
+    /// Count from the kernel.
+    pub kernel: u64,
+    /// Count from the sequential reference.
+    pub reference: u64,
+}
+
+/// Compares a kernel run's counts against an independently computed reference.
+pub fn validate_counts(
+    run: &KernelRun,
+    episodes: &[Episode],
+    reference: &[u64],
+) -> Vec<CountMismatch> {
+    run.counts
+        .iter()
+        .zip(reference.iter())
+        .enumerate()
+        .filter(|(_, (k, r))| k != r)
+        .map(|(i, (&k, &r))| CountMismatch {
+            episode_index: i,
+            episode: episodes[i].clone(),
+            kernel: k,
+            reference: r,
+        })
+        .collect()
+}
+
+/// Runs all four kernels at one block size on one card and validates each
+/// against the sequential reference. Returns per-algorithm mismatches (all
+/// empty on success).
+///
+/// # Errors
+/// Propagates simulator launch errors.
+pub fn validate_all(
+    db: &EventDb,
+    episodes: &[Episode],
+    tpb: u32,
+    dev: &DeviceConfig,
+) -> Result<Vec<(Algorithm, Vec<CountMismatch>)>, gpu_sim::SimError> {
+    let cost = CostModel::default();
+    let opts = SimOptions::default();
+    let reference = tdm_core::count::count_episodes_naive(db, episodes);
+    let mut out = Vec::with_capacity(4);
+    for algo in Algorithm::ALL {
+        let mut problem = MiningProblem::new(db, episodes);
+        let run = problem.run(algo, tpb, dev, &cost, &opts)?;
+        out.push((algo, validate_counts(&run, episodes, &reference)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::candidate::permutations;
+    use tdm_core::Alphabet;
+
+    #[test]
+    fn all_kernels_validate_on_random_text() {
+        let symbols: Vec<u8> = (0..8_000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 11) % 26) as u8)
+            .collect();
+        let db = EventDb::new(Alphabet::latin26(), symbols).unwrap();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let results =
+            validate_all(&db, &eps, 128, &DeviceConfig::geforce_gtx_280()).unwrap();
+        for (algo, mismatches) in results {
+            assert!(mismatches.is_empty(), "{algo} mismatches: {mismatches:?}");
+        }
+    }
+
+    #[test]
+    fn mismatch_reporting_works() {
+        let db = EventDb::from_str_symbols(&Alphabet::latin26(), "ABAB").unwrap();
+        let eps = vec![Episode::from_str(&Alphabet::latin26(), "AB").unwrap()];
+        let mut problem = MiningProblem::new(&db, &eps);
+        let mut run = problem
+            .run(
+                Algorithm::ThreadTexture,
+                32,
+                &DeviceConfig::geforce_gtx_280(),
+                &CostModel::default(),
+                &SimOptions::default(),
+            )
+            .unwrap();
+        // Corrupt the counts and make sure validation notices.
+        run.counts[0] += 1;
+        let reference = tdm_core::count::count_episodes_naive(&db, &eps);
+        let mismatches = validate_counts(&run, &eps, &reference);
+        assert_eq!(mismatches.len(), 1);
+        assert_eq!(mismatches[0].kernel, mismatches[0].reference + 1);
+    }
+}

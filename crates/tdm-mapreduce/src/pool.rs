@@ -1,0 +1,99 @@
+//! Chunked parallel-for helpers shared by the CPU executors.
+
+/// Applies `f` to contiguous chunks of `items` across `workers` crossbeam scoped
+/// threads and returns the per-chunk results in input order.
+///
+/// `f` receives `(chunk_index, chunk)`. With one worker (or one chunk) this
+/// degrades to a sequential loop with identical results.
+pub fn map_chunks<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let chunk = items.len().div_ceil(workers);
+    if workers == 1 || chunk == items.len() {
+        return items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| s.spawn(move |_| f(i, c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
+    })
+    .expect("pool scope panicked")
+}
+
+/// A parallel map over individual items, preserving order.
+pub fn map_items<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_chunks(items, workers, |_, chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Default worker count: available parallelism, at least 1.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_results_in_order() {
+        let data: Vec<u32> = (0..100).collect();
+        let sums = map_chunks(&data, 4, |i, c| (i, c.iter().sum::<u32>()));
+        assert_eq!(sums.len(), 4);
+        assert_eq!(sums[0].0, 0);
+        let total: u32 = sums.iter().map(|(_, s)| s).sum();
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn item_map_matches_sequential() {
+        let data: Vec<u32> = (0..57).collect();
+        for workers in [1, 2, 3, 16] {
+            let out = map_items(&data, workers, |x| x * 2);
+            let expect: Vec<u32> = data.iter().map(|x| x * 2).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(map_items::<u32, u32, _>(&[], 4, |x| *x).is_empty());
+        assert_eq!(map_items(&[7u32], 8, |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_floor_at_one() {
+        let out = map_items(&[1u32, 2, 3], 0, |x| x * 3);
+        assert_eq!(out, vec![3, 6, 9]);
+        assert!(default_workers() >= 1);
+    }
+}

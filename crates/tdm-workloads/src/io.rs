@@ -1,0 +1,156 @@
+//! Dataset (de)serialization: a tiny, self-describing binary format.
+//!
+//! Keeps the reproduction self-contained without pulling in a serde format
+//! crate. Layout (little-endian):
+//!
+//! ```text
+//! magic  "TDMDB1\0\0"            (8 bytes)
+//! n_symbols: u32                  alphabet size
+//! n_symbols x { len: u16, utf8 }  symbol names
+//! n_events: u64
+//! has_times: u8                   0 | 1
+//! n_events bytes                  symbol stream
+//! [n_events x u64]                timestamps (when has_times = 1)
+//! ```
+
+use std::io::{self, Read, Write};
+use tdm_core::{Alphabet, EventDb};
+
+const MAGIC: &[u8; 8] = b"TDMDB1\0\0";
+
+/// Writes a database to any writer.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_db<W: Write>(db: &EventDb, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    let ab = db.alphabet();
+    w.write_all(&(ab.len() as u32).to_le_bytes())?;
+    for s in ab.symbols() {
+        let name = ab.name(s).as_bytes();
+        w.write_all(&(name.len() as u16).to_le_bytes())?;
+        w.write_all(name)?;
+    }
+    w.write_all(&(db.len() as u64).to_le_bytes())?;
+    w.write_all(&[db.times().is_some() as u8])?;
+    w.write_all(db.symbols())?;
+    if let Some(times) = db.times() {
+        for &t in times {
+            w.write_all(&t.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a database written by [`write_db`].
+///
+/// # Errors
+/// I/O errors, bad magic, or validation failures surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_db<R: Read>(mut r: R) -> io::Result<EventDb> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad("not a TDMDB1 file"));
+    }
+    let mut b4 = [0u8; 4];
+    r.read_exact(&mut b4)?;
+    let n_symbols = u32::from_le_bytes(b4) as usize;
+    let mut names = Vec::with_capacity(n_symbols);
+    for _ in 0..n_symbols {
+        let mut b2 = [0u8; 2];
+        r.read_exact(&mut b2)?;
+        let len = u16::from_le_bytes(b2) as usize;
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        names.push(String::from_utf8(name).map_err(|_| bad("symbol name not UTF-8"))?);
+    }
+    let alphabet = Alphabet::new(names).map_err(|e| bad(&e.to_string()))?;
+    let mut b8 = [0u8; 8];
+    r.read_exact(&mut b8)?;
+    let n_events = u64::from_le_bytes(b8) as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let mut symbols = vec![0u8; n_events];
+    r.read_exact(&mut symbols)?;
+    if flag[0] == 1 {
+        let mut times = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            r.read_exact(&mut b8)?;
+            times.push(u64::from_le_bytes(b8));
+        }
+        EventDb::with_times(alphabet, symbols, times).map_err(|e| bad(&e.to_string()))
+    } else {
+        EventDb::new(alphabet, symbols).map_err(|e| bad(&e.to_string()))
+    }
+}
+
+/// Writes a database to a file path.
+///
+/// # Errors
+/// Propagates I/O errors.
+pub fn save(db: &EventDb, path: &std::path::Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_db(db, io::BufWriter::new(f))
+}
+
+/// Loads a database from a file path.
+///
+/// # Errors
+/// Propagates I/O errors and format violations.
+pub fn load(path: &std::path::Path) -> io::Result<EventDb> {
+    let f = std::fs::File::open(path)?;
+    read_db(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{market_basket, uniform_letters, BasketConfig};
+
+    #[test]
+    fn round_trip_plain() {
+        let db = uniform_letters(10_000, 5);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        let back = read_db(&buf[..]).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn round_trip_timestamped_with_names() {
+        let db = market_basket(&BasketConfig {
+            events: 500,
+            ..Default::default()
+        });
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        let back = read_db(&buf[..]).unwrap();
+        assert_eq!(db, back);
+        assert_eq!(back.alphabet().name(tdm_core::Symbol(2)), "jelly");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_db(&b"not a database"[..]).is_err());
+        // Truncated stream.
+        let db = uniform_letters(100, 1);
+        let mut buf = Vec::new();
+        write_db(&db, &mut buf).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_db(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tdm_workloads_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.tdmdb");
+        let db = uniform_letters(1_000, 9);
+        save(&db, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,223 @@
+//! Synthetic multi-neuron spike trains — the neuroscience workload of the
+//! paper's motivation (§1: "neuroscientists can capture the timing of hundreds
+//! of neurons"; GMiner's frequent-episode setting).
+//!
+//! Each neuron fires as an independent Poisson process; *causal chains* inject
+//! correlated firing sequences (neuron A fires, then B `delay_ms` later, then C,
+//! …) — exactly the connectivity structure frequent episode mining is used to
+//! recover ("stimulating one area of the brain and observing which other areas
+//! light up"). The output is a timestamped [`EventDb`] whose alphabet maps one
+//! symbol per neuron, so the episode-expiry semantics of `tdm_core::expiry` can
+//! be exercised with physically meaningful thresholds.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tdm_core::{Alphabet, Episode, EventDb};
+
+/// One injected causal chain: `neurons[0] -> neurons[1] -> ...`, each hop firing
+/// `delay_ms` (± `jitter_ms`) after the previous one.
+#[derive(Debug, Clone)]
+pub struct CausalChain {
+    /// Neuron ids along the chain, in firing order.
+    pub neurons: Vec<u8>,
+    /// Mean inter-neuron delay in milliseconds.
+    pub delay_ms: f64,
+    /// Uniform jitter applied to each delay, in milliseconds.
+    pub jitter_ms: f64,
+    /// Chain triggering rate in Hz.
+    pub rate_hz: f64,
+}
+
+impl CausalChain {
+    /// The episode (in neuron symbols) this chain should make frequent.
+    pub fn episode(&self) -> Episode {
+        Episode::new(self.neurons.clone()).expect("chains are non-empty")
+    }
+}
+
+/// Configuration of a synthetic recording session.
+#[derive(Debug, Clone)]
+pub struct SpikeTrainConfig {
+    /// Number of recorded neurons (≤ 256; each becomes one alphabet symbol).
+    pub neurons: usize,
+    /// Recording duration in milliseconds.
+    pub duration_ms: f64,
+    /// Background firing rate per neuron, in Hz.
+    pub base_rate_hz: f64,
+    /// Injected causal chains.
+    pub chains: Vec<CausalChain>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SpikeTrainConfig {
+    fn default() -> Self {
+        SpikeTrainConfig {
+            neurons: 26,
+            duration_ms: 60_000.0,
+            base_rate_hz: 5.0,
+            chains: Vec::new(),
+            seed: 42,
+        }
+    }
+}
+
+/// Generates the recording: a timestamped event database (times in
+/// microseconds) sorted by firing time.
+///
+/// # Panics
+/// Panics when `neurons` is 0 or exceeds 256, or when a chain references a
+/// neuron outside the range.
+pub fn spike_trains(config: &SpikeTrainConfig) -> EventDb {
+    assert!(config.neurons > 0 && config.neurons <= 256, "1..=256 neurons");
+    for chain in &config.chains {
+        assert!(
+            chain.neurons.iter().all(|&n| (n as usize) < config.neurons),
+            "chain references unknown neuron"
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut events: Vec<(u64, u8)> = Vec::new();
+
+    // Background Poisson firing per neuron: exponential inter-arrival times.
+    for neuron in 0..config.neurons as u16 {
+        let mut t = 0.0f64;
+        if config.base_rate_hz > 0.0 {
+            loop {
+                // Inverse-CDF exponential sample.
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                t += -u.ln() / config.base_rate_hz * 1_000.0; // ms
+                if t >= config.duration_ms {
+                    break;
+                }
+                events.push(((t * 1_000.0) as u64, neuron as u8));
+            }
+        }
+    }
+
+    // Injected chains.
+    for chain in &config.chains {
+        if chain.rate_hz <= 0.0 || chain.neurons.is_empty() {
+            continue;
+        }
+        let mut t = 0.0f64;
+        loop {
+            let u: f64 = rng.random::<f64>().max(1e-12);
+            t += -u.ln() / chain.rate_hz * 1_000.0;
+            if t >= config.duration_ms {
+                break;
+            }
+            let mut fire = t;
+            for &n in &chain.neurons {
+                if fire >= config.duration_ms {
+                    break;
+                }
+                events.push(((fire * 1_000.0) as u64, n));
+                let jitter = if chain.jitter_ms > 0.0 {
+                    rng.random_range(-chain.jitter_ms..chain.jitter_ms)
+                } else {
+                    0.0
+                };
+                fire += (chain.delay_ms + jitter).max(0.001);
+            }
+        }
+    }
+
+    events.sort_unstable();
+    let (times, symbols): (Vec<u64>, Vec<u8>) = events.into_iter().unzip();
+    let alphabet = Alphabet::numbered(config.neurons).expect("validated above");
+    EventDb::with_times(alphabet, symbols, times).expect("sorted by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::expiry::count_with_expiry;
+
+    #[test]
+    fn background_rate_roughly_matches() {
+        let db = spike_trains(&SpikeTrainConfig {
+            neurons: 10,
+            duration_ms: 10_000.0,
+            base_rate_hz: 20.0,
+            chains: vec![],
+            seed: 1,
+        });
+        // Expected 10 neurons * 20 Hz * 10 s = 2000 spikes.
+        let n = db.len() as f64;
+        assert!((n - 2000.0).abs() < 300.0, "spikes = {n}");
+        // Timestamps sorted, all neurons present.
+        assert!(db.times().is_some());
+        assert!(db.histogram().iter().all(|&c| c > 100));
+    }
+
+    #[test]
+    fn injected_chain_is_detectable_with_expiry() {
+        let chain = CausalChain {
+            neurons: vec![0, 1, 2],
+            delay_ms: 2.0,
+            jitter_ms: 0.5,
+            rate_hz: 5.0,
+        };
+        let db = spike_trains(&SpikeTrainConfig {
+            neurons: 20,
+            duration_ms: 20_000.0,
+            base_rate_hz: 1.0,
+            chains: vec![chain.clone()],
+            seed: 7,
+        });
+        let ep = chain.episode();
+        // ~100 chain firings; expiry window 10ms (10_000 us) keeps hops alive.
+        let with_chain = count_with_expiry(&db, &ep, 10_000).unwrap();
+        assert!(with_chain > 20, "found {with_chain}");
+        // The reverse ordering is not injected and should be much rarer.
+        let rev = Episode::new(vec![2, 1, 0]).unwrap();
+        let reversed = count_with_expiry(&db, &rev, 10_000).unwrap();
+        assert!(
+            with_chain > 3 * (reversed + 1),
+            "chain {with_chain} vs reversed {reversed}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = SpikeTrainConfig::default();
+        assert_eq!(spike_trains(&cfg), spike_trains(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown neuron")]
+    fn bad_chain_rejected() {
+        let _ = spike_trains(&SpikeTrainConfig {
+            neurons: 4,
+            chains: vec![CausalChain {
+                neurons: vec![9],
+                delay_ms: 1.0,
+                jitter_ms: 0.0,
+                rate_hz: 1.0,
+            }],
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn zero_background_only_chains() {
+        let db = spike_trains(&SpikeTrainConfig {
+            neurons: 3,
+            duration_ms: 5_000.0,
+            base_rate_hz: 0.0,
+            chains: vec![CausalChain {
+                neurons: vec![0, 1],
+                delay_ms: 1.0,
+                jitter_ms: 0.0,
+                rate_hz: 10.0,
+            }],
+            seed: 3,
+        });
+        assert!(db.len() > 50);
+        // Only neurons 0 and 1 fire.
+        let h = db.histogram();
+        assert_eq!(h[2], 0);
+        assert!(h[0] > 0 && h[1] > 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Algorithm picker — the paper's conclusion operationalized: "a
+//! MapReduce-based implementation must dynamically adapt the type and level of
+//! parallelism in order to obtain the best performance."
+//!
+//! Given a card and a problem size, sweep the (algorithm, block-size) space on
+//! the simulator and report the winner — the dynamic-adaptation policy a
+//! production system would embed.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_picker [scale]
+//! ```
+
+use temporal_mining::core::candidate::permutations;
+use temporal_mining::prelude::*;
+use temporal_mining::workloads::paper_database_scaled;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25);
+    let db = paper_database_scaled(scale);
+    let ab = Alphabet::latin26();
+    println!(
+        "picking optimal kernel per (level, card) over {} letters (scale {scale})\n",
+        db.len()
+    );
+
+    let sweep = temporal_mining::gpu::launch::coarse_tpb_sweep();
+    for level in [1usize, 2, 3] {
+        let episodes = permutations(&ab, level);
+        println!("level {level} ({} episodes):", episodes.len());
+        for card in DeviceConfig::paper_testbed() {
+            let mut problem = MiningProblem::new(&db, &episodes);
+            let mut rows: Vec<(Algorithm, u32, f64)> = Vec::new();
+            for algo in Algorithm::ALL {
+                for &tpb in &sweep {
+                    let run = problem
+                        .run(algo, tpb, &card, &CostModel::default(), &SimOptions::default())
+                        .unwrap();
+                    rows.push((algo, tpb, run.report.time_ms));
+                }
+            }
+            rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+            let (algo, tpb, ms) = rows[0];
+            let (walgo, wtpb, wms) = *rows.last().unwrap();
+            println!(
+                "  {:<22} pick {} @ {:>3} tpb ({:>9.3} ms) — worst {} @ {} tpb is {:.0}x slower ({:.1} ms)",
+                card.name, algo, tpb, ms, walgo, wtpb, wms / ms, wms
+            );
+        }
+        println!();
+    }
+    println!("no single configuration wins everywhere — the paper's 'one-size-fits-all' finding.");
+}

@@ -1,0 +1,78 @@
+//! Occupancy explorer — the CUDA Occupancy Calculator, and why it is not
+//! enough (paper §6: "30 multiprocessors of occupancy 66% might perform better
+//! than 15 multiprocessors at 100% occupancy").
+//!
+//! For each card and block size this prints the occupancy a level-3 Algorithm-1
+//! launch achieves, its limiting resource, and the *simulated execution time* —
+//! showing that the occupancy maximum and the performance optimum do not
+//! coincide.
+//!
+//! ```sh
+//! cargo run --release --example occupancy_explorer
+//! ```
+
+use temporal_mining::core::candidate::permutations;
+use temporal_mining::prelude::*;
+use temporal_mining::sim::{occupancy, KernelResources};
+use temporal_mining::workloads::paper_database_scaled;
+
+fn main() {
+    let db = paper_database_scaled(0.25);
+    let ab = Alphabet::latin26();
+    let episodes = permutations(&ab, 3);
+    println!(
+        "workload: level 3 ({} episodes) over {} letters, Algorithm 1\n",
+        episodes.len(),
+        db.len()
+    );
+
+    for card in DeviceConfig::paper_testbed() {
+        println!(
+            "{} ({} SMs, max {} warps/SM, {} regs/SM):",
+            card.name, card.sm_count, card.max_warps_per_sm, card.registers_per_sm
+        );
+        println!(
+            "  {:>5} {:>8} {:>10} {:>12} {:>10} {:>9}",
+            "tpb", "blocks", "occupancy", "limiter", "time(ms)", "bound"
+        );
+        let mut problem = MiningProblem::new(&db, &episodes);
+        let mut best: (u32, f64) = (0, f64::INFINITY);
+        let mut best_occ: (u32, f64) = (0, 0.0);
+        for tpb in temporal_mining::gpu::launch::paper_tpb_sweep() {
+            let res = KernelResources::new(tpb).with_registers(16);
+            let occ = occupancy(&card, &res).expect("valid launch");
+            let run = problem
+                .run(
+                    Algorithm::ThreadTexture,
+                    tpb,
+                    &card,
+                    &CostModel::default(),
+                    &SimOptions::default(),
+                )
+                .unwrap();
+            if run.report.time_ms < best.1 {
+                best = (tpb, run.report.time_ms);
+            }
+            if occ.occupancy_fraction > best_occ.1 {
+                best_occ = (tpb, occ.occupancy_fraction);
+            }
+            println!(
+                "  {:>5} {:>8} {:>9.0}% {:>12} {:>10.2} {:>9}",
+                tpb,
+                run.launch.blocks,
+                occ.occupancy_fraction * 100.0,
+                format!("{:?}", occ.limiter),
+                run.report.time_ms,
+                format!("{:?}", run.report.bound),
+            );
+        }
+        println!(
+            "  -> highest occupancy at tpb={} ({:.0}%), but fastest run at tpb={} ({:.2} ms)\n",
+            best_occ.0,
+            best_occ.1 * 100.0,
+            best.0,
+            best.1
+        );
+    }
+    println!("occupancy alone does not identify the optimum — the paper's §6 point.");
+}

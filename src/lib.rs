@@ -1,0 +1,60 @@
+//! # temporal-mining — reproduction of *Multi-Dimensional Characterization of
+//! Temporal Data Mining on Graphics Processors* (IPPS 2009)
+//!
+//! This facade crate re-exports the whole workspace so applications (and the
+//! `examples/`) can depend on a single crate:
+//!
+//! * [`core`] (`tdm-core`) — frequent episode mining: event databases, the
+//!   paper's Figure-3 FSM, segmented counting with span handling, candidate
+//!   generation, the level-wise miner, and the episode-expiry extension;
+//! * [`sim`] (`gpu-sim`) — a CUDA-like SIMT performance simulator with the
+//!   paper's three cards (Table 2) as presets;
+//! * [`gpu`] (`tdm-gpu`) — the paper's four parallel counting kernels
+//!   (thread-/block-level × unbuffered/buffered) running on the simulator;
+//! * [`mapreduce`] (`tdm-mapreduce`) — the MapReduce programming model the
+//!   paper frames its kernels with, for CPU execution;
+//! * [`baselines`] (`tdm-baselines`) — GMiner-class serial and parallel CPU
+//!   counting backends;
+//! * [`workloads`] (`tdm-workloads`) — the paper's 393,019-letter database plus
+//!   spike-train and market-basket generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use temporal_mining::prelude::*;
+//!
+//! // The paper's workload, scaled down for a doctest.
+//! let db = temporal_mining::workloads::paper_database_scaled(0.01);
+//!
+//! // Mine frequent episodes on the CPU.
+//! let miner = Miner::new(MinerConfig { alpha: 0.0005, max_level: Some(2), ..Default::default() });
+//! let cpu = miner.mine(&db, &mut ActiveSetBackend);
+//!
+//! // Count the same candidates with the simulated GPU kernel of the paper's
+//! // Algorithm 3 on a GeForce GTX 280 — identical results, plus a time model.
+//! let mut gpu = GpuBackend::new(Algorithm::BlockTexture, 64, DeviceConfig::geforce_gtx_280());
+//! let gpu_result = miner.mine(&db, &mut gpu);
+//! assert_eq!(cpu, gpu_result);
+//! assert!(gpu.simulated_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use gpu_sim as sim;
+pub use tdm_baselines as baselines;
+pub use tdm_core as core;
+pub use tdm_gpu as gpu;
+pub use tdm_mapreduce as mapreduce;
+pub use tdm_workloads as workloads;
+
+/// The most common imports, for `use temporal_mining::prelude::*;`.
+pub mod prelude {
+    pub use gpu_sim::{CostModel, DeviceConfig, SimReport};
+    pub use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend};
+    pub use tdm_core::{
+        Alphabet, CountSemantics, CountingBackend, Episode, EventDb, Miner, MinerConfig,
+        MiningResult, Symbol,
+    };
+    pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
+}

@@ -1,0 +1,80 @@
+//! Integration test: the paper's eight characterizations (§5) hold on the
+//! simulated testbed.
+//!
+//! The grid uses a quarter-scale database and a reduced block-size sweep so the
+//! test completes quickly; the `reproduce` binary runs the same checks at full
+//! scale (393,019 letters, 17 block sizes) — DESIGN.md §6 records both.
+
+use gpu_sim::DeviceConfig;
+use tdm_bench::{characterize, Grid, GridConfig};
+
+fn test_grid() -> &'static Grid {
+    static GRID: std::sync::OnceLock<Grid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| Grid::compute(&GridConfig {
+        scale: 0.25,
+        levels: vec![1, 2, 3],
+        tpb_sweep: vec![16, 64, 96, 128, 256, 320, 512],
+        cards: DeviceConfig::paper_testbed(),
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn all_eight_characterizations_reproduce() {
+    let grid = test_grid();
+    let results = characterize::all(&grid);
+    assert_eq!(results.len(), 8);
+    let failed: Vec<String> = results
+        .iter()
+        .filter(|r| !r.passed)
+        .map(|r| format!("C{} ({}): {}", r.id, r.name, r.details))
+        .collect();
+    assert!(
+        failed.is_empty(),
+        "characterizations failed:\n{}",
+        failed.join("\n")
+    );
+}
+
+#[test]
+fn paper_conclusion_shape_holds() {
+    // Conclusion: "the oldest card we tested was consistently the fastest for
+    // small problem sizes" (thread-level kernels at L1 follow the shader clock)
+    // and "the best execution time for large problem sizes always occurs on the
+    // newest generation".
+    let grid = test_grid();
+    let gts = "GeForce 8800 GTS 512";
+    let gtx = "GeForce GTX 280";
+    // Small problem, thread-level: 8800 GTS 512 wins.
+    let t_old = grid.best_of_algos(&[1, 2], 1, gts);
+    let t_new = grid.best_of_algos(&[1, 2], 1, gtx);
+    assert!(
+        t_old < t_new,
+        "L1 thread-level: 8800 {t_old} vs GTX280 {t_new}"
+    );
+    // Large problem: GTX 280 wins overall.
+    let l3_old = grid.best_config(3, gts).2;
+    let l3_new = grid.best_config(3, gtx).2;
+    assert!(l3_new < l3_old, "L3 best: GTX {l3_new} vs 8800 {l3_old}");
+}
+
+#[test]
+fn no_single_configuration_wins_everywhere() {
+    // Abstract/§1: "a one-size-fits-all approach maps poorly across different
+    // GPGPU cards … the problem size and graphics processor determine which
+    // type of algorithm, data-access pattern, and number of threads should be
+    // used."
+    let grid = test_grid();
+    let mut winners = std::collections::BTreeSet::new();
+    for level in grid.levels() {
+        for card in grid.cards() {
+            let (algo, tpb, _) = grid.best_config(level, &card);
+            winners.insert((level, algo, tpb));
+        }
+    }
+    let algos: std::collections::BTreeSet<u8> = winners.iter().map(|(_, a, _)| *a).collect();
+    assert!(
+        algos.len() >= 2,
+        "expected different levels/cards to prefer different algorithms, got {winners:?}"
+    );
+}

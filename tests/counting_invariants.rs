@@ -1,0 +1,132 @@
+//! Property tests of counting-semantics invariants that hold for *any* input —
+//! the mathematical guard rails of the mining core.
+
+use proptest::prelude::*;
+use temporal_mining::core::count::count_episode;
+use temporal_mining::core::expiry::count_with_expiry;
+use temporal_mining::core::semantics::{count_distinct_starts, count_non_overlapping};
+use temporal_mining::core::{Alphabet, Episode, EventDb};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every completion consumes one occurrence of each episode item, so the
+    /// count is bounded by the scarcest item (and by n / L).
+    #[test]
+    fn count_bounded_by_scarcest_item(
+        data in proptest::collection::vec(0u8..6, 0..500),
+        items in proptest::collection::vec(0u8..6, 1..5),
+    ) {
+        let ab = Alphabet::numbered(6).unwrap();
+        let db = EventDb::new(ab, data).unwrap();
+        let ep = Episode::new(items.clone()).unwrap();
+        let count = count_episode(&db, &ep);
+        let hist = db.histogram();
+        // Each item of the episode must appear `count * multiplicity` times.
+        let mut need = [0u64; 6];
+        for &i in &items {
+            need[i as usize] += 1;
+        }
+        for (i, &mult) in need.iter().enumerate() {
+            if mult > 0 {
+                prop_assert!(count * mult <= hist[i],
+                    "item {i}: count {count} x {mult} > {}", hist[i]);
+            }
+        }
+        prop_assert!(count <= db.len() as u64 / items.len() as u64 + 1);
+    }
+
+    /// The FSM count never exceeds the non-overlapping subsequence count (the
+    /// FSM only adds reset conditions) nor the distinct-starts count.
+    #[test]
+    fn fsm_is_the_strictest_semantics(
+        data in proptest::collection::vec(0u8..5, 0..400),
+        items_seed in proptest::collection::vec(0u8..5, 1..4),
+    ) {
+        // Distinct items (the paper's candidate space).
+        let mut items = items_seed;
+        items.sort_unstable();
+        items.dedup();
+        let ab = Alphabet::numbered(5).unwrap();
+        let db = EventDb::new(ab, data).unwrap();
+        let ep = Episode::new(items).unwrap();
+        let fsm = count_episode(&db, &ep);
+        let non_overlap = count_non_overlapping(db.symbols(), ep.items());
+        let starts = count_distinct_starts(db.symbols(), ep.items());
+        prop_assert!(fsm <= non_overlap, "fsm {fsm} > non-overlapping {non_overlap}");
+        prop_assert!(fsm <= starts, "fsm {fsm} > starts {starts}");
+    }
+
+    /// An unbounded expiry window reduces to the plain FSM, and shrinking the
+    /// window never increases the count (monotonicity).
+    #[test]
+    fn expiry_is_monotone_in_the_window(
+        data in proptest::collection::vec(0u8..5, 1..300),
+        gaps in proptest::collection::vec(1u64..20, 1..300),
+        items in proptest::collection::vec(0u8..5, 1..4),
+    ) {
+        let n = data.len().min(gaps.len());
+        let data = &data[..n];
+        let mut t = 0u64;
+        let times: Vec<u64> = gaps[..n].iter().map(|g| { t += g; t }).collect();
+        let ab = Alphabet::numbered(5).unwrap();
+        let db = EventDb::with_times(ab.clone(), data.to_vec(), times).unwrap();
+        let ep = Episode::new(items).unwrap();
+
+        let plain = {
+            let plain_db = EventDb::new(ab, data.to_vec()).unwrap();
+            count_episode(&plain_db, &ep)
+        };
+        let unbounded = count_with_expiry(&db, &ep, u64::MAX).unwrap();
+        prop_assert_eq!(unbounded, plain);
+
+        let mut last = u64::MAX;
+        for window in [1000u64, 100, 10, 1] {
+            let c = count_with_expiry(&db, &ep, window).unwrap();
+            prop_assert!(c <= last.min(plain), "window {window}: {c} > min({last}, {plain})");
+            last = c;
+        }
+    }
+
+    /// Concatenating two databases never loses completions that are wholly
+    /// inside either half (super-additivity up to one boundary match).
+    #[test]
+    fn concatenation_superadditive(
+        left in proptest::collection::vec(0u8..4, 0..200),
+        right in proptest::collection::vec(0u8..4, 0..200),
+        items_seed in proptest::collection::vec(0u8..4, 1..4),
+    ) {
+        let mut items = items_seed;
+        items.sort_unstable();
+        items.dedup();
+        let ab = Alphabet::numbered(4).unwrap();
+        let ep = Episode::new(items).unwrap();
+        let db_l = EventDb::new(ab.clone(), left.clone()).unwrap();
+        let db_r = EventDb::new(ab.clone(), right.clone()).unwrap();
+        let mut both = left;
+        both.extend_from_slice(&right);
+        let db = EventDb::new(ab, both).unwrap();
+        let whole = count_episode(&db, &ep);
+        let parts = count_episode(&db_l, &ep) + count_episode(&db_r, &ep);
+        // The whole can only gain (spanning matches) relative to the parts,
+        // except that a partial match at the seam can consume the right half's
+        // first anchor — bounded by 1 for distinct-item episodes.
+        prop_assert!(whole + 1 >= parts, "whole {whole} vs parts {parts}");
+    }
+
+    /// Reversing both the database and the episode preserves nothing in
+    /// general, but a palindromic single-item episode count is invariant.
+    #[test]
+    fn single_item_count_is_reversal_invariant(
+        data in proptest::collection::vec(0u8..6, 0..300),
+        item in 0u8..6,
+    ) {
+        let ab = Alphabet::numbered(6).unwrap();
+        let ep = Episode::new(vec![item]).unwrap();
+        let fwd = count_episode(&EventDb::new(ab.clone(), data.clone()).unwrap(), &ep);
+        let mut rev = data;
+        rev.reverse();
+        let bwd = count_episode(&EventDb::new(ab, rev).unwrap(), &ep);
+        prop_assert_eq!(fwd, bwd);
+    }
+}

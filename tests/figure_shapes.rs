@@ -1,0 +1,127 @@
+//! Shape-regression tests for the reproduced figures: the qualitative facts
+//! EXPERIMENTS.md reports must keep holding as the model evolves. Run at
+//! quarter scale for speed (shapes are scale-invariant; the full-scale run is
+//! the `reproduce` binary).
+
+use gpu_sim::DeviceConfig;
+use tdm_bench::{Grid, GridConfig};
+
+const GTX: &str = "GeForce GTX 280";
+const GTS: &str = "GeForce 8800 GTS 512";
+
+fn grid() -> &'static Grid {
+    static GRID: std::sync::OnceLock<Grid> = std::sync::OnceLock::new();
+    GRID.get_or_init(|| Grid::compute(&GridConfig {
+        scale: 0.25,
+        levels: vec![1, 2, 3],
+        tpb_sweep: vec![16, 64, 96, 128, 256, 512],
+        cards: DeviceConfig::paper_testbed(),
+        ..Default::default()
+    }))
+}
+
+#[test]
+fn fig7a_block_level_dominates_level1() {
+    let g = grid();
+    // At L1, both block-level kernels beat both thread-level kernels at every
+    // block size >= 64 (paper Fig. 7a's separation).
+    for &tpb in &[64u32, 128, 256, 512] {
+        let a1 = g.get(1, 1, tpb, GTX).time_ms;
+        let a2 = g.get(2, 1, tpb, GTX).time_ms;
+        let a3 = g.get(3, 1, tpb, GTX).time_ms;
+        let a4 = g.get(4, 1, tpb, GTX).time_ms;
+        assert!(a3 < a1 && a3 < a2, "tpb={tpb}: A3 {a3} vs A1 {a1}/A2 {a2}");
+        assert!(a4 < a1 && a4 < a2, "tpb={tpb}: A4 {a4} vs A1 {a1}/A2 {a2}");
+    }
+}
+
+#[test]
+fn fig7b_algorithm3_optimum_is_small_tpb() {
+    let g = grid();
+    // Paper: "the best execution time which is Algorithm 3 at 64 threads".
+    let times: Vec<(u32, f64)> = [16u32, 64, 96, 128, 256, 512]
+        .iter()
+        .map(|&t| (t, g.get(3, 2, t, GTX).time_ms))
+        .collect();
+    let (best_tpb, best) = times
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .unwrap();
+    assert!(best_tpb <= 96, "A3-L2 optimum at {best_tpb} ({best} ms)");
+    // And the curve rises by 2x+ toward 512 (the thrash upturn).
+    let t512 = g.get(3, 2, 512, GTX).time_ms;
+    assert!(t512 > 2.0 * best, "no upturn: best {best}, 512 {t512}");
+}
+
+#[test]
+fn fig7c_thread_level_wins_level3_with_96tpb_competitive() {
+    let g = grid();
+    let best_thread = g.best_of_algos(&[1, 2], 3, GTX);
+    let best_block = g.best_of_algos(&[3, 4], 3, GTX);
+    assert!(best_thread < best_block);
+    // 96 tpb (the paper's reported optimum) is within 15% of A1's best.
+    let a1_best = [16u32, 64, 96, 128, 256, 512]
+        .iter()
+        .map(|&t| g.get(1, 3, t, GTX).time_ms)
+        .fold(f64::INFINITY, f64::min);
+    let a1_96 = g.get(1, 3, 96, GTX).time_ms;
+    assert!(a1_96 <= 1.15 * a1_best, "A1@96 {a1_96} vs best {a1_best}");
+}
+
+#[test]
+fn fig8a_clock_ratio_is_linear() {
+    let g = grid();
+    // 9800 GX2 vs 8800 GTS 512 differ only in clock (and bandwidth, unused by
+    // the latency-bound A1-L2): time ratio == clock ratio.
+    for &tpb in &[64u32, 256] {
+        let t_gts = g.get(1, 2, tpb, GTS).time_ms;
+        let t_gx2 = g.get(1, 2, tpb, "GeForce 9800 GX2").time_ms;
+        let ratio = t_gx2 / t_gts;
+        assert!(
+            (ratio - 1625.0 / 1500.0).abs() < 0.02,
+            "tpb={tpb}: ratio {ratio}"
+        );
+    }
+}
+
+#[test]
+fn fig8b_bandwidth_gap_opens_at_high_tpb() {
+    let g = grid();
+    // At 512 tpb the G92 cards thrash their 8 KB texture cache; the GTX 280
+    // (double the effective working set, 2.5x the bandwidth) pulls ahead 3x+.
+    let t_gts = g.get(3, 1, 512, GTS).time_ms;
+    let t_gtx = g.get(3, 1, 512, GTX).time_ms;
+    assert!(
+        t_gtx * 3.0 < t_gts,
+        "expected a bandwidth gap: 8800 {t_gts} vs GTX {t_gtx}"
+    );
+}
+
+#[test]
+fn fig9_grid_is_complete_and_positive() {
+    let g = grid();
+    // 4 algos x 3 levels x 6 tpb x 3 cards
+    assert_eq!(g.cells.len(), 4 * 3 * 6 * 3);
+    for c in &g.cells {
+        assert!(c.time_ms > 0.0, "{c:?}");
+        assert!(c.waves >= 1);
+        assert!(c.occupancy > 0.0 && c.occupancy <= 1.0);
+        assert!(c.tex_hit_rate >= 0.0 && c.tex_hit_rate <= 1.0);
+    }
+}
+
+#[test]
+fn bound_attribution_matches_the_papers_story() {
+    let g = grid();
+    // A1 at L1 (one warp): latency-bound. A3 at L3 on the 8800: its DRAM
+    // traffic exceeds the database footprint many times over (thrash).
+    assert_eq!(g.get(1, 1, 256, GTX).bound, "Latency");
+    let a3 = g.get(3, 3, 512, GTS);
+    let footprint_mb = g.db_len as f64 / 1e6;
+    assert!(
+        a3.dram_mb > 20.0 * footprint_mb,
+        "A3-L3 traffic {} MB vs footprint {footprint_mb} MB",
+        a3.dram_mb
+    );
+}

@@ -1,0 +1,124 @@
+//! Integration test: every simulated GPU kernel produces exactly the counts of
+//! the sequential CPU reference, across workload families, cards, and block
+//! sizes — the correctness half of the reproduction (the paper's kernels must
+//! agree with GMiner-class CPU mining).
+
+use temporal_mining::core::candidate::permutations;
+use temporal_mining::core::count::count_episodes_naive;
+use temporal_mining::prelude::*;
+use temporal_mining::workloads::{markov_letters, planted, uniform_letters};
+
+fn check_all_kernels(db: &EventDb, episodes: &[Episode], tpb: u32, card: &DeviceConfig) {
+    let reference = count_episodes_naive(db, episodes);
+    for algo in Algorithm::ALL {
+        let mut problem = MiningProblem::new(db, episodes);
+        let run = problem
+            .run(algo, tpb, card, &CostModel::default(), &SimOptions::default())
+            .unwrap_or_else(|e| panic!("{algo} failed to launch: {e}"));
+        assert_eq!(
+            run.counts, reference,
+            "{algo} at tpb={tpb} on {} disagrees with the sequential reference",
+            card.name
+        );
+        assert!(run.report.time_ms > 0.0);
+    }
+}
+
+#[test]
+fn kernels_match_reference_on_uniform_text() {
+    let db = uniform_letters(30_000, 42);
+    let episodes = permutations(db.alphabet(), 2);
+    for card in DeviceConfig::paper_testbed() {
+        check_all_kernels(&db, &episodes, 128, &card);
+    }
+}
+
+#[test]
+fn kernels_match_reference_across_block_sizes() {
+    let db = uniform_letters(20_000, 43);
+    let episodes = permutations(db.alphabet(), 1);
+    let card = DeviceConfig::geforce_gtx_280();
+    for tpb in [16u32, 32, 96, 256, 512] {
+        check_all_kernels(&db, &episodes, tpb, &card);
+    }
+}
+
+#[test]
+fn kernels_match_reference_on_bursty_text() {
+    // Markov streams stress the restart path (runs of identical letters).
+    let db = markov_letters(25_000, 44, 0.7);
+    let episodes = permutations(db.alphabet(), 2);
+    check_all_kernels(&db, &episodes, 64, &DeviceConfig::geforce_8800_gts_512());
+}
+
+#[test]
+fn kernels_find_planted_episodes() {
+    let ab = Alphabet::latin26();
+    let secret = Episode::from_str(&ab, "XQZ").unwrap();
+    let (db, starts) = planted(40_000, 45, &secret, 200);
+    assert!(!starts.is_empty());
+    let episodes = vec![secret.clone()];
+    let reference = count_episodes_naive(&db, &episodes);
+    assert!(reference[0] > 0);
+    for algo in Algorithm::ALL {
+        let mut problem = MiningProblem::new(&db, &episodes);
+        let run = problem
+            .run(
+                algo,
+                256,
+                &DeviceConfig::geforce_gtx_280(),
+                &CostModel::default(),
+                &SimOptions::default(),
+            )
+            .unwrap();
+        assert_eq!(run.counts, reference, "{algo}");
+    }
+}
+
+#[test]
+fn exact_mode_counts_are_identical_to_sampled() {
+    // Sampling approximates *timing*, never counts.
+    let db = uniform_letters(10_000, 46);
+    let episodes = permutations(db.alphabet(), 2);
+    let card = DeviceConfig::geforce_gtx_280();
+    for algo in Algorithm::ALL {
+        let mut p1 = MiningProblem::new(&db, &episodes);
+        let mut p2 = MiningProblem::new(&db, &episodes);
+        let sampled = p1
+            .run(algo, 128, &card, &CostModel::default(), &SimOptions::default())
+            .unwrap();
+        let exact = p2
+            .run(
+                algo,
+                128,
+                &card,
+                &CostModel::default(),
+                &SimOptions {
+                    exact: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(sampled.counts, exact.counts, "{algo}");
+    }
+}
+
+#[test]
+fn oversized_blocks_are_rejected_cleanly() {
+    let db = uniform_letters(1_000, 47);
+    let episodes = permutations(db.alphabet(), 1);
+    let mut problem = MiningProblem::new(&db, &episodes);
+    let err = problem
+        .run(
+            Algorithm::ThreadTexture,
+            1024,
+            &DeviceConfig::geforce_gtx_280(),
+            &CostModel::default(),
+            &SimOptions::default(),
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        temporal_mining::sim::SimError::BlockTooLarge { requested: 1024, .. }
+    ));
+}

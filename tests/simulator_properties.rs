@@ -1,0 +1,200 @@
+//! Property-based tests of the simulator's invariants: occupancy and timing
+//! must respond monotonically to resources, work, and hardware strength, for
+//! *any* kernel in the valid launch space — not just the mining kernels.
+
+use gpu_sim::{
+    occupancy, simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec,
+    LaunchConfig, MemKind, MemTraffic, Phase,
+};
+use proptest::prelude::*;
+
+fn compute_spec(blocks: u32, tpb: u32, instr_per_warp: u64) -> KernelSpec {
+    let warps = tpb.div_ceil(32);
+    KernelSpec {
+        launch: LaunchConfig {
+            blocks,
+            threads_per_block: tpb,
+        },
+        resources: KernelResources::new(tpb),
+        profile: BlockProfile {
+            phases: vec![Phase {
+                label: "compute",
+                warp_instructions: instr_per_warp * warps as u64,
+                chain_instructions: instr_per_warp,
+                mem: None,
+                barriers: 0,
+            }],
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// More registers per thread never increases the number of resident blocks.
+    #[test]
+    fn occupancy_monotone_in_registers(
+        tpb in 1u32..=512,
+        regs_lo in 1u32..=32,
+        extra in 0u32..=32,
+    ) {
+        let dev = DeviceConfig::geforce_gtx_280();
+        let lo = occupancy(&dev, &KernelResources::new(tpb).with_registers(regs_lo));
+        let hi = occupancy(&dev, &KernelResources::new(tpb).with_registers(regs_lo + extra));
+        match (lo, hi) {
+            (Some(a), Some(b)) => prop_assert!(b.active_blocks <= a.active_blocks),
+            (None, Some(_)) => prop_assert!(false, "more registers cannot make a kernel fit"),
+            _ => {}
+        }
+    }
+
+    /// More shared memory per block never increases residency.
+    #[test]
+    fn occupancy_monotone_in_shared_mem(
+        tpb in 1u32..=512,
+        smem_lo in 0u32..=8192,
+        extra in 0u32..=8192,
+    ) {
+        let dev = DeviceConfig::geforce_8800_gts_512();
+        let lo = occupancy(&dev, &KernelResources::new(tpb).with_shared_mem(smem_lo));
+        let hi = occupancy(&dev, &KernelResources::new(tpb).with_shared_mem(smem_lo + extra));
+        match (lo, hi) {
+            (Some(a), Some(b)) => prop_assert!(b.active_blocks <= a.active_blocks),
+            (None, Some(_)) => prop_assert!(false, "more shared memory cannot make a kernel fit"),
+            _ => {}
+        }
+    }
+
+    /// Active warps never exceed the device ceiling; occupancy fraction is in
+    /// (0, 1].
+    #[test]
+    fn occupancy_respects_ceilings(tpb in 1u32..=512, regs in 1u32..=64, smem in 0u32..=16384) {
+        for dev in DeviceConfig::paper_testbed() {
+            if let Some(occ) = occupancy(
+                &dev,
+                &KernelResources::new(tpb).with_registers(regs).with_shared_mem(smem),
+            ) {
+                prop_assert!(occ.active_warps <= dev.max_warps_per_sm);
+                prop_assert!(occ.active_threads <= dev.max_threads_per_sm);
+                prop_assert!(occ.active_blocks <= dev.max_blocks_per_sm);
+                prop_assert!(occ.occupancy_fraction > 0.0 && occ.occupancy_fraction <= 1.0);
+                let regs_used = occ.active_blocks
+                    * tpb.div_ceil(32) * 32 * regs;
+                prop_assert!(regs_used <= dev.registers_per_sm);
+            }
+        }
+    }
+
+    /// Simulated time grows (weakly) with per-warp work and with block count.
+    #[test]
+    fn time_monotone_in_work_and_blocks(
+        blocks in 1u32..=2000,
+        tpb in prop::sample::select(vec![16u32, 32, 64, 128, 256, 512]),
+        instr in 1000u64..=100_000,
+    ) {
+        let dev = DeviceConfig::geforce_gtx_280();
+        let cost = CostModel::default();
+        let base = simulate(&dev, &cost, &compute_spec(blocks, tpb, instr)).unwrap();
+        let more_work = simulate(&dev, &cost, &compute_spec(blocks, tpb, instr * 2)).unwrap();
+        let more_blocks = simulate(&dev, &cost, &compute_spec(blocks * 2, tpb, instr)).unwrap();
+        prop_assert!(more_work.cycles >= base.cycles);
+        prop_assert!(more_blocks.cycles >= base.cycles);
+    }
+
+    /// A strictly better card (more SMs, same everything else) is never slower
+    /// on a pure-compute kernel.
+    #[test]
+    fn more_sms_never_hurt(
+        blocks in 1u32..=1000,
+        instr in 1000u64..=50_000,
+    ) {
+        let cost = CostModel::default();
+        let small = DeviceConfig::geforce_gtx_280();
+        let mut big = small.clone();
+        big.sm_count *= 2;
+        let spec = compute_spec(blocks, 128, instr);
+        let t_small = simulate(&small, &cost, &spec).unwrap();
+        let t_big = simulate(&big, &cost, &spec).unwrap();
+        prop_assert!(t_big.cycles <= t_small.cycles + 1.0);
+    }
+
+    /// Texture traffic respects conservation: hits + misses = accesses, and
+    /// DRAM bytes = misses x line size.
+    #[test]
+    fn texture_counter_conservation(
+        blocks in 1u32..=500,
+        tpb in prop::sample::select(vec![32u32, 128, 512]),
+        kb in 1u64..=200,
+    ) {
+        let n = kb * 1024;
+        let warps = tpb.div_ceil(32) as u64;
+        let spec = KernelSpec {
+            launch: LaunchConfig { blocks, threads_per_block: tpb },
+            resources: KernelResources::new(tpb),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "scan",
+                    warp_instructions: (n / 32) * 8,
+                    chain_instructions: (n / tpb as u64) * 8,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Texture {
+                            streams_per_block: tpb,
+                            unique_bytes: n,
+                            shared_across_blocks: true,
+                        },
+                        requests: (n / 32) * warps,
+                        chain: n / tpb as u64,
+                        touched_bytes: n,
+                    }),
+                    barriers: 0,
+                }],
+            },
+        };
+        let dev = DeviceConfig::geforce_gtx_280();
+        let rep = simulate(&dev, &CostModel::default(), &spec).unwrap();
+        prop_assert_eq!(rep.counters.tex_hits + rep.counters.tex_misses, rep.counters.tex_accesses);
+        prop_assert_eq!(rep.counters.dram_bytes, rep.counters.tex_misses * 32);
+        let hr = rep.counters.tex_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+    }
+
+    /// Ablations only ever make kernels faster-or-equal in the dimension they
+    /// remove (no accidental coupling).
+    #[test]
+    fn ablations_are_one_sided(
+        blocks in 1u32..=300,
+        kb in 10u64..=100,
+    ) {
+        let n = kb * 1024;
+        let tpb = 256u32;
+        let warps = tpb.div_ceil(32) as u64;
+        let spec = KernelSpec {
+            launch: LaunchConfig { blocks, threads_per_block: tpb },
+            resources: KernelResources::new(tpb),
+            profile: BlockProfile {
+                phases: vec![Phase {
+                    label: "scan",
+                    warp_instructions: (n / 32) * 8,
+                    chain_instructions: (n / tpb as u64) * 8,
+                    mem: Some(MemTraffic {
+                        kind: MemKind::Texture {
+                            streams_per_block: tpb,
+                            unique_bytes: n,
+                            shared_across_blocks: true,
+                        },
+                        requests: (n / 32) * warps,
+                        chain: n / tpb as u64,
+                        touched_bytes: n,
+                    }),
+                    barriers: 0,
+                }],
+            },
+        };
+        let dev = DeviceConfig::geforce_8800_gts_512();
+        let on = simulate(&dev, &CostModel::default(), &spec).unwrap();
+        let no_cache = simulate(&dev, &CostModel::without_texture_cache(), &spec).unwrap();
+        let no_hiding = simulate(&dev, &CostModel::without_latency_hiding(), &spec).unwrap();
+        prop_assert!(no_cache.cycles <= on.cycles + 1.0);
+        prop_assert!(no_hiding.cycles >= on.cycles - 1.0);
+    }
+}
