@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn empty_launch_rejected() {
         let spec = compute_kernel(0, 32, 100);
-        assert_eq!(simulate(&gtx(), &CostModel::default(), &spec), Err(SimError::EmptyLaunch));
+        assert_eq!(
+            simulate(&gtx(), &CostModel::default(), &spec),
+            Err(SimError::EmptyLaunch)
+        );
     }
 
     #[test]

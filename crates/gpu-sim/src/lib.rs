@@ -72,11 +72,17 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::BlockTooLarge { requested, max } => {
-                write!(f, "block of {requested} threads exceeds device maximum {max}")
+                write!(
+                    f,
+                    "block of {requested} threads exceeds device maximum {max}"
+                )
             }
             SimError::EmptyLaunch => write!(f, "kernel launch needs at least one block and thread"),
             SimError::ResourcesExceedSm { what } => {
-                write!(f, "per-block {what} exceeds a single multiprocessor's capacity")
+                write!(
+                    f,
+                    "per-block {what} exceeds a single multiprocessor's capacity"
+                )
             }
         }
     }

@@ -138,8 +138,11 @@ pub fn probe_texture_cache_size(dev: &DeviceConfig, cost: &CostModel) -> u32 {
     let mut streams = 16u32;
     while streams <= 4096 {
         let miss_rate = latency_for(streams);
-        if miss_rate <= baseline + 0.02 + (per_stream_bytes.div_ceil(line as u64) as f64
-            / (per_stream_bytes * streams as u64) as f64)
+        if miss_rate
+            <= baseline
+                + 0.02
+                + (per_stream_bytes.div_ceil(line as u64) as f64
+                    / (per_stream_bytes * streams as u64) as f64)
         {
             best = streams;
         }
@@ -265,8 +268,8 @@ mod tests {
         let gt200 = probe_texture_cache_size(&DeviceConfig::geforce_gtx_280(), &cost);
         // The probe recovers the configured 2x working-set difference.
         assert!(gt200 > g92, "gt200 {gt200} vs g92 {g92}");
-        assert!(g92 >= 4 * 1024 && g92 <= 16 * 1024, "{g92}");
-        assert!(gt200 >= 8 * 1024 && gt200 <= 32 * 1024, "{gt200}");
+        assert!((4 * 1024..=16 * 1024).contains(&g92), "{g92}");
+        assert!((8 * 1024..=32 * 1024).contains(&gt200), "{gt200}");
     }
 
     #[test]
@@ -284,7 +287,12 @@ mod tests {
         for dev in DeviceConfig::paper_testbed() {
             let bw = probe_bandwidth(&dev, &cost);
             let rel = (bw - dev.mem_bandwidth_gbps).abs() / dev.mem_bandwidth_gbps;
-            assert!(rel < 0.15, "{}: probed {bw} vs spec {}", dev.name, dev.mem_bandwidth_gbps);
+            assert!(
+                rel < 0.15,
+                "{}: probed {bw} vs spec {}",
+                dev.name,
+                dev.mem_bandwidth_gbps
+            );
         }
     }
 

@@ -107,17 +107,11 @@ pub fn occupancy(dev: &DeviceConfig, res: &KernelResources) -> Option<Occupancy>
             OccupancyLimiter::Warps,
         ),
     ];
-    if regs_per_block > 0 {
-        limits.push((
-            dev.registers_per_sm / regs_per_block,
-            OccupancyLimiter::Registers,
-        ));
+    if let Some(by_regs) = dev.registers_per_sm.checked_div(regs_per_block) {
+        limits.push((by_regs, OccupancyLimiter::Registers));
     }
-    if res.shared_mem_per_block > 0 {
-        limits.push((
-            dev.shared_mem_per_sm / res.shared_mem_per_block,
-            OccupancyLimiter::SharedMem,
-        ));
+    if let Some(by_smem) = dev.shared_mem_per_sm.checked_div(res.shared_mem_per_block) {
+        limits.push((by_smem, OccupancyLimiter::SharedMem));
     }
 
     // min by blocks; ties resolved in the listed priority order.
@@ -205,11 +199,7 @@ mod tests {
         // Block bigger than the device maximum.
         assert!(occupancy(&gtx(), &KernelResources::new(1024)).is_none());
         // Shared memory larger than the SM.
-        assert!(occupancy(
-            &gtx(),
-            &KernelResources::new(64).with_shared_mem(20 * 1024)
-        )
-        .is_none());
+        assert!(occupancy(&gtx(), &KernelResources::new(64).with_shared_mem(20 * 1024)).is_none());
         // Zero threads.
         assert!(occupancy(&gtx(), &KernelResources::new(0)).is_none());
     }

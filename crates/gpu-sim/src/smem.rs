@@ -141,7 +141,7 @@ mod tests {
     fn degree_bounded_by_half_warp() {
         for s in [1u32, 3, 4, 8, 16, 32, 64, 96, 128, 256, 512, 1024] {
             let d = conflict_degree_cc1x(SmemPattern::Strided { stride_bytes: s });
-            assert!(d >= 1 && d <= 16, "stride {s} -> degree {d}");
+            assert!((1..=16).contains(&d), "stride {s} -> degree {d}");
         }
     }
 }

@@ -79,7 +79,11 @@ impl LockstepRecorder {
         if distinct > 1 {
             self.divergent_steps += 1;
         }
-        let body = if serialize_divergence { serial_cost } else { max_cost };
+        let body = if serialize_divergence {
+            serial_cost
+        } else {
+            max_cost
+        };
         self.issue_instructions += common_overhead as u64 + body;
     }
 
@@ -117,7 +121,11 @@ impl LockstepRecorder {
         self.steps += other.steps;
         self.issue_instructions += other.issue_instructions;
         self.divergent_steps += other.divergent_steps;
-        for (a, b) in self.path_histogram.iter_mut().zip(other.path_histogram.iter()) {
+        for (a, b) in self
+            .path_histogram
+            .iter_mut()
+            .zip(other.path_histogram.iter())
+        {
             *a += b;
         }
     }

@@ -9,7 +9,7 @@
 //!   single-CPU baseline;
 //! * [`ActiveSetBackend`] — the optimized single-core counter (one database
 //!   pass for all candidates) re-exported from `tdm-core`;
-//! * [`MapReduceBackend`] — episodes fanned out over a crossbeam worker pool via
+//! * [`MapReduceBackend`] — episodes fanned out over a scoped-thread worker pool via
 //!   the `tdm-mapreduce` framework (map = count one episode, reduce = identity),
 //!   mirroring the paper's MapReduce framing on a multicore host.
 //!
@@ -90,8 +90,7 @@ impl<'a> Mapper for CountMapper<'a> {
 
 impl CountingBackend for MapReduceBackend {
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        let inputs: Vec<(usize, Episode)> =
-            candidates.iter().cloned().enumerate().collect();
+        let inputs: Vec<(usize, Episode)> = candidates.iter().cloned().enumerate().collect();
         let out = run_parallel(
             &CountMapper { db },
             &IdentityReducer::default(),

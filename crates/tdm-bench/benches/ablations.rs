@@ -34,9 +34,20 @@ fn ablation_cache(c: &mut Criterion) {
         ("on", CostModel::default()),
         ("off", CostModel::without_texture_cache()),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(format!("A3-L2-512tpb-cache_{name}")), |b| {
-            b.iter(|| black_box(run_sim(Algorithm::BlockTexture, 2, 512, &cost, &SimOptions::default())))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("A3-L2-512tpb-cache_{name}")),
+            |b| {
+                b.iter(|| {
+                    black_box(run_sim(
+                        Algorithm::BlockTexture,
+                        2,
+                        512,
+                        &cost,
+                        &SimOptions::default(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -49,9 +60,20 @@ fn ablation_divergence(c: &mut Criterion) {
         ("on", CostModel::default()),
         ("off", CostModel::without_divergence()),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(format!("A1-L2-128tpb-div_{name}")), |b| {
-            b.iter(|| black_box(run_sim(Algorithm::ThreadTexture, 2, 128, &cost, &SimOptions::default())))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("A1-L2-128tpb-div_{name}")),
+            |b| {
+                b.iter(|| {
+                    black_box(run_sim(
+                        Algorithm::ThreadTexture,
+                        2,
+                        128,
+                        &cost,
+                        &SimOptions::default(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -65,9 +87,20 @@ fn ablation_latency(c: &mut Criterion) {
         ("on", CostModel::default()),
         ("off", CostModel::without_latency_hiding()),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(format!("A1-L1-256tpb-hiding_{name}")), |b| {
-            b.iter(|| black_box(run_sim(Algorithm::ThreadTexture, 1, 256, &cost, &SimOptions::default())))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("A1-L1-256tpb-hiding_{name}")),
+            |b| {
+                b.iter(|| {
+                    black_box(run_sim(
+                        Algorithm::ThreadTexture,
+                        1,
+                        256,
+                        &cost,
+                        &SimOptions::default(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -80,9 +113,20 @@ fn ablation_bank_conflicts(c: &mut Criterion) {
         ("on", CostModel::default()),
         ("off", CostModel::without_bank_conflicts()),
     ] {
-        g.bench_function(BenchmarkId::from_parameter(format!("A4-L2-64tpb-banks_{name}")), |b| {
-            b.iter(|| black_box(run_sim(Algorithm::BlockBuffered, 2, 64, &cost, &SimOptions::default())))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("A4-L2-64tpb-banks_{name}")),
+            |b| {
+                b.iter(|| {
+                    black_box(run_sim(
+                        Algorithm::BlockBuffered,
+                        2,
+                        64,
+                        &cost,
+                        &SimOptions::default(),
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -96,9 +140,20 @@ fn ablation_buffer_size(c: &mut Criterion) {
             buffer_bytes: buffer,
             ..Default::default()
         };
-        g.bench_function(BenchmarkId::from_parameter(format!("A2-L1-256tpb-buf{buffer}")), |b| {
-            b.iter(|| black_box(run_sim(Algorithm::ThreadBuffered, 1, 256, &CostModel::default(), &opts)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("A2-L1-256tpb-buf{buffer}")),
+            |b| {
+                b.iter(|| {
+                    black_box(run_sim(
+                        Algorithm::ThreadBuffered,
+                        1,
+                        256,
+                        &CostModel::default(),
+                        &opts,
+                    ))
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -21,9 +21,10 @@ fn fsm_scan(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(db.len() as u64));
     for ep_str in ["A", "AB", "ABC", "ABCDE"] {
         let ep = Episode::from_str(&ab, ep_str).unwrap();
-        g.bench_function(BenchmarkId::from_parameter(format!("L{}", ep.level())), |b| {
-            b.iter(|| black_box(count_episode(&db, &ep)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("L{}", ep.level())),
+            |b| b.iter(|| black_box(count_episode(&db, &ep))),
+        );
     }
     g.finish();
 }
@@ -35,12 +36,14 @@ fn multi_episode_counting(c: &mut Criterion) {
     g.sample_size(10);
     for level in [1usize, 2] {
         let eps = permutations(&ab, level);
-        g.bench_function(BenchmarkId::from_parameter(format!("active_set_L{level}")), |b| {
-            b.iter(|| black_box(count_episodes(&db, &eps)))
-        });
-        g.bench_function(BenchmarkId::from_parameter(format!("naive_L{level}")), |b| {
-            b.iter(|| black_box(count_episodes_naive(&db, &eps)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("active_set_L{level}")),
+            |b| b.iter(|| black_box(count_episodes(&db, &eps))),
+        );
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("naive_L{level}")),
+            |b| b.iter(|| black_box(count_episodes_naive(&db, &eps))),
+        );
     }
     g.finish();
 }
@@ -53,12 +56,14 @@ fn segmented_counting(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(db.len() as u64));
     for parts in [64usize, 512] {
         let bounds = even_bounds(db.len(), parts);
-        g.bench_function(BenchmarkId::from_parameter(format!("continuation_{parts}")), |b| {
-            b.iter(|| black_box(count_segmented(&db, &ep, &bounds)))
-        });
-        g.bench_function(BenchmarkId::from_parameter(format!("exact_compose_{parts}")), |b| {
-            b.iter(|| black_box(count_segmented_exact(&db, &ep, &bounds)))
-        });
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("continuation_{parts}")),
+            |b| b.iter(|| black_box(count_segmented(&db, &ep, &bounds))),
+        );
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("exact_compose_{parts}")),
+            |b| b.iter(|| black_box(count_segmented_exact(&db, &ep, &bounds))),
+        );
     }
     g.finish();
 }
@@ -99,7 +104,9 @@ fn simulator_primitives(c: &mut Criterion) {
             for tpb in [16u32, 64, 96, 128, 256, 512] {
                 black_box(occupancy(
                     &dev,
-                    &KernelResources::new(tpb).with_registers(16).with_shared_mem(4096),
+                    &KernelResources::new(tpb)
+                        .with_registers(16)
+                        .with_shared_mem(4096),
                 ));
             }
         })

@@ -43,7 +43,9 @@ pub fn c1(grid: &Grid) -> CharacterizationResult {
             let t3 = grid.get(algo, 3, tpb, GTX).time_ms;
             let ratio = t3 / t1;
             worst = worst.max(ratio);
-            details.push_str(&format!("A{algo}@{tpb}: T(L3)/T(L1) = {ratio:.2} (600x episodes); "));
+            details.push_str(&format!(
+                "A{algo}@{tpb}: T(L3)/T(L1) = {ratio:.2} (600x episodes); "
+            ));
         }
     }
     CharacterizationResult {
@@ -130,8 +132,10 @@ pub fn c4(grid: &Grid) -> CharacterizationResult {
     let best_thread = min_time(grid, 1, 1, GTX).1.min(min_time(grid, 2, 1, GTX).1);
     let best_block = min_time(grid, 3, 1, GTX).1.min(min_time(grid, 4, 1, GTX).1);
     let (a4_tpb, a4_best) = min_time(grid, 4, 1, GTX);
-    // Sub-millisecond at full scale; pro-rate the bound for scaled-down runs.
-    let bound_ms = 1.0f64.max(grid.scale).min(1.0);
+    // Sub-millisecond at full scale. For scaled-down runs only the
+    // data-dependent part shrinks with the database; kernel launch overhead
+    // and per-block setup do not, so keep a 0.1 ms floor.
+    let bound_ms = (0.1 + 0.9 * grid.scale).min(1.0);
     let passed = best_block * 10.0 < best_thread && a4_best < bound_ms;
     CharacterizationResult {
         id: 4,
@@ -192,7 +196,10 @@ pub fn c7(grid: &Grid) -> CharacterizationResult {
         }
         let frac = ok_level as f64 / axis.len() as f64;
         passed &= frac >= 0.8;
-        details.push_str(&format!("L{level}: clock ordering holds at {ok_level}/{} tpb; ", axis.len()));
+        details.push_str(&format!(
+            "L{level}: clock ordering holds at {ok_level}/{} tpb; ",
+            axis.len()
+        ));
     }
     CharacterizationResult {
         id: 7,
@@ -207,7 +214,10 @@ pub fn c7(grid: &Grid) -> CharacterizationResult {
 pub fn c8(grid: &Grid) -> CharacterizationResult {
     let axis = grid.tpb_axis();
     let median = |card: &str| -> f64 {
-        let mut v: Vec<f64> = axis.iter().map(|&t| grid.get(3, 1, t, card).time_ms).collect();
+        let mut v: Vec<f64> = axis
+            .iter()
+            .map(|&t| grid.get(3, 1, t, card).time_ms)
+            .collect();
         v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     };

@@ -19,7 +19,13 @@ pub struct Figure {
 
 const GTX: &str = "GeForce GTX 280";
 
-fn series_csv(name: &str, title: &str, xs: &[u32], series: &[(String, Vec<f64>)], log_y: bool) -> Figure {
+fn series_csv(
+    name: &str,
+    title: &str,
+    xs: &[u32],
+    series: &[(String, Vec<f64>)],
+    log_y: bool,
+) -> Figure {
     let mut csv = String::from("tpb");
     for (label, _) in series {
         csv.push_str(&format!(",{label}"));
@@ -112,7 +118,9 @@ pub fn fig8(grid: &Grid) -> Vec<Figure> {
             .map(|card| {
                 (
                     card.replace("GeForce ", "").replace(' ', ""),
-                    xs.iter().map(|&t| grid.get(algo, level, t, card).time_ms).collect(),
+                    xs.iter()
+                        .map(|&t| grid.get(algo, level, t, card).time_ms)
+                        .collect(),
                 )
             })
             .collect();
@@ -148,7 +156,9 @@ pub fn fig9(grid: &Grid) -> Vec<Figure> {
                 .map(|card| {
                     (
                         card.replace("GeForce ", "").replace(' ', ""),
-                        xs.iter().map(|&t| grid.get(algo, level, t, card).time_ms).collect(),
+                        xs.iter()
+                            .map(|&t| grid.get(algo, level, t, card).time_ms)
+                            .collect(),
                     )
                 })
                 .collect();
@@ -185,7 +195,9 @@ pub fn best_config(grid: &Grid) -> Figure {
             .find(|(l, _)| *l == level)
             .map(|(_, c)| *c)
             .unwrap_or("-");
-        csv.push_str(&format!("{level},Algorithm{algo},{tpb},{ms:.4},\"{claim}\"\n"));
+        csv.push_str(&format!(
+            "{level},Algorithm{algo},{tpb},{ms:.4},\"{claim}\"\n"
+        ));
         preview.push_str(&format!(
             "  L{level}: Algorithm{algo} @ {tpb} tpb -> {ms:.3} ms   (paper: {claim})\n"
         ));
@@ -225,7 +237,11 @@ pub fn grid_csv(grid: &Grid) -> Figure {
         name: "grid".into(),
         title: "Full measurement grid".into(),
         csv,
-        preview: format!("{} cells over db of {} letters\n", grid.cells.len(), grid.db_len),
+        preview: format!(
+            "{} cells over db of {} letters\n",
+            grid.cells.len(),
+            grid.db_len
+        ),
     }
 }
 

@@ -151,7 +151,9 @@ impl Grid {
         self.cells
             .iter()
             .find(|c| c.algo == algo && c.level == level && c.tpb == tpb && c.card == card)
-            .unwrap_or_else(|| panic!("missing cell algo={algo} level={level} tpb={tpb} card={card}"))
+            .unwrap_or_else(|| {
+                panic!("missing cell algo={algo} level={level} tpb={tpb} card={card}")
+            })
     }
 
     /// The sorted block-size axis present in the grid.
@@ -238,7 +240,7 @@ mod tests {
         for c in g.cells.iter().filter(|c| c.level == 1) {
             assert!(t <= c.time_ms);
         }
-        assert!(algo >= 1 && algo <= 4);
+        assert!((1..=4).contains(&algo));
         assert!(tpb == 64 || tpb == 256);
     }
 

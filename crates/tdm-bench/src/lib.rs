@@ -18,8 +18,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod chart;
 pub mod characterize;
+pub mod chart;
 pub mod extensions;
 pub mod figures;
 pub mod grid;

@@ -33,8 +33,8 @@ pub fn permutation_count(n: usize, level: usize) -> Option<u64> {
 pub fn permutations(alphabet: &Alphabet, level: usize) -> Vec<Episode> {
     assert!(level > 0, "episode level must be at least 1");
     let n = alphabet.len();
-    let expected = permutation_count(n, level)
-        .expect("candidate space too large to materialize") as usize;
+    let expected =
+        permutation_count(n, level).expect("candidate space too large to materialize") as usize;
     let mut out = Vec::with_capacity(expected);
     let mut current = Vec::with_capacity(level);
     let mut used = vec![false; n];
@@ -66,7 +66,10 @@ pub fn permutations(alphabet: &Alphabet, level: usize) -> Vec<Episode> {
 
 /// All level-1 candidates (one per symbol).
 pub fn level1(alphabet: &Alphabet) -> Vec<Episode> {
-    alphabet.symbols().map(|s| Episode::new(vec![s.0]).unwrap()).collect()
+    alphabet
+        .symbols()
+        .map(|s| Episode::new(vec![s.0]).unwrap())
+        .collect()
 }
 
 /// Apriori-style join: builds level `k+1` candidates from frequent level-`k`

@@ -95,7 +95,11 @@ impl Episode {
 
     /// Renders the episode with an alphabet, e.g. `<A,B,C>`.
     pub fn display(&self, alphabet: &Alphabet) -> String {
-        let names: Vec<&str> = self.items.iter().map(|&i| alphabet.name(Symbol(i))).collect();
+        let names: Vec<&str> = self
+            .items
+            .iter()
+            .map(|&i| alphabet.name(Symbol(i)))
+            .collect();
         format!("<{}>", names.join(","))
     }
 
@@ -165,8 +169,12 @@ mod tests {
 
     #[test]
     fn distinctness_detection() {
-        assert!(Episode::from_str(&ab(), "ABC").unwrap().has_distinct_items());
-        assert!(!Episode::from_str(&ab(), "ABA").unwrap().has_distinct_items());
+        assert!(Episode::from_str(&ab(), "ABC")
+            .unwrap()
+            .has_distinct_items());
+        assert!(!Episode::from_str(&ab(), "ABA")
+            .unwrap()
+            .has_distinct_items());
         assert!(Episode::from_str(&ab(), "Z").unwrap().has_distinct_items());
     }
 

@@ -180,9 +180,6 @@ mod tests {
             let plain_db = EventDb::from_str_symbols(&ab, "ABCABCAB").unwrap();
             crate::count::count_episode(&plain_db, &ep("ABC"))
         };
-        assert_eq!(
-            count_with_expiry(&db, &ep("ABC"), u64::MAX).unwrap(),
-            plain
-        );
+        assert_eq!(count_with_expiry(&db, &ep("ABC"), u64::MAX).unwrap(), plain);
     }
 }

@@ -94,7 +94,7 @@ impl<'a> EpisodeFsm<'a> {
                 self.state = 0;
                 StepKind::Complete
             } else {
-                self.state = self.state + 1;
+                self.state += 1;
                 StepKind::Advance
             }
         } else if self.state == 0 {

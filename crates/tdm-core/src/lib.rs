@@ -93,7 +93,10 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::UnknownSymbol(s) => write!(f, "unknown symbol {s:?}"),
             CoreError::SymbolOutOfRange { id, alphabet } => {
-                write!(f, "symbol id {id} out of range for alphabet of size {alphabet}")
+                write!(
+                    f,
+                    "symbol id {id} out of range for alphabet of size {alphabet}"
+                )
             }
             CoreError::EmptyEpisode => write!(f, "episodes must contain at least one item"),
             CoreError::AlphabetTooLarge(n) => {
@@ -103,7 +106,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "operation requires timestamps but the database has none")
             }
             CoreError::UnsortedTimestamps { at } => {
-                write!(f, "timestamps must be non-decreasing (violated at index {at})")
+                write!(
+                    f,
+                    "timestamps must be non-decreasing (violated at index {at})"
+                )
             }
             CoreError::LengthMismatch { symbols, times } => {
                 write!(f, "{symbols} symbols but {times} timestamps")

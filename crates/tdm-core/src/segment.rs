@@ -39,7 +39,11 @@ pub struct SegmentScan {
 }
 
 /// Scans `stream[range]` from the start state (a block-level thread's map step).
-pub fn scan_segment(stream: &[u8], episode: &Episode, range: std::ops::Range<usize>) -> SegmentScan {
+pub fn scan_segment(
+    stream: &[u8],
+    episode: &Episode,
+    range: std::ops::Range<usize>,
+) -> SegmentScan {
     let mut fsm = EpisodeFsm::new(episode);
     let count = fsm.run(&stream[range]);
     SegmentScan {
@@ -75,9 +79,10 @@ pub fn continuation_count(stream: &[u8], episode: &Episode, state: u8, from: usi
     0
 }
 
-/// Full segmented count: segments are delimited by `bounds`, which must be a
-/// non-decreasing sequence of cut positions strictly inside `0..stream.len()`
-/// (an empty `bounds` degrades to a sequential scan).
+/// Full segmented count: segments are delimited by `bounds`, a non-decreasing
+/// sequence of cut positions in `0..=stream.len()`. Cuts at `0`, at
+/// `stream.len()`, or repeated merely produce empty segments, which are
+/// harmless; an empty `bounds` degrades to a sequential scan.
 ///
 /// Each segment is scanned from state 0; each live end-state is resolved with a
 /// continuation into the following characters; the reduce step sums everything —

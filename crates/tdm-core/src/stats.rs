@@ -111,10 +111,7 @@ mod tests {
         assert_eq!(res.total_candidates(), 676);
         assert_eq!(res.count_of(&a), Some(7));
         assert_eq!(res.count_of(&abep), Some(3));
-        assert_eq!(
-            res.count_of(&Episode::from_str(&ab, "Z").unwrap()),
-            None
-        );
+        assert_eq!(res.count_of(&Episode::from_str(&ab, "Z").unwrap()), None);
         let rows: Vec<_> = res.iter().collect();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].2, 0.07);

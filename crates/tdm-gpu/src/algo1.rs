@@ -32,7 +32,7 @@ pub(crate) fn sample_thread_level(
     serialize: bool,
     opts: &SimOptions,
 ) -> ProfileStats {
-    let lanes = (tpb.min(32)).max(1) as usize;
+    let lanes = tpb.clamp(1, 32) as usize;
     let n_warps = episodes.len().div_ceil(lanes).max(1);
     let costs = FsmCosts::default();
 
@@ -87,11 +87,14 @@ pub fn run(
     let launch = thread_level_grid(n_eps, tpb);
     let opts_c = *opts;
     let stats = problem.cached_stats(
-        (Algorithm::ThreadTexture, stats_key(tpb, cost.model_divergence)),
+        (
+            Algorithm::ThreadTexture,
+            stats_key(tpb, cost.model_divergence),
+        ),
         |db, eps| sample_thread_level(db, eps, tpb, cost.model_divergence, &opts_c),
     );
 
-    let lanes = (tpb.min(32)).max(1) as usize;
+    let lanes = tpb.clamp(1, 32) as usize;
     let active_warps = n_eps.div_ceil(lanes).max(1) as f64;
     let blocks = launch.blocks as f64;
     let warps_per_block = active_warps / blocks; // mean active warps per block

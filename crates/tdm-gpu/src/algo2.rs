@@ -46,11 +46,14 @@ pub fn run(
     let opts_c = *opts;
     // The compute inner loop is identical to Algorithm 1's; reuse its samples.
     let stats = problem.cached_stats(
-        (Algorithm::ThreadTexture, stats_key(tpb, cost.model_divergence)),
+        (
+            Algorithm::ThreadTexture,
+            stats_key(tpb, cost.model_divergence),
+        ),
         |db, eps| sample_thread_level(db, eps, tpb, cost.model_divergence, &opts_c),
     );
 
-    let lanes = (tpb.min(32)).max(1) as usize;
+    let lanes = tpb.clamp(1, 32) as usize;
     let active_warps = n_eps.div_ceil(lanes).max(1) as f64;
     let blocks = launch.blocks as f64;
     let active_wpb = active_warps / blocks;

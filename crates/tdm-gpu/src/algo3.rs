@@ -96,7 +96,7 @@ pub(crate) fn span_and_reduce_phases(
     texture_continuations: bool,
 ) -> Vec<Phase> {
     let warps = tpb.div_ceil(32).max(1) as u64;
-    let lanes = tpb.min(32).max(1) as f64;
+    let lanes = tpb.clamp(1, 32) as f64;
     // Probability at least one lane in a warp has a live partial this boundary.
     let p_any = 1.0 - (1.0 - stats.live_boundary_fraction).powf(lanes);
     // Warp cost per boundary: bookkeeping (save/restore FSM state, store the

@@ -62,6 +62,7 @@ pub fn slice_bounds(n: u64, geometry: &BufferGeometry) -> Vec<usize> {
 /// Lockstep execution of one Algorithm-4 warp: lane `i` (thread `t = warp*32 +
 /// i`) scans slice `t` of every epoch, restarting its FSM at each slice start
 /// (span handling is a separate phase, as in the kernel).
+#[allow(clippy::too_many_arguments)]
 fn run_slice_warp(
     stream: &[u8],
     episode: &Episode,
@@ -301,10 +302,7 @@ mod tests {
         let ep = Episode::from_str(&ab, "AB").unwrap();
         let g = buffer_geometry(db.len() as u64, 64, 4096);
         let bounds = slice_bounds(db.len() as u64, &g);
-        assert_eq!(
-            count_segmented(&db, &ep, &bounds),
-            count_episode(&db, &ep)
-        );
+        assert_eq!(count_segmented(&db, &ep, &bounds), count_episode(&db, &ep));
     }
 
     #[test]
@@ -313,24 +311,15 @@ mod tests {
         let ab = Alphabet::latin26();
         let ep = Episode::from_str(&ab, "AB").unwrap();
         let g = buffer_geometry(db.len() as u64, 64, 2048);
-        let (_, counts) = run_slice_warp(
-            db.symbols(),
-            &ep,
-            &g,
-            0,
-            32,
-            64,
-            &FsmCosts::default(),
-            true,
-        );
+        let (_, counts) =
+            run_slice_warp(db.symbols(), &ep, &g, 0, 32, 64, &FsmCosts::default(), true);
         // Lane 0 scans slice 0 of every epoch; verify against direct scans.
         let mut expect0 = 0u64;
         for e in 0..g.epochs {
             let start = (e * g.buffer_bytes) as usize;
             let end = (start + g.slice_bytes as usize).min(db.len());
             if start < db.len() {
-                expect0 +=
-                    tdm_core::segment::scan_segment(db.symbols(), &ep, start..end).count;
+                expect0 += tdm_core::segment::scan_segment(db.symbols(), &ep, start..end).count;
             }
         }
         assert_eq!(counts[0], expect0);

@@ -223,8 +223,8 @@ impl<'a> MiningProblem<'a> {
     }
 }
 
-/// Ground-truth counts via the active-set counter, chunked over crossbeam
-/// workers for large candidate sets.
+/// Ground-truth counts via the active-set counter, chunked over scoped
+/// worker threads for large candidate sets.
 pub fn parallel_counts(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -233,17 +233,16 @@ pub fn parallel_counts(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
         return tdm_core::count::count_episodes(db, episodes);
     }
     let chunk = episodes.len().div_ceil(workers);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = episodes
             .chunks(chunk)
-            .map(|part| s.spawn(move |_| tdm_core::count::count_episodes(db, part)))
+            .map(|part| s.spawn(move || tdm_core::count::count_episodes(db, part)))
             .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("count worker panicked"))
             .collect()
     })
-    .expect("count scope panicked")
 }
 
 /// A [`CountingBackend`] that runs one of the simulated GPU kernels for the

@@ -80,8 +80,7 @@ mod tests {
             .collect();
         let db = EventDb::new(Alphabet::latin26(), symbols).unwrap();
         let eps = permutations(&Alphabet::latin26(), 2);
-        let results =
-            validate_all(&db, &eps, 128, &DeviceConfig::geforce_gtx_280()).unwrap();
+        let results = validate_all(&db, &eps, 128, &DeviceConfig::geforce_gtx_280()).unwrap();
         for (algo, mismatches) in results {
             assert!(mismatches.is_empty(), "{algo} mismatches: {mismatches:?}");
         }

@@ -7,7 +7,7 @@
 //!
 //! This crate provides that programming model for the CPU side of the
 //! reproduction: [`Mapper`]/[`Reducer`] traits, a sequential executor
-//! ([`run_sequential`]) and a crossbeam-based parallel executor ([`run_parallel`])
+//! ([`run_sequential`]) and a scoped-thread parallel executor ([`run_parallel`])
 //! whose workers mirror the figure-2 topology (map workers → grouped intermediate
 //! pairs → reduce workers). The CPU mining baselines in `tdm-baselines` are built
 //! on it.
@@ -116,7 +116,7 @@ where
 }
 
 /// Runs the job with `workers` map workers and the same number of reduce
-/// workers, using crossbeam scoped threads. Output is sorted by key, identical
+/// workers, using scoped threads. Output is sorted by key, identical
 /// to [`run_sequential`] for deterministic mappers/reducers.
 pub fn run_parallel<M, R>(
     mapper: &M,
@@ -135,11 +135,11 @@ where
 
     // Map phase: each worker maps a contiguous chunk into a local group table.
     let chunk = inputs.len().div_ceil(workers);
-    let locals: Vec<BTreeMap<M::Key, Vec<M::Value>>> = crossbeam::thread::scope(|s| {
+    let locals: Vec<BTreeMap<M::Key, Vec<M::Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = inputs
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut local: BTreeMap<M::Key, Vec<M::Value>> = BTreeMap::new();
                     for input in part {
                         mapper.map(input, &mut |k, v| local.entry(k).or_default().push(v));
@@ -152,8 +152,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("map worker panicked"))
             .collect()
-    })
-    .expect("map scope panicked");
+    });
 
     // Shuffle: merge worker-local tables (workers produced chunks in input order,
     // so values keep a deterministic order).
@@ -167,11 +166,11 @@ where
     // Reduce phase: chunk keys across workers.
     let entries: Vec<(M::Key, Vec<M::Value>)> = groups.into_iter().collect();
     let chunk = entries.len().div_ceil(workers).max(1);
-    let reduced: Vec<Vec<(M::Key, R::Output)>> = crossbeam::thread::scope(|s| {
+    let reduced: Vec<Vec<(M::Key, R::Output)>> = std::thread::scope(|s| {
         let handles: Vec<_> = entries
             .chunks(chunk)
             .map(|part| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     part.iter()
                         .map(|(k, vs)| (k.clone(), reducer.reduce(k, vs)))
                         .collect::<Vec<_>>()
@@ -182,8 +181,7 @@ where
             .into_iter()
             .map(|h| h.join().expect("reduce worker panicked"))
             .collect()
-    })
-    .expect("reduce scope panicked");
+    });
 
     // Keys were globally sorted before chunking; concatenation preserves order.
     reduced.into_iter().flatten().collect()

@@ -1,6 +1,6 @@
 //! Chunked parallel-for helpers shared by the CPU executors.
 
-/// Applies `f` to contiguous chunks of `items` across `workers` crossbeam scoped
+/// Applies `f` to contiguous chunks of `items` across `workers` scoped
 /// threads and returns the per-chunk results in input order.
 ///
 /// `f` receives `(chunk_index, chunk)`. With one worker (or one chunk) this
@@ -24,18 +24,17 @@ where
             .collect();
     }
     let f = &f;
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
-            .map(|(i, c)| s.spawn(move |_| f(i, c)))
+            .map(|(i, c)| s.spawn(move || f(i, c)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("pool worker panicked"))
             .collect()
     })
-    .expect("pool scope panicked")
 }
 
 /// A parallel map over individual items, preserving order.

@@ -52,7 +52,10 @@ pub fn paper_database() -> EventDb {
 /// Panics when `scale` is not in `(0, 1]`.
 pub fn paper_database_scaled(scale: f64) -> EventDb {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-    uniform_letters((PAPER_DB_LEN as f64 * scale).round().max(1.0) as usize, PAPER_SEED)
+    uniform_letters(
+        (PAPER_DB_LEN as f64 * scale).round().max(1.0) as usize,
+        PAPER_SEED,
+    )
 }
 
 /// Uniform i.i.d. letters over the Latin alphabet.
@@ -92,12 +95,7 @@ pub fn markov_letters(n: usize, seed: u64, persistence: f64) -> EventDb {
 /// planted at random positions (contiguously, so every copy is found under the
 /// paper's FSM semantics). Returns the stream and the positions where copies
 /// start — ground truth for recall tests.
-pub fn planted(
-    n: usize,
-    seed: u64,
-    episode: &Episode,
-    injections: usize,
-) -> (EventDb, Vec<usize>) {
+pub fn planted(n: usize, seed: u64, episode: &Episode, injections: usize) -> (EventDb, Vec<usize>) {
     let base = uniform_letters(n, seed);
     let mut symbols = base.symbols().to_vec();
     let l = episode.level();
@@ -165,12 +163,7 @@ mod tests {
     fn markov_persistence_creates_runs() {
         let bursty = markov_letters(10_000, 3, 0.9);
         let uniform = markov_letters(10_000, 3, 0.0);
-        let runs = |db: &EventDb| {
-            db.symbols()
-                .windows(2)
-                .filter(|w| w[0] == w[1])
-                .count()
-        };
+        let runs = |db: &EventDb| db.symbols().windows(2).filter(|w| w[0] == w[1]).count();
         assert!(runs(&bursty) > 5 * runs(&uniform));
     }
 

@@ -69,7 +69,10 @@ impl Default for SpikeTrainConfig {
 /// Panics when `neurons` is 0 or exceeds 256, or when a chain references a
 /// neuron outside the range.
 pub fn spike_trains(config: &SpikeTrainConfig) -> EventDb {
-    assert!(config.neurons > 0 && config.neurons <= 256, "1..=256 neurons");
+    assert!(
+        config.neurons > 0 && config.neurons <= 256,
+        "1..=256 neurons"
+    );
     for chain in &config.chains {
         assert!(
             chain.neurons.iter().all(|&n| (n as usize) < config.neurons),

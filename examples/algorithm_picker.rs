@@ -36,7 +36,13 @@ fn main() {
             for algo in Algorithm::ALL {
                 for &tpb in &sweep {
                     let run = problem
-                        .run(algo, tpb, &card, &CostModel::default(), &SimOptions::default())
+                        .run(
+                            algo,
+                            tpb,
+                            &card,
+                            &CostModel::default(),
+                            &SimOptions::default(),
+                        )
                         .unwrap();
                     rows.push((algo, tpb, run.report.time_ms));
                 }

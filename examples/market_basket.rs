@@ -61,18 +61,17 @@ fn main() {
         pb_bread_jelly.display(ab),
         bread_pb_jelly.display(ab)
     );
-    assert!(a > 3 * (b + 1), "seeded ordering should dominate its reversal");
+    assert!(
+        a > 3 * (b + 1),
+        "seeded ordering should dominate its reversal"
+    );
 
     // And the same mining on a simulated GPU, validating the counts agree.
-    let mut gpu = GpuBackend::new(
-        Algorithm::BlockTexture,
-        64,
-        DeviceConfig::geforce_gtx_280(),
-    );
+    let mut gpu = GpuBackend::new(Algorithm::BlockTexture, 64, DeviceConfig::geforce_gtx_280());
     let gpu_result = miner.mine(&db, &mut gpu);
     assert_eq!(gpu_result, result);
     println!(
-        "\nGPU-simulated mining agrees; total simulated kernel time {:.2} ms on {}",
-        gpu.simulated_ms, "GeForce GTX 280"
+        "\nGPU-simulated mining agrees; total simulated kernel time {:.2} ms on GeForce GTX 280",
+        gpu.simulated_ms
     );
 }

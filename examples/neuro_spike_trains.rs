@@ -60,13 +60,20 @@ fn main() {
         }
     }
     pair_scores.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
-    println!("\ntop directed pairs within a {} ms window:", window_us / 1000);
+    println!(
+        "\ntop directed pairs within a {} ms window:",
+        window_us / 1000
+    );
     for (ep, c) in pair_scores.iter().take(5) {
         println!("  {} : {c}", ep.display(db.alphabet()));
     }
     let b_pair = Episode::new(circuit_b.neurons.clone()).unwrap();
     let rank_b = pair_scores.iter().position(|(e, _)| *e == b_pair).unwrap();
-    println!("  injected circuit {} ranks #{}", b_pair.display(db.alphabet()), rank_b + 1);
+    println!(
+        "  injected circuit {} ranks #{}",
+        b_pair.display(db.alphabet()),
+        rank_b + 1
+    );
     assert!(rank_b < 5, "injected pair should rank in the top 5");
 
     // 3. The length-3 circuit: confirm the full chain beats its reversal.
@@ -91,7 +98,13 @@ fn main() {
         for algo in Algorithm::ALL {
             for tpb in [64u32, 128, 256] {
                 let run = problem
-                    .run(algo, tpb, &card, &CostModel::default(), &SimOptions::default())
+                    .run(
+                        algo,
+                        tpb,
+                        &card,
+                        &CostModel::default(),
+                        &SimOptions::default(),
+                    )
                     .unwrap();
                 if run.report.time_ms < best.2 {
                     best = (algo, tpb, run.report.time_ms);

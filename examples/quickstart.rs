@@ -38,10 +38,18 @@ fn main() {
         cpu_ms
     );
     for level in &result.levels {
-        println!("  level {}: {} candidates, {} frequent", level.level, level.candidates, level.len());
+        println!(
+            "  level {}: {} candidates, {} frequent",
+            level.level,
+            level.candidates,
+            level.len()
+        );
     }
     match result.count_of(&secret) {
-        Some(c) => println!("  planted episode {} found with count {c}", secret.display(&ab)),
+        Some(c) => println!(
+            "  planted episode {} found with count {c}",
+            secret.display(&ab)
+        ),
         None => println!("  planted episode NOT found — lower alpha?"),
     }
 

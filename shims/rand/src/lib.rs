@@ -1,0 +1,271 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the surface the workspace uses: a seedable small RNG
+//! ([`rngs::SmallRng`], xoshiro256++), plus `random`, `random_range`, and
+//! `random_bool` via [`RngExt`]. Deterministic for a given seed, which is all
+//! the workload generators require.
+
+#![forbid(unsafe_code)]
+
+/// Sources of raw random 64-bit words.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support, mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG whose entire stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, mirroring the `rand::Rng` extension surface.
+pub trait RngExt: RngCore + Sized {
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform `[0, 1)` for floats, full-range uniform for integers).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Types samplable by [`RngExt::random`].
+pub trait StandardSample {
+    /// Draws one standard-distribution value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Integers with uniform range sampling (via unbiased rejection on `u128`).
+pub trait UniformInt: Copy {
+    /// Widens to `i128` for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows back after offsetting; the value is guaranteed in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn sample_span<R: RngCore>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    // A span of 2^64 (e.g. `0..=u64::MAX`) covers every u64: no rejection
+    // needed, and `span as u64` below would truncate it to 0.
+    if span == 1u128 << 64 {
+        return rng.next_u64() as u128;
+    }
+    // Unbiased rejection over 64-bit draws; sampled integer types are at most
+    // 64 bits wide, so spans always fit in u64 after the check above.
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample from empty range");
+        T::from_i128(lo + sample_span(rng, (hi - lo) as u128) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::from_i128(lo + sample_span(rng, (hi - lo + 1) as u128) as i128)
+    }
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u = f32::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, seedable RNG: xoshiro256++ seeded through splitmix64
+    /// (the reference construction from Blackman & Vigna).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(0..26u32);
+            assert!(x < 26);
+            let y = rng.random_range(1..=6u64);
+            assert!((1..=6).contains(&y));
+            let f = rng.random_range(-2.0..2.0f64);
+            assert!((-2.0..2.0).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.1)));
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Spans of exactly 2^64 must not truncate to a zero divisor.
+        let mut any_high = false;
+        for _ in 0..100 {
+            let v = rng.random_range(0..=u64::MAX);
+            any_high |= v > u64::MAX / 2;
+        }
+        assert!(any_high);
+        let s = rng.random_range(i64::MIN..=i64::MAX);
+        let _ = s;
+    }
+
+    #[test]
+    fn small_ranges_cover_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..6usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names and re-exports the no-op derive macros from
+//! the sibling `serde_derive` shim. The workspace uses serde only through
+//! `#[derive(Serialize, Deserialize)]` attributes and `use serde::{...}`
+//! imports — never as trait bounds — so empty traits and empty derives are a
+//! faithful substitute until the real crates can be vendored.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::Serialize` (the trait namespace half of the name).
+pub trait Serialize {}
+
+/// Stand-in for `serde::Deserialize` (the trait namespace half of the name).
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; the workspace
+//! only ever uses the derive *attributes* (never the traits as bounds), so
+//! these no-op derives keep every `#[derive(Serialize, Deserialize)]` in the
+//! tree compiling without pulling `syn`/`quote` from the network.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

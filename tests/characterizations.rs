@@ -10,19 +10,21 @@ use tdm_bench::{characterize, Grid, GridConfig};
 
 fn test_grid() -> &'static Grid {
     static GRID: std::sync::OnceLock<Grid> = std::sync::OnceLock::new();
-    GRID.get_or_init(|| Grid::compute(&GridConfig {
-        scale: 0.25,
-        levels: vec![1, 2, 3],
-        tpb_sweep: vec![16, 64, 96, 128, 256, 320, 512],
-        cards: DeviceConfig::paper_testbed(),
-        ..Default::default()
-    }))
+    GRID.get_or_init(|| {
+        Grid::compute(&GridConfig {
+            scale: 0.25,
+            levels: vec![1, 2, 3],
+            tpb_sweep: vec![16, 64, 96, 128, 256, 320, 512],
+            cards: DeviceConfig::paper_testbed(),
+            ..Default::default()
+        })
+    })
 }
 
 #[test]
 fn all_eight_characterizations_reproduce() {
     let grid = test_grid();
-    let results = characterize::all(&grid);
+    let results = characterize::all(grid);
     assert_eq!(results.len(), 8);
     let failed: Vec<String> = results
         .iter()

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 use temporal_mining::core::count::count_episode;
 use temporal_mining::core::expiry::count_with_expiry;
+use temporal_mining::core::segment::{count_segmented, count_segmented_exact, even_bounds};
 use temporal_mining::core::semantics::{count_distinct_starts, count_non_overlapping};
 use temporal_mining::core::{Alphabet, Episode, EventDb};
 
@@ -128,5 +129,67 @@ proptest! {
         rev.reverse();
         let bwd = count_episode(&EventDb::new(ab, rev).unwrap(), &ep);
         prop_assert_eq!(fwd, bwd);
+    }
+
+    /// Segmented counting with boundary continuation (the paper's Fig. 5 span
+    /// handling, what the block-level kernels compute) equals the sequential
+    /// FSM count for distinct-item episodes of lengths 1–4 under ANY
+    /// segmentation of ANY database.
+    #[test]
+    fn segmented_continuation_equals_sequential(
+        data in proptest::collection::vec(0u8..8, 1..400),
+        cuts in proptest::collection::vec(0usize..400, 0..10),
+        len in 1usize..5,
+    ) {
+        let ab = Alphabet::numbered(8).unwrap();
+        let n = data.len();
+        let db = EventDb::new(ab, data).unwrap();
+        // Episode items 0..len are distinct by construction (lengths 1..=4).
+        let ep = Episode::new((0..len as u8).collect::<Vec<u8>>()).unwrap();
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        bounds.sort_unstable();
+        prop_assert_eq!(
+            count_segmented(&db, &ep, &bounds),
+            count_episode(&db, &ep),
+            "bounds={:?} n={}", bounds, n
+        );
+    }
+
+    /// The exact state-composition variant agrees with the sequential count for
+    /// ARBITRARY episodes (repeats allowed), under any segmentation.
+    #[test]
+    fn segmented_exact_equals_sequential_for_any_episode(
+        data in proptest::collection::vec(0u8..5, 1..400),
+        items in proptest::collection::vec(0u8..5, 1..5),
+        cuts in proptest::collection::vec(0usize..400, 0..10),
+    ) {
+        let ab = Alphabet::numbered(5).unwrap();
+        let n = data.len();
+        let db = EventDb::new(ab, data).unwrap();
+        let ep = Episode::new(items).unwrap();
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        bounds.sort_unstable();
+        prop_assert_eq!(
+            count_segmented_exact(&db, &ep, &bounds),
+            count_episode(&db, &ep),
+            "bounds={:?} n={}", bounds, n
+        );
+    }
+
+    /// Even partitions (how the kernels actually split the database across
+    /// threads) preserve the count for every worker count up to the database
+    /// length.
+    #[test]
+    fn even_partitions_preserve_counts(
+        data in proptest::collection::vec(0u8..6, 1..300),
+        parts in 1usize..65,
+        len in 1usize..5,
+    ) {
+        let ab = Alphabet::numbered(6).unwrap();
+        let n = data.len();
+        let db = EventDb::new(ab, data).unwrap();
+        let ep = Episode::new((0..len as u8).collect::<Vec<u8>>()).unwrap();
+        let bounds = even_bounds(n, parts.min(n).max(1));
+        prop_assert_eq!(count_segmented(&db, &ep, &bounds), count_episode(&db, &ep));
     }
 }

@@ -11,13 +11,15 @@ const GTS: &str = "GeForce 8800 GTS 512";
 
 fn grid() -> &'static Grid {
     static GRID: std::sync::OnceLock<Grid> = std::sync::OnceLock::new();
-    GRID.get_or_init(|| Grid::compute(&GridConfig {
-        scale: 0.25,
-        levels: vec![1, 2, 3],
-        tpb_sweep: vec![16, 64, 96, 128, 256, 512],
-        cards: DeviceConfig::paper_testbed(),
-        ..Default::default()
-    }))
+    GRID.get_or_init(|| {
+        Grid::compute(&GridConfig {
+            scale: 0.25,
+            levels: vec![1, 2, 3],
+            tpb_sweep: vec![16, 64, 96, 128, 256, 512],
+            cards: DeviceConfig::paper_testbed(),
+            ..Default::default()
+        })
+    })
 }
 
 #[test]

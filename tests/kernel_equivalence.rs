@@ -6,14 +6,22 @@
 use temporal_mining::core::candidate::permutations;
 use temporal_mining::core::count::count_episodes_naive;
 use temporal_mining::prelude::*;
-use temporal_mining::workloads::{markov_letters, planted, uniform_letters};
+use temporal_mining::workloads::{
+    markov_letters, paper_database_scaled, planted, spike_trains, uniform_letters, SpikeTrainConfig,
+};
 
 fn check_all_kernels(db: &EventDb, episodes: &[Episode], tpb: u32, card: &DeviceConfig) {
     let reference = count_episodes_naive(db, episodes);
     for algo in Algorithm::ALL {
         let mut problem = MiningProblem::new(db, episodes);
         let run = problem
-            .run(algo, tpb, card, &CostModel::default(), &SimOptions::default())
+            .run(
+                algo,
+                tpb,
+                card,
+                &CostModel::default(),
+                &SimOptions::default(),
+            )
             .unwrap_or_else(|e| panic!("{algo} failed to launch: {e}"));
         assert_eq!(
             run.counts, reference,
@@ -85,7 +93,13 @@ fn exact_mode_counts_are_identical_to_sampled() {
         let mut p1 = MiningProblem::new(&db, &episodes);
         let mut p2 = MiningProblem::new(&db, &episodes);
         let sampled = p1
-            .run(algo, 128, &card, &CostModel::default(), &SimOptions::default())
+            .run(
+                algo,
+                128,
+                &card,
+                &CostModel::default(),
+                &SimOptions::default(),
+            )
             .unwrap();
         let exact = p2
             .run(
@@ -100,6 +114,43 @@ fn exact_mode_counts_are_identical_to_sampled() {
             )
             .unwrap();
         assert_eq!(sampled.counts, exact.counts, "{algo}");
+    }
+}
+
+/// The full equivalence grid: all 4 algorithms × 2 block sizes × 2 workload
+/// families (the scaled paper database and a neuronal spike train), every cell
+/// asserted equal to the `SerialScanBackend` CPU ground truth.
+#[test]
+fn full_grid_matches_serial_scan_backend() {
+    let paper = paper_database_scaled(0.05);
+    let spikes = spike_trains(&SpikeTrainConfig {
+        duration_ms: 20_000.0,
+        seed: 48,
+        ..Default::default()
+    });
+    let card = DeviceConfig::geforce_gtx_280();
+    for (workload, db) in [("paper-scaled", &paper), ("spike-train", &spikes)] {
+        let episodes = permutations(db.alphabet(), 2);
+        let reference = SerialScanBackend.count(db, &episodes);
+        for algo in Algorithm::ALL {
+            for tpb in [64u32, 256] {
+                let mut problem = MiningProblem::new(db, &episodes);
+                let run = problem
+                    .run(
+                        algo,
+                        tpb,
+                        &card,
+                        &CostModel::default(),
+                        &SimOptions::default(),
+                    )
+                    .unwrap_or_else(|e| panic!("{workload}/{algo}/tpb={tpb}: {e}"));
+                assert_eq!(
+                    run.counts, reference,
+                    "{workload}: {algo} at tpb={tpb} disagrees with SerialScanBackend"
+                );
+                assert!(run.report.time_ms > 0.0, "{workload}/{algo}/tpb={tpb}");
+            }
+        }
     }
 }
 
@@ -119,6 +170,9 @@ fn oversized_blocks_are_rejected_cleanly() {
         .unwrap_err();
     assert!(matches!(
         err,
-        temporal_mining::sim::SimError::BlockTooLarge { requested: 1024, .. }
+        temporal_mining::sim::SimError::BlockTooLarge {
+            requested: 1024,
+            ..
+        }
     ));
 }

@@ -77,8 +77,14 @@ fn spike_train_expiry_mining_recovers_circuit() {
     let episode = chain.episode();
     let tight = count_with_expiry(&db, &episode, 8_000).unwrap(); // 8 ms window
     let loose = count_with_expiry(&db, &episode, 10).unwrap(); // 10 us window
-    assert!(tight > 30, "expected the circuit to fire often, got {tight}");
-    assert!(loose < tight / 5, "a 10us window should kill nearly all matches");
+    assert!(
+        tight > 30,
+        "expected the circuit to fire often, got {tight}"
+    );
+    assert!(
+        loose < tight / 5,
+        "a 10us window should kill nearly all matches"
+    );
 }
 
 #[test]
@@ -108,7 +114,11 @@ fn basket_round_trips_through_serialization_and_mines_the_motif() {
 #[test]
 fn gpu_backend_accumulates_time_across_levels() {
     let db = uniform_letters(8_000, 5);
-    let mut gpu = GpuBackend::new(Algorithm::BlockTexture, 64, DeviceConfig::geforce_9800_gx2());
+    let mut gpu = GpuBackend::new(
+        Algorithm::BlockTexture,
+        64,
+        DeviceConfig::geforce_9800_gx2(),
+    );
     let miner = Miner::new(MinerConfig {
         alpha: 0.0005,
         max_level: Some(2),
@@ -117,7 +127,10 @@ fn gpu_backend_accumulates_time_across_levels() {
     let _ = miner.mine(&db, &mut gpu);
     let after_first = gpu.simulated_ms;
     let _ = miner.mine(&db, &mut gpu);
-    assert!(gpu.simulated_ms > after_first * 1.5, "time should accumulate");
+    assert!(
+        gpu.simulated_ms > after_first * 1.5,
+        "time should accumulate"
+    );
 }
 
 #[test]
@@ -130,6 +143,10 @@ fn facade_prelude_covers_the_doctest_workflow() {
         ..Default::default()
     });
     let cpu = miner.mine(&db, &mut ActiveSetBackend);
-    let mut gpu = GpuBackend::new(Algorithm::ThreadBuffered, 96, DeviceConfig::geforce_8800_gts_512());
+    let mut gpu = GpuBackend::new(
+        Algorithm::ThreadBuffered,
+        96,
+        DeviceConfig::geforce_8800_gts_512(),
+    );
     assert_eq!(miner.mine(&db, &mut gpu), cpu);
 }
