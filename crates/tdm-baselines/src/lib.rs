@@ -2,25 +2,37 @@
 //!
 //! The paper motivates its GPU work against "current technology, like GMiner …
 //! limited to a single CPU" (§1). This crate provides that comparison point and
-//! a parallel CPU contender:
+//! the parallel CPU contenders, all built on the compiled counting engine of
+//! [`tdm_core::engine`]:
 //!
 //! * [`SerialScanBackend`] — one full database scan per episode on one core:
 //!   the direct CPU analogue of what each GPU thread does, and the GMiner-class
 //!   single-CPU baseline;
 //! * [`ActiveSetBackend`] — the optimized single-core counter (one database
-//!   pass for all candidates) re-exported from `tdm-core`;
-//! * [`MapReduceBackend`] — episodes fanned out over a scoped-thread worker pool via
-//!   the `tdm-mapreduce` framework (map = count one episode, reduce = identity),
-//!   mirroring the paper's MapReduce framing on a multicore host.
+//!   pass for all candidates over the compiled CSR layout), holding its
+//!   [`CompiledCandidates`] and [`CountScratch`] across calls so the level-wise
+//!   miner pays no per-level index reconstruction;
+//! * [`ShardedScanBackend`] — **database-sharded** parallel counting: the
+//!   symbol stream is split into per-worker segments, each worker runs the
+//!   active-set scan over its segment, and boundary spans are fixed up — the
+//!   CPU analogue of the paper's block-level Algorithms 3/4 (§3.3.3, Fig. 5),
+//!   and the fastest configuration when candidates are few and the stream is
+//!   long (levels 1–2);
+//! * [`MapReduceBackend`] — candidate chunks fanned out over a scoped-thread
+//!   worker pool via the `tdm-mapreduce` framework (map = compile + count one
+//!   chunk of candidates, reduce = identity), mirroring the paper's MapReduce
+//!   framing on a multicore host — the right shape once candidates are
+//!   plentiful (level 3+).
 //!
-//! All three implement [`tdm_core::CountingBackend`], so the level-wise miner
+//! All four implement [`tdm_core::CountingBackend`], so the level-wise miner
 //! runs unchanged on any of them, and their counts are interchangeable — which
 //! the tests assert.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use tdm_core::count::{count_episode, count_episodes};
+use tdm_core::count::count_episode;
+use tdm_core::engine::{CompiledCandidates, CountScratch};
 use tdm_core::{CountingBackend, Episode, EventDb};
 use tdm_mapreduce::pool::{default_workers, map_items};
 use tdm_mapreduce::{run_parallel, IdentityReducer, Mapper};
@@ -40,13 +52,19 @@ impl CountingBackend for SerialScanBackend {
 }
 
 /// Single-core active-set counter (one pass over the database for all
-/// candidates) — the fast CPU ground truth.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ActiveSetBackend;
+/// candidates) — the fast CPU ground truth. The compiled candidate layout and
+/// scan scratch persist across `count` calls, so repeated counting (the miner's
+/// level loop) reuses every buffer.
+#[derive(Debug, Default, Clone)]
+pub struct ActiveSetBackend {
+    compiled: CompiledCandidates,
+    scratch: CountScratch,
+}
 
 impl CountingBackend for ActiveSetBackend {
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        count_episodes(db, candidates)
+        self.compiled.recompile(db.alphabet().len(), candidates);
+        self.compiled.count(db.symbols(), &mut self.scratch)
     }
 
     fn name(&self) -> &str {
@@ -54,8 +72,50 @@ impl CountingBackend for ActiveSetBackend {
     }
 }
 
-/// Parallel CPU backend on the MapReduce framework: map(episode) → (index,
-/// count); identity reduce; workers = threads.
+/// Database-sharded parallel backend: splits the *stream* (not the candidate
+/// set) across workers and fixes up boundary spans, like the paper's
+/// block-level kernels. Counts are bit-identical to the sequential reference
+/// for any candidate set and worker count.
+#[derive(Debug, Default, Clone)]
+pub struct ShardedScanBackend {
+    workers: usize,
+    compiled: CompiledCandidates,
+}
+
+impl ShardedScanBackend {
+    /// Backend with an explicit worker count (0 is clamped to 1).
+    pub fn new(workers: usize) -> Self {
+        ShardedScanBackend {
+            workers: workers.max(1),
+            compiled: CompiledCandidates::default(),
+        }
+    }
+
+    /// Backend sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Self::new(default_workers())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl CountingBackend for ShardedScanBackend {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        self.compiled.recompile(db.alphabet().len(), candidates);
+        self.compiled.count_sharded(db.symbols(), self.workers)
+    }
+
+    fn name(&self) -> &str {
+        "cpu-sharded-scan"
+    }
+}
+
+/// Parallel CPU backend on the MapReduce framework: map(candidate chunk) →
+/// (chunk index, counts) via a per-chunk compiled active-set scan; identity
+/// reduce; workers = threads.
 pub struct MapReduceBackend {
     workers: usize,
 }
@@ -74,32 +134,43 @@ impl MapReduceBackend {
     }
 }
 
-struct CountMapper<'a> {
+struct ChunkCountMapper<'a> {
     db: &'a EventDb,
 }
 
-impl<'a> Mapper for CountMapper<'a> {
-    type Input = (usize, Episode);
+impl Mapper for ChunkCountMapper<'_> {
+    type Input = (usize, Vec<Episode>);
     type Key = usize;
-    type Value = u64;
+    type Value = Vec<u64>;
 
-    fn map(&self, (idx, ep): &(usize, Episode), emit: &mut dyn FnMut(usize, u64)) {
-        emit(*idx, count_episode(self.db, ep));
+    fn map(&self, (idx, chunk): &(usize, Vec<Episode>), emit: &mut dyn FnMut(usize, Vec<u64>)) {
+        let compiled = CompiledCandidates::compile(self.db.alphabet().len(), chunk);
+        let mut scratch = CountScratch::new();
+        emit(*idx, compiled.count(self.db.symbols(), &mut scratch));
     }
 }
 
 impl CountingBackend for MapReduceBackend {
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        let inputs: Vec<(usize, Episode)> = candidates.iter().cloned().enumerate().collect();
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let chunk = candidates.len().div_ceil(self.workers);
+        let inputs: Vec<(usize, Vec<Episode>)> = candidates
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| (i, c.to_vec()))
+            .collect();
         let out = run_parallel(
-            &CountMapper { db },
+            &ChunkCountMapper { db },
             &IdentityReducer::default(),
             &inputs,
             self.workers,
         );
-        // Keys are 0..n sorted; outputs align with candidate order.
+        // Keys are chunk indices 0..k sorted; concatenation restores candidate
+        // order.
         debug_assert!(out.iter().enumerate().all(|(i, (k, _))| i == *k));
-        out.into_iter().map(|(_, c)| c).collect()
+        out.into_iter().flat_map(|(_, c)| c).collect()
     }
 
     fn name(&self) -> &str {
@@ -107,21 +178,26 @@ impl CountingBackend for MapReduceBackend {
     }
 }
 
-/// Chunked parallel counting without the MapReduce framing (each worker runs
-/// the active-set counter over a slice of the candidates) — the fastest CPU
-/// configuration, used for ground-truth generation at scale.
+/// Chunked **candidate-sharded** parallel counting without the MapReduce
+/// framing: each worker compiles and scans a contiguous slice of the candidate
+/// set. Complementary to [`ShardedScanBackend`]: candidate-sharding pays one
+/// full stream pass *per worker*, so it only wins once the per-pass candidate
+/// work dominates (large level-3+ sets); with few candidates over a long
+/// stream, database-sharding is strictly better (paper Characterizations 5–6).
 pub fn count_parallel_chunks(db: &EventDb, candidates: &[Episode], workers: usize) -> Vec<u64> {
     if candidates.len() < 64 || workers <= 1 {
-        return count_episodes(db, candidates);
+        return tdm_core::count::count_episodes(db, candidates);
     }
-    // Split candidates into contiguous chunks; each worker runs one active-set
-    // pass for its chunk.
     let chunk = candidates.len().div_ceil(workers);
     let chunks: Vec<&[Episode]> = candidates.chunks(chunk).collect();
-    map_items(&chunks, workers, |c| count_episodes(db, c))
-        .into_iter()
-        .flatten()
-        .collect()
+    map_items(&chunks, workers, |c| {
+        let compiled = CompiledCandidates::compile(db.alphabet().len(), c);
+        let mut scratch = CountScratch::new();
+        compiled.count(db.symbols(), &mut scratch)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -136,14 +212,32 @@ mod tests {
         let db = uniform_letters(20_000, 17);
         let eps = permutations(&Alphabet::latin26(), 2);
         let mut serial = SerialScanBackend;
-        let mut active = ActiveSetBackend;
+        let mut active = ActiveSetBackend::default();
+        let mut sharded = ShardedScanBackend::new(4);
         let mut mr = MapReduceBackend::new(3);
         let a = serial.count(&db, &eps);
         let b = active.count(&db, &eps);
         let c = mr.count(&db, &eps);
+        let d = sharded.count(&db, &eps);
         assert_eq!(a, b);
         assert_eq!(a, c);
+        assert_eq!(a, d);
         assert_eq!(a, count_parallel_chunks(&db, &eps, 4));
+    }
+
+    #[test]
+    fn sharded_backend_agrees_for_every_worker_count() {
+        let db = uniform_letters(30_000, 23);
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let reference = ActiveSetBackend::default().count(&db, &eps);
+        for workers in [1usize, 2, 3, 5, 8] {
+            assert_eq!(
+                ShardedScanBackend::new(workers).count(&db, &eps),
+                reference,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(ShardedScanBackend::auto().count(&db, &eps), reference);
     }
 
     #[test]
@@ -155,10 +249,12 @@ mod tests {
             ..Default::default()
         });
         let r1 = miner.mine(&db, &mut SerialScanBackend);
-        let r2 = miner.mine(&db, &mut ActiveSetBackend);
+        let r2 = miner.mine(&db, &mut ActiveSetBackend::default());
         let r3 = miner.mine(&db, &mut MapReduceBackend::new(2));
+        let r4 = miner.mine(&db, &mut ShardedScanBackend::new(3));
         assert_eq!(r1, r2);
         assert_eq!(r1, r3);
+        assert_eq!(r1, r4);
         assert!(r1.total_frequent() > 0);
     }
 
@@ -166,8 +262,10 @@ mod tests {
     fn backend_names() {
         use tdm_core::CountingBackend as _;
         assert_eq!(SerialScanBackend.name(), "cpu-serial-scan");
-        assert_eq!(ActiveSetBackend.name(), "cpu-active-set");
+        assert_eq!(ActiveSetBackend::default().name(), "cpu-active-set");
         assert_eq!(MapReduceBackend::auto().name(), "cpu-mapreduce");
+        assert_eq!(ShardedScanBackend::auto().name(), "cpu-sharded-scan");
+        assert!(ShardedScanBackend::new(0).workers() == 1);
     }
 
     #[test]
@@ -187,9 +285,9 @@ mod tests {
 /// possible entry state), and the effects compose left-to-right — exact for
 /// *any* episode, including repeated-item ones where the paper's continuation
 /// scheme is only approximate. This is the classic parallel-FSM decomposition,
-/// complementary to the task-parallel backends above: it accelerates the case
-/// of few episodes over a huge stream (the real-time monitoring setting of the
-/// paper's introduction).
+/// complementary to the multi-candidate backends above: it accelerates the case
+/// of one watched episode over a huge stream (the real-time monitoring setting
+/// of the paper's introduction).
 pub fn count_episode_parallel(db: &EventDb, episode: &Episode, workers: usize) -> u64 {
     use tdm_core::segment::SegmentEffect;
     let n = db.len();

@@ -17,7 +17,7 @@ const BENCH_SCALE: f64 = 0.02;
 fn run_sim(algo: Algorithm, level: usize, tpb: u32, cost: &CostModel, opts: &SimOptions) -> f64 {
     let db = paper_database_scaled(BENCH_SCALE);
     let episodes = permutations(&Alphabet::latin26(), level);
-    let mut problem = MiningProblem::new(&db, &episodes);
+    let problem = MiningProblem::new(&db, &episodes);
     problem
         .run(algo, tpb, &DeviceConfig::geforce_gtx_280(), cost, opts)
         .unwrap()

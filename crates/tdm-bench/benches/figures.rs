@@ -34,7 +34,7 @@ fn bench_cell(
         b.iter(|| {
             // Fresh problem per iteration: measures the full pipeline
             // (ground-truth counts + warp sampling + timing simulation).
-            let mut problem = MiningProblem::new(&db, &episodes);
+            let problem = MiningProblem::new(&db, &episodes);
             let run = problem.run(algo, tpb, card, &cost, &opts).unwrap();
             black_box(run.report.time_ms)
         })

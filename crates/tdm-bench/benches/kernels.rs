@@ -9,6 +9,7 @@ use gpu_sim::{occupancy, CostModel, DeviceConfig, KernelResources};
 use std::hint::black_box;
 use tdm_core::candidate::permutations;
 use tdm_core::count::{count_episode, count_episodes, count_episodes_naive};
+use tdm_core::engine::{CompiledCandidates, CountScratch};
 use tdm_core::segment::{count_segmented, count_segmented_exact, even_bounds};
 use tdm_core::{Alphabet, Episode};
 use tdm_gpu::lockstep::{run_broadcast_warp, FsmCosts};
@@ -44,6 +45,17 @@ fn multi_episode_counting(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("naive_L{level}")),
             |b| b.iter(|| black_box(count_episodes_naive(&db, &eps))),
         );
+        // The compiled engine: index built once, scratch reused per iteration.
+        let compiled = CompiledCandidates::compile(ab.len(), &eps);
+        let mut scratch = CountScratch::new();
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("engine_compiled_L{level}")),
+            |b| b.iter(|| black_box(compiled.count(db.symbols(), &mut scratch))),
+        );
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("engine_sharded4_L{level}")),
+            |b| b.iter(|| black_box(compiled.count_sharded(db.symbols(), 4))),
+        );
     }
     g.finish();
 }
@@ -72,7 +84,7 @@ fn lockstep_executor(c: &mut Criterion) {
     let db = uniform_letters(50_000, 4);
     let ab = Alphabet::latin26();
     let eps: Vec<Episode> = permutations(&ab, 2).into_iter().take(32).collect();
-    let refs: Vec<&Episode> = eps.iter().collect();
+    let refs: Vec<&[u8]> = eps.iter().map(|e| e.items()).collect();
     let costs = FsmCosts::default();
     let mut g = c.benchmark_group("lockstep_executor");
     g.throughput(Throughput::Elements(db.len() as u64 * 32));

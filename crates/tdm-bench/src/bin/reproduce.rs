@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! reproduce [TARGETS..] [--out DIR] [--scale S] [--exact] [--quiet]
+//!           [--bench-json PATH]
 //!
 //! TARGETS: table1 table2 fig6 fig7 fig8 fig9 best characterizations grid ext
 //!          all (default: all; `ext` also runs the paper's future-work
 //!          extensions: level-4 sweep, phase pipelining, hardware discovery)
-//! --out DIR    output directory for CSV/markdown files (default: results)
-//! --scale S    database scale in (0,1], 1.0 = the paper's 393,019 letters
-//! --exact      execute every warp exactly instead of sampling (slow; small S)
-//! --quiet      suppress ASCII previews
+//! --out DIR          output directory for CSV/markdown files (default: results)
+//! --scale S          database scale in (0,1], 1.0 = the paper's 393,019 letters
+//! --exact            execute every warp exactly instead of sampling (slow; small S)
+//! --quiet            suppress ASCII previews
+//! --bench-json PATH  run the real-CPU counting-backend benchmark at --scale and
+//!                    write the JSON report (e.g. BENCH_counting.json) to PATH;
+//!                    with no TARGETS, only the benchmark runs
 //! ```
 
 use std::collections::BTreeSet;
@@ -33,6 +37,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut exact = false;
     let mut quiet = false;
+    let mut bench_json: Option<PathBuf> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -49,12 +54,15 @@ fn main() {
             }
             "--exact" => exact = true,
             "--quiet" => quiet = true,
+            "--bench-json" => {
+                bench_json = Some(PathBuf::from(it.next().expect("--bench-json needs a path")));
+            }
             t => {
                 targets.insert(t.to_string());
             }
         }
     }
-    if targets.is_empty() || targets.contains("all") {
+    if (targets.is_empty() && bench_json.is_none()) || targets.contains("all") {
         targets = [
             "table1",
             "table2",
@@ -111,6 +119,7 @@ fn main() {
         );
         let mut cfg = GridConfig {
             scale,
+            progress: true,
             ..Default::default()
         };
         cfg.opts.exact = exact;
@@ -175,6 +184,19 @@ fn main() {
         written.push(path.display().to_string());
         if !quiet {
             println!("\n{pipeline}\n{discovery}");
+        }
+    }
+
+    if let Some(path) = bench_json {
+        eprintln!("benchmarking counting backends (scale {scale})...");
+        let bench = tdm_bench::counting_bench::run(&tdm_bench::counting_bench::BenchConfig {
+            scale,
+            ..Default::default()
+        });
+        std::fs::write(&path, bench.to_json()).expect("write failed");
+        written.push(path.display().to_string());
+        if !quiet {
+            println!("\n{}", bench.summary());
         }
     }
 

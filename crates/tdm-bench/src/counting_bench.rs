@@ -1,0 +1,387 @@
+//! Real-CPU throughput benchmark of the counting backends — the perf
+//! trajectory of the reproduction itself (not simulated GPU time).
+//!
+//! Times every CPU counting configuration at the paper's levels 1–3 over the
+//! (scaled) paper database and emits a hand-rolled JSON report
+//! (`BENCH_counting.json`): milliseconds and Msymbols/s per backend, plus the
+//! headline ratio of the database-sharded engine against the frozen seed
+//! active-set counter. The seed counter is reimplemented here verbatim (per-call
+//! `Vec<Vec<u32>>` anchor index, no compiled layout) so the ratio keeps meaning
+//! as the engine evolves.
+
+use std::time::Instant;
+use tdm_baselines::{MapReduceBackend, SerialScanBackend};
+use tdm_core::candidate::permutations;
+use tdm_core::engine::{CompiledCandidates, CountScratch};
+use tdm_core::{Alphabet, CountingBackend, Episode, EventDb};
+use tdm_mapreduce::pool::default_workers;
+use tdm_workloads::paper_database_scaled;
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Database scale relative to the paper's 393,019 letters.
+    pub scale: f64,
+    /// Episode levels to measure (paper: 1, 2, 3).
+    pub levels: Vec<usize>,
+    /// Worker counts for the sharded engine.
+    pub shard_workers: Vec<usize>,
+    /// Timed repetitions per backend (best-of is reported).
+    pub repeats: usize,
+    /// Candidate sets larger than this skip the one-scan-per-episode serial
+    /// baseline (it is quadratically slow and adds nothing at level 3).
+    pub serial_scan_cap: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            scale: 1.0,
+            levels: vec![1, 2, 3],
+            shard_workers: vec![2, 4, 8],
+            repeats: 3,
+            serial_scan_cap: 1000,
+        }
+    }
+}
+
+/// One backend's timing at one level.
+#[derive(Debug, Clone)]
+pub struct BackendTiming {
+    /// Backend label.
+    pub name: String,
+    /// Best-of-repeats wall time, milliseconds.
+    pub ms: f64,
+    /// Stream throughput, million symbols per second.
+    pub msymbols_per_s: f64,
+}
+
+/// All timings for one episode level.
+#[derive(Debug, Clone)]
+pub struct LevelBench {
+    /// Episode level (length).
+    pub level: usize,
+    /// Candidate episodes counted.
+    pub episodes: usize,
+    /// Sum of all counts (functional checksum; every backend must agree).
+    pub checksum: u64,
+    /// Per-backend timings.
+    pub backends: Vec<BackendTiming>,
+    /// `seed ms / sharded ms` at the entry with the most workers ≤ 4 — the
+    /// acceptance ratio. Falls back to the fewest-worker sharded entry when
+    /// none is ≤ 4, and to 0.0 when no sharded entries are configured, so the
+    /// value (and the JSON) stays finite for any `shard_workers` list.
+    pub sharded4_vs_seed_speedup: f64,
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct CountingBench {
+    /// Database length actually used.
+    pub db_len: usize,
+    /// Scale relative to the paper's database.
+    pub scale: f64,
+    /// `std::thread::available_parallelism` of the measuring host — sharded
+    /// speedups are bounded by this, so readers can judge the ratios.
+    pub available_parallelism: usize,
+    /// Per-level results.
+    pub levels: Vec<LevelBench>,
+}
+
+/// The seed repository's `count_episodes` (PR 1), frozen: active-set scan with
+/// a per-call `Vec<Vec<u32>>` anchor index. The benchmark baseline.
+fn seed_count_episodes(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
+    let n_eps = episodes.len();
+    let mut counts = vec![0u64; n_eps];
+    if n_eps == 0 || db.is_empty() {
+        return counts;
+    }
+    let items: Vec<&[u8]> = episodes.iter().map(|e| e.items()).collect();
+    let mut state = vec![0u8; n_eps];
+    let mut last_step = vec![u64::MAX; n_eps];
+    let mut by_first: Vec<Vec<u32>> = vec![Vec::new(); db.alphabet().len()];
+    for (i, it) in items.iter().enumerate() {
+        by_first[it[0] as usize].push(i as u32);
+    }
+    let mut active: Vec<u32> = Vec::new();
+    let mut next_active: Vec<u32> = Vec::new();
+    for (pos, &c) in db.symbols().iter().enumerate() {
+        let pos = pos as u64;
+        for &ei in &active {
+            let e = ei as usize;
+            let it = items[e];
+            let j = state[e] as usize;
+            last_step[e] = pos;
+            if c == it[j] {
+                if j + 1 == it.len() {
+                    counts[e] += 1;
+                    state[e] = 0;
+                } else {
+                    state[e] += 1;
+                    next_active.push(ei);
+                }
+            } else if c == it[0] {
+                state[e] = 1;
+                next_active.push(ei);
+            } else {
+                state[e] = 0;
+            }
+        }
+        std::mem::swap(&mut active, &mut next_active);
+        next_active.clear();
+        for &ei in &by_first[c as usize] {
+            let e = ei as usize;
+            if state[e] == 0 && last_step[e] != pos {
+                if items[e].len() == 1 {
+                    counts[e] += 1;
+                } else {
+                    state[e] = 1;
+                    active.push(ei);
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// Times `f` over `repeats` runs, returning (best ms, last result).
+fn time_best<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..repeats.max(1) {
+        let t = Instant::now();
+        let r = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one repeat"))
+}
+
+/// Runs the benchmark.
+pub fn run(cfg: &BenchConfig) -> CountingBench {
+    let db = paper_database_scaled(cfg.scale);
+    let ab = Alphabet::latin26();
+    let n = db.len();
+    let throughput = |ms: f64| n as f64 / 1e6 / (ms / 1e3).max(1e-9);
+    let mut levels = Vec::new();
+
+    for &level in &cfg.levels {
+        let episodes = permutations(&ab, level);
+        let compiled = CompiledCandidates::compile(ab.len(), &episodes);
+        let mut backends: Vec<BackendTiming> = Vec::new();
+
+        let (seed_ms, reference) = time_best(cfg.repeats, || seed_count_episodes(&db, &episodes));
+        backends.push(BackendTiming {
+            name: "seed-active-set".into(),
+            ms: seed_ms,
+            msymbols_per_s: throughput(seed_ms),
+        });
+        let checksum: u64 = reference.iter().sum();
+
+        let check = |name: &str, counts: &[u64]| {
+            assert_eq!(
+                counts,
+                &reference[..],
+                "{name} disagrees with the seed counter at level {level}"
+            );
+        };
+
+        let mut scratch = CountScratch::new();
+        let (ms, counts) = time_best(cfg.repeats, || compiled.count(db.symbols(), &mut scratch));
+        check("engine-compiled", &counts);
+        backends.push(BackendTiming {
+            name: "engine-compiled".into(),
+            ms,
+            msymbols_per_s: throughput(ms),
+        });
+
+        // The ratio entry: the sharded timing with the most workers ≤ 4, or —
+        // when no such entry is configured — the fewest-worker entry, so the
+        // ratio stays finite for any shard_workers list.
+        let mut sharded4: Option<(usize, f64)> = None;
+        for &w in &cfg.shard_workers {
+            let (ms, counts) = time_best(cfg.repeats, || compiled.count_sharded(db.symbols(), w));
+            check("engine-sharded", &counts);
+            sharded4 = Some(match sharded4 {
+                None => (w, ms),
+                Some((bw, bms)) => {
+                    let better = if bw <= 4 {
+                        w <= 4 && w > bw
+                    } else {
+                        w <= 4 || w < bw
+                    };
+                    if better {
+                        (w, ms)
+                    } else {
+                        (bw, bms)
+                    }
+                }
+            });
+            backends.push(BackendTiming {
+                name: format!("engine-sharded-w{w}"),
+                ms,
+                msymbols_per_s: throughput(ms),
+            });
+        }
+
+        if episodes.len() <= cfg.serial_scan_cap {
+            let (ms, counts) = time_best(cfg.repeats, || SerialScanBackend.count(&db, &episodes));
+            check("cpu-serial-scan", &counts);
+            backends.push(BackendTiming {
+                name: "cpu-serial-scan".into(),
+                ms,
+                msymbols_per_s: throughput(ms),
+            });
+        }
+
+        let mut mr = MapReduceBackend::auto();
+        let (ms, counts) = time_best(cfg.repeats, || mr.count(&db, &episodes));
+        check("cpu-mapreduce", &counts);
+        backends.push(BackendTiming {
+            name: "cpu-mapreduce".into(),
+            ms,
+            msymbols_per_s: throughput(ms),
+        });
+
+        levels.push(LevelBench {
+            level,
+            episodes: episodes.len(),
+            checksum,
+            backends,
+            sharded4_vs_seed_speedup: sharded4.map(|(_, ms)| seed_ms / ms).unwrap_or(0.0),
+        });
+    }
+
+    CountingBench {
+        db_len: n,
+        scale: cfg.scale,
+        available_parallelism: default_workers(),
+        levels,
+    }
+}
+
+impl CountingBench {
+    /// Serializes the report as pretty JSON (hand-rolled; the workspace builds
+    /// offline without a JSON crate).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"db_len\": {},\n", self.db_len));
+        s.push_str(&format!("  \"scale\": {},\n", self.scale));
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str("  \"levels\": [\n");
+        for (i, l) in self.levels.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"level\": {},\n", l.level));
+            s.push_str(&format!("      \"episodes\": {},\n", l.episodes));
+            s.push_str(&format!("      \"checksum\": {},\n", l.checksum));
+            s.push_str(&format!(
+                "      \"sharded4_vs_seed_speedup\": {:.4},\n",
+                l.sharded4_vs_seed_speedup
+            ));
+            s.push_str("      \"backends\": [\n");
+            for (j, b) in l.backends.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{\"name\": \"{}\", \"ms\": {:.3}, \"msymbols_per_s\": {:.3}}}{}\n",
+                    b.name,
+                    b.ms,
+                    b.msymbols_per_s,
+                    if j + 1 < l.backends.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.levels.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// One-line-per-backend terminal summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "counting throughput (db = {} letters, {} host threads):\n",
+            self.db_len, self.available_parallelism
+        );
+        for l in &self.levels {
+            s.push_str(&format!("  level {} ({} episodes):\n", l.level, l.episodes));
+            for b in &l.backends {
+                s.push_str(&format!(
+                    "    {:<20} {:>10.2} ms  {:>8.2} Msym/s\n",
+                    b.name, b.ms, b.msymbols_per_s
+                ));
+            }
+            s.push_str(&format!(
+                "    sharded(≤4w) vs seed: {:.2}x\n",
+                l.sharded4_vs_seed_speedup
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CountingBench {
+        run(&BenchConfig {
+            scale: 0.02,
+            levels: vec![1, 2],
+            shard_workers: vec![2, 4],
+            repeats: 1,
+            serial_scan_cap: 100,
+        })
+    }
+
+    #[test]
+    fn bench_runs_and_reports_all_backends() {
+        let b = tiny();
+        assert_eq!(b.levels.len(), 2);
+        for l in &b.levels {
+            // seed, compiled, sharded x2, mapreduce (+ serial at level 1 only).
+            assert!(l.backends.len() >= 5, "level {}: {:?}", l.level, l.backends);
+            assert!(l.backends.iter().all(|t| t.ms >= 0.0));
+            assert!(l.sharded4_vs_seed_speedup.is_finite());
+            assert!(l.checksum > 0);
+        }
+        // Serial scan gated out at level 2 (650 > cap 100).
+        assert!(b.levels[1]
+            .backends
+            .iter()
+            .all(|t| t.name != "cpu-serial-scan"));
+    }
+
+    #[test]
+    fn ratio_stays_finite_without_a_4_worker_entry() {
+        let b = run(&BenchConfig {
+            scale: 0.02,
+            levels: vec![1],
+            shard_workers: vec![8],
+            repeats: 1,
+            serial_scan_cap: 0,
+        });
+        assert!(b.levels[0].sharded4_vs_seed_speedup.is_finite());
+        assert!(b.levels[0].sharded4_vs_seed_speedup > 0.0);
+        assert!(!b.to_json().contains("NaN"));
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let b = tiny();
+        let j = b.to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"level\":").count(), 2);
+        assert!(j.contains("\"sharded4_vs_seed_speedup\""));
+        assert!(j.contains("engine-sharded-w4"));
+        // Balanced braces and brackets (cheap structural check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!b.summary().is_empty());
+    }
+}

@@ -32,7 +32,7 @@ pub fn level4_extension(scale: f64) -> Figure {
     let mut csv = String::from("tpb,Algorithm1,Algorithm2,Algorithm3,Algorithm4\n");
     let episodes = permutations(&ab, 4);
     assert_eq!(episodes.len() as u64, permutation_count(26, 4).unwrap());
-    let mut problem = MiningProblem::new(&db, &episodes);
+    let problem = MiningProblem::new(&db, &episodes);
     let mut preview = format!(
         "Level-4 extension: {} candidates over {} letters (GTX 280)\n",
         episodes.len(),
@@ -56,7 +56,7 @@ pub fn level4_extension(scale: f64) -> Figure {
     csv.push_str("# algorithm1_per_level: level,episodes,time_ms,us_per_episode\n");
     for level in 1..=4usize {
         let eps = permutations(&ab, level);
-        let mut p = MiningProblem::new(&db, &eps);
+        let p = MiningProblem::new(&db, &eps);
         let run = p
             .run(Algorithm::ThreadTexture, 96, &gtx, &cost, &opts)
             .expect("valid launch");

@@ -3,9 +3,11 @@
 
 use gpu_sim::{CostModel, DeviceConfig};
 use serde::Serialize;
+use std::collections::HashMap;
 use tdm_core::candidate::permutations;
 use tdm_core::{Alphabet, Episode, EventDb};
 use tdm_gpu::{Algorithm, MiningProblem, SimOptions};
+use tdm_mapreduce::pool::{default_workers, map_items};
 use tdm_workloads::{paper_database_scaled, PAPER_DB_LEN};
 
 /// Grid parameters.
@@ -25,6 +27,13 @@ pub struct GridConfig {
     pub opts: SimOptions,
     /// Which algorithms to run (paper: all four).
     pub algorithms: Vec<Algorithm>,
+    /// Emit progress chatter on stderr while computing (off by default so test
+    /// output stays clean; the `reproduce` binary turns it on).
+    pub progress: bool,
+    /// Worker threads for the per-level cell sweep (0 = available
+    /// parallelism). Cells of one level share the memoized [`MiningProblem`],
+    /// so the algo × tpb × card plane shards cleanly across the pool.
+    pub workers: usize,
 }
 
 impl Default for GridConfig {
@@ -37,6 +46,8 @@ impl Default for GridConfig {
             cost: CostModel::default(),
             opts: SimOptions::default(),
             algorithms: Algorithm::ALL.to_vec(),
+            progress: false,
+            workers: 0,
         }
     }
 }
@@ -93,12 +104,32 @@ pub struct Grid {
     pub db_len: usize,
     /// Scale relative to the paper's database.
     pub scale: f64,
+    /// Lookup index over `(algo, level, tpb, card)`, built once at
+    /// construction so the figure/table generators' per-point [`Grid::get`]
+    /// calls are O(1) instead of a scan over all cells.
+    index: HashMap<(u8, usize, u32, String), usize>,
 }
 
 impl Grid {
+    /// Builds a grid from computed cells, indexing them for O(1) lookup.
+    pub fn new(cells: Vec<GridCell>, db_len: usize, scale: f64) -> Grid {
+        let index = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ((c.algo, c.level, c.tpb, c.card.clone()), i))
+            .collect();
+        Grid {
+            cells,
+            db_len,
+            scale,
+            index,
+        }
+    }
+
     /// Computes the grid. Sampling work is shared across cards and reused
-    /// between Algorithms 1/2 (identical inner loops), so the sweep is fast even
-    /// at full database scale.
+    /// between Algorithms 1/2 (identical inner loops), and each level's
+    /// algo × tpb × card plane is swept in parallel over the worker pool
+    /// against the level's shared memoized [`MiningProblem`].
     pub fn compute(cfg: &GridConfig) -> Grid {
         let db = paper_database_scaled(cfg.scale);
         Self::compute_on(cfg, &db)
@@ -107,50 +138,67 @@ impl Grid {
     /// Computes the grid over a caller-supplied database.
     pub fn compute_on(cfg: &GridConfig, db: &EventDb) -> Grid {
         let alphabet = Alphabet::latin26();
+        let workers = if cfg.workers == 0 {
+            default_workers()
+        } else {
+            cfg.workers
+        };
         let mut cells = Vec::new();
         for &level in &cfg.levels {
             let episodes: Vec<Episode> = permutations(&alphabet, level);
-            let mut problem = MiningProblem::new(db, &episodes);
+            let problem = MiningProblem::new(db, &episodes);
+            // Ground truth once per level (database-sharded internally).
             let total_count: u64 = problem.counts().iter().sum();
+            // One work item per cell; contiguous chunking keeps the cards of
+            // one (algo, tpb) point on the same worker, so each profile sample
+            // is usually computed exactly once and then shared via the
+            // problem's cache.
+            let mut combos: Vec<(Algorithm, u32, &DeviceConfig)> = Vec::new();
             for &algo in &cfg.algorithms {
                 for &tpb in &cfg.tpb_sweep {
                     for card in &cfg.cards {
-                        let run = problem
-                            .run(algo, tpb, card, &cfg.cost, &cfg.opts)
-                            .expect("paper-sweep launches are always valid");
-                        cells.push(GridCell {
-                            algo: algo.number(),
-                            level,
-                            tpb,
-                            card: card.name.clone(),
-                            time_ms: run.report.time_ms,
-                            bound: format!("{:?}", run.report.bound),
-                            blocks: run.launch.blocks,
-                            waves: run.report.waves,
-                            occupancy: run.report.occupancy.occupancy_fraction,
-                            dram_mb: run.report.counters.dram_bytes as f64 / 1e6,
-                            tex_hit_rate: run.report.counters.tex_hit_rate(),
-                            episodes: episodes.len(),
-                            total_count,
-                        });
+                        combos.push((algo, tpb, card));
                     }
-                    eprint!(".");
                 }
             }
-            eprintln!(" level {level} done ({} episodes)", episodes.len());
+            let level_cells = map_items(&combos, workers, |&(algo, tpb, card)| {
+                let run = problem
+                    .run(algo, tpb, card, &cfg.cost, &cfg.opts)
+                    .expect("paper-sweep launches are always valid");
+                if cfg.progress {
+                    eprint!(".");
+                }
+                GridCell {
+                    algo: algo.number(),
+                    level,
+                    tpb,
+                    card: card.name.clone(),
+                    time_ms: run.report.time_ms,
+                    bound: format!("{:?}", run.report.bound),
+                    blocks: run.launch.blocks,
+                    waves: run.report.waves,
+                    occupancy: run.report.occupancy.occupancy_fraction,
+                    dram_mb: run.report.counters.dram_bytes as f64 / 1e6,
+                    tex_hit_rate: run.report.counters.tex_hit_rate(),
+                    episodes: episodes.len(),
+                    total_count,
+                }
+            });
+            cells.extend(level_cells);
+            if cfg.progress {
+                eprintln!(" level {level} done ({} episodes)", episodes.len());
+            }
         }
-        Grid {
-            cells,
-            db_len: db.len(),
-            scale: db.len() as f64 / PAPER_DB_LEN as f64,
-        }
+        let db_len = db.len();
+        Grid::new(cells, db_len, db_len as f64 / PAPER_DB_LEN as f64)
     }
 
-    /// Looks a cell up (panics if absent — grid cells are total over the config).
+    /// Looks a cell up via the prebuilt index (panics if absent — grid cells
+    /// are total over the config).
     pub fn get(&self, algo: u8, level: usize, tpb: u32, card: &str) -> &GridCell {
-        self.cells
-            .iter()
-            .find(|c| c.algo == algo && c.level == level && c.tpb == tpb && c.card == card)
+        self.index
+            .get(&(algo, level, tpb, card.to_string()))
+            .map(|&i| &self.cells[i])
             .unwrap_or_else(|| {
                 panic!("missing cell algo={algo} level={level} tpb={tpb} card={card}")
             })

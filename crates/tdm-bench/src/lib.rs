@@ -13,13 +13,16 @@
 //!
 //! Everything is driven by one [`grid::Grid`] of simulated measurements; the
 //! `reproduce` binary writes CSVs plus ASCII previews, and the criterion benches
-//! measure representative cells.
+//! measure representative cells. [`counting_bench`] additionally measures the
+//! *real* CPU throughput of every counting backend (the engine's perf
+//! trajectory, `BENCH_counting.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod characterize;
 pub mod chart;
+pub mod counting_bench;
 pub mod extensions;
 pub mod figures;
 pub mod grid;

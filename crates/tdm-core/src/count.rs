@@ -10,6 +10,7 @@
 //!   fast CPU ground truth used to validate the simulated kernels and to drive the
 //!   level-wise miner at scale.
 
+use crate::engine::{CompiledCandidates, CountScratch};
 use crate::episode::Episode;
 use crate::fsm::EpisodeFsm;
 use crate::sequence::EventDb;
@@ -28,81 +29,20 @@ pub fn count_episodes_naive(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
 
 /// Single-pass multi-episode counter.
 ///
-/// Maintains the invariant that `active` holds exactly the episode indices whose
-/// FSM state is non-zero. For each database character `c`:
-///
-/// 1. every active episode steps its FSM (advance / restart / reset / complete);
-/// 2. every episode whose first item is `c` and whose state is 0 is activated
-///    (single-item episodes complete immediately and stay inactive).
-///
-/// Per-character work is proportional to the number of *in-progress* matches plus
-/// the number of episodes anchored at `c`, instead of the total candidate count.
+/// Compiles the candidate set into the flat CSR layout of
+/// [`crate::engine::CompiledCandidates`] and runs one active-set scan: per
+/// database character, work is proportional to the number of *in-progress*
+/// matches plus the number of episodes anchored at that character, instead of
+/// the total candidate count. Callers that count repeatedly (the level-wise
+/// miner, the sharded engine) should hold a [`CompiledCandidates`] +
+/// [`CountScratch`] directly to skip the per-call compilation.
 pub fn count_episodes(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
-    let n_eps = episodes.len();
-    let mut counts = vec![0u64; n_eps];
-    if n_eps == 0 || db.is_empty() {
-        return counts;
+    if episodes.is_empty() || db.is_empty() {
+        return vec![0u64; episodes.len()];
     }
-
-    // Episode items flattened for cache-friendly access.
-    let items: Vec<&[u8]> = episodes.iter().map(|e| e.items()).collect();
-    let mut state = vec![0u8; n_eps];
-    // Position at which an episode last took a phase-1 step. The sequential FSM
-    // consumes the character it steps on, so an episode that completed or reset in
-    // phase 1 must not re-anchor on the very same character in phase 2.
-    let mut last_step = vec![u64::MAX; n_eps];
-
-    // by_first[c] = indices of episodes with a1 == c.
-    let mut by_first: Vec<Vec<u32>> = vec![Vec::new(); db.alphabet().len()];
-    for (i, it) in items.iter().enumerate() {
-        by_first[it[0] as usize].push(i as u32);
-    }
-
-    let mut active: Vec<u32> = Vec::new();
-    let mut next_active: Vec<u32> = Vec::new();
-
-    for (pos, &c) in db.symbols().iter().enumerate() {
-        let pos = pos as u64;
-        // Phase 1: step in-progress matches.
-        for &ei in &active {
-            let e = ei as usize;
-            let it = items[e];
-            let j = state[e] as usize;
-            last_step[e] = pos;
-            if c == it[j] {
-                if j + 1 == it.len() {
-                    counts[e] += 1;
-                    state[e] = 0; // completed: leaves the active set
-                } else {
-                    state[e] += 1;
-                    next_active.push(ei);
-                }
-            } else if c == it[0] {
-                state[e] = 1; // restart, stays active
-                next_active.push(ei);
-            } else {
-                state[e] = 0; // reset: leaves the active set
-            }
-        }
-        std::mem::swap(&mut active, &mut next_active);
-        next_active.clear();
-
-        // Phase 2: anchor fresh matches. Only episodes at state 0 (i.e. not in the
-        // active set) are eligible, so no duplicates can enter `active`; episodes
-        // that already consumed this character in phase 1 are skipped.
-        for &ei in &by_first[c as usize] {
-            let e = ei as usize;
-            if state[e] == 0 && last_step[e] != pos {
-                if items[e].len() == 1 {
-                    counts[e] += 1; // level-1 episodes complete on their anchor
-                } else {
-                    state[e] = 1;
-                    active.push(ei);
-                }
-            }
-        }
-    }
-    counts
+    let compiled = CompiledCandidates::compile(db.alphabet().len(), episodes);
+    let mut scratch = CountScratch::new();
+    compiled.count(db.symbols(), &mut scratch)
 }
 
 #[cfg(test)]

@@ -1,0 +1,588 @@
+//! The counting engine: compiled candidate sets and database-sharded parallel
+//! counting.
+//!
+//! The paper's central performance idea is that the *shape* of the parallel
+//! decomposition should follow the shape of the problem (§3.3): when candidates
+//! are plentiful, shard the candidate set (thread-level, Algorithms 1/2); when
+//! candidates are few but the stream is long, shard the **database** and fix up
+//! the appearances that span worker boundaries (block-level, Algorithms 3/4,
+//! Fig. 5). This module is the host-side engine built around that idea:
+//!
+//! * [`CompiledCandidates`] — the candidate set flattened into one contiguous
+//!   CSR buffer (`items` + `offsets`) plus a CSR **anchor index** mapping each
+//!   alphabet symbol to the episodes whose first item it is. Compiling once per
+//!   level replaces the per-call `Vec<Vec<u32>>` the old active-set counter
+//!   rebuilt on every invocation; after compilation no per-scan heap allocation
+//!   of the index happens at all.
+//! * [`CountScratch`] — the mutable per-scan state (FSM states, active set,
+//!   double buffer), reusable across `count` calls so the level-wise miner
+//!   amortizes allocations across levels.
+//! * [`CompiledCandidates::count`] — the single-pass active-set scan over the
+//!   compiled layout (the fast sequential ground truth).
+//! * [`CompiledCandidates::count_sharded`] — the CPU analogue of the paper's
+//!   Algorithms 3/4: the stream is split into per-worker segments (via
+//!   [`tdm_mapreduce::pool`]), each worker runs the active-set scan over its
+//!   segment from the start state, and live partial matches at segment
+//!   boundaries are resolved with the advance-only continuation of
+//!   [`crate::segment`]. Exact for distinct-item episodes (the paper's whole
+//!   candidate universe) under any segmentation — property-tested — and exact
+//!   for repeated-item episodes too via the state-composition fallback
+//!   ([`crate::segment::count_segmented_exact_items`]).
+//!
+//! ## When database-sharding wins
+//!
+//! The active-set scan does `O(active + anchors(c))` work per character, so its
+//! cost is dominated by the stream length once the candidate set is small
+//! (levels 1–2: 26–650 episodes over 393,019 letters). Candidate-sharding
+//! cannot help there — each worker still scans the full stream — but
+//! database-sharding divides the stream itself, at the cost of
+//! `episodes × (workers - 1)` cheap boundary continuations (each a few
+//! characters long, paper Fig. 5). This mirrors the paper's Characterizations
+//! 5–6: block-level (database-parallel) kernels dominate at low levels,
+//! thread-level (candidate-parallel) kernels at high levels.
+
+use crate::episode::Episode;
+use crate::segment::{continuation_count_items, count_segmented_exact_items};
+use tdm_mapreduce::pool::{default_workers, map_items};
+
+/// Streams shorter than this are counted sequentially even when more workers
+/// are requested — thread spawn costs more than the scan.
+const MIN_SHARD_STREAM: usize = 4096;
+
+/// A candidate set compiled into flat, scan-friendly buffers.
+///
+/// Layout (all CSR):
+///
+/// * episode `i`'s items live at `items[offsets[i]..offsets[i+1]]`;
+/// * the episodes anchored at symbol `c` (first item `== c`) are
+///   `anchor_episodes[anchor_offsets[c]..anchor_offsets[c+1]]`.
+///
+/// Compile once per candidate set (one pass, counting sort); every subsequent
+/// scan reuses the buffers without touching the allocator. [`recompile`]
+/// rebuilds in place so the level-wise miner reuses capacity across levels.
+///
+/// [`recompile`]: CompiledCandidates::recompile
+#[derive(Debug, Clone, Default)]
+pub struct CompiledCandidates {
+    items: Vec<u8>,
+    offsets: Vec<u32>,
+    anchor_offsets: Vec<u32>,
+    anchor_episodes: Vec<u32>,
+    /// Episodes with a repeated item (need the exact fallback when sharding and
+    /// the `last_step` guard when scanning). Empty for the paper's universe.
+    repeated: Vec<u32>,
+    /// Counting-sort cursor scratch for [`recompile`] (kept so recompiling a
+    /// level allocates nothing once capacities are established).
+    ///
+    /// [`recompile`]: CompiledCandidates::recompile
+    anchor_cursor: Vec<u32>,
+    alphabet_len: usize,
+    max_level: usize,
+}
+
+impl CompiledCandidates {
+    /// Compiles a candidate set over an alphabet of `alphabet_len` symbols.
+    pub fn compile(alphabet_len: usize, episodes: &[Episode]) -> Self {
+        let mut c = CompiledCandidates::default();
+        c.recompile(alphabet_len, episodes);
+        c
+    }
+
+    /// Rebuilds the compiled layout in place, reusing every buffer's capacity.
+    pub fn recompile(&mut self, alphabet_len: usize, episodes: &[Episode]) {
+        self.alphabet_len = alphabet_len;
+        self.items.clear();
+        self.offsets.clear();
+        self.repeated.clear();
+        self.max_level = 0;
+
+        self.offsets.push(0);
+        for (i, ep) in episodes.iter().enumerate() {
+            let it = ep.items();
+            debug_assert!(it.iter().all(|&s| (s as usize) < alphabet_len));
+            self.items.extend_from_slice(it);
+            self.offsets.push(self.items.len() as u32);
+            self.max_level = self.max_level.max(it.len());
+            if !ep.has_distinct_items() {
+                self.repeated.push(i as u32);
+            }
+        }
+
+        // Anchor index: counting sort of episode indices by first item.
+        self.anchor_offsets.clear();
+        self.anchor_offsets.resize(alphabet_len + 1, 0);
+        for i in 0..episodes.len() {
+            let first = self.items[self.offsets[i] as usize] as usize;
+            self.anchor_offsets[first + 1] += 1;
+        }
+        for c in 0..alphabet_len {
+            self.anchor_offsets[c + 1] += self.anchor_offsets[c];
+        }
+        self.anchor_episodes.clear();
+        self.anchor_episodes.resize(episodes.len(), 0);
+        self.anchor_cursor.clear();
+        self.anchor_cursor
+            .extend_from_slice(&self.anchor_offsets[..alphabet_len]);
+        for i in 0..episodes.len() {
+            let first = self.items[self.offsets[i] as usize] as usize;
+            self.anchor_episodes[self.anchor_cursor[first] as usize] = i as u32;
+            self.anchor_cursor[first] += 1;
+        }
+    }
+
+    /// Number of compiled episodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True when the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The longest episode level in the set (0 when empty).
+    #[inline]
+    pub fn max_level(&self) -> usize {
+        self.max_level
+    }
+
+    /// Alphabet size the set was compiled against.
+    #[inline]
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// True when every episode has distinct items (the paper's permutation
+    /// universe) — the regime where the boundary-continuation scheme is exact.
+    #[inline]
+    pub fn all_distinct(&self) -> bool {
+        self.repeated.is_empty()
+    }
+
+    /// Items of episode `i`.
+    #[inline]
+    pub fn items_of(&self, i: usize) -> &[u8] {
+        &self.items[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Episode indices anchored at symbol `c` (first item equals `c`).
+    #[inline]
+    pub fn anchored_at(&self, c: u8) -> &[u32] {
+        let c = c as usize;
+        &self.anchor_episodes[self.anchor_offsets[c] as usize..self.anchor_offsets[c + 1] as usize]
+    }
+
+    /// Single-pass active-set scan of `stream[range]` from the start state,
+    /// adding completions into `counts` (indexed by episode). The FSM states at
+    /// the end of the range remain in `scratch.state` (non-zero = live partial
+    /// match at the segment boundary).
+    ///
+    /// This is the workhorse of both the sequential [`count`] and each
+    /// sharded worker's map step.
+    ///
+    /// [`count`]: CompiledCandidates::count
+    pub fn scan_range(
+        &self,
+        stream: &[u8],
+        range: std::ops::Range<usize>,
+        scratch: &mut CountScratch,
+        counts: &mut [u64],
+    ) {
+        debug_assert_eq!(counts.len(), self.len());
+        scratch.prepare(self.len());
+        if self.is_empty() || range.is_empty() {
+            return;
+        }
+        let CountScratch {
+            state,
+            last_step,
+            active,
+            next_active,
+        } = scratch;
+        // Distinct-item episodes can never re-anchor on the character that
+        // completed or reset them (the completing character equals the LAST
+        // item, the resetting one differs from the first), so the `last_step`
+        // guard — and its per-step bookkeeping store — is only needed when the
+        // set holds repeated-item episodes.
+        let guard = !self.repeated.is_empty();
+
+        for (pos, &c) in stream[range].iter().enumerate() {
+            let pos = pos as u64;
+            // Phase 1: step in-progress matches.
+            for &ei in active.iter() {
+                let e = ei as usize;
+                let it = self.items_of(e);
+                let j = state[e] as usize;
+                if guard {
+                    last_step[e] = pos;
+                }
+                if c == it[j] {
+                    if j + 1 == it.len() {
+                        counts[e] += 1;
+                        state[e] = 0; // completed: leaves the active set
+                    } else {
+                        state[e] += 1;
+                        next_active.push(ei);
+                    }
+                } else if c == it[0] {
+                    state[e] = 1; // restart, stays active
+                    next_active.push(ei);
+                } else {
+                    state[e] = 0; // reset: leaves the active set
+                }
+            }
+            std::mem::swap(active, next_active);
+            next_active.clear();
+
+            // Phase 2: anchor fresh matches. Only state-0 episodes that did not
+            // already consume this character in phase 1 may anchor.
+            for &ei in self.anchored_at(c) {
+                let e = ei as usize;
+                if state[e] == 0 && (!guard || last_step[e] != pos) {
+                    if self.offsets[e + 1] - self.offsets[e] == 1 {
+                        counts[e] += 1; // level-1 episodes complete on anchor
+                    } else {
+                        state[e] = 1;
+                        active.push(ei);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Counts every compiled episode over the whole stream with a single
+    /// active-set pass — observationally identical to
+    /// [`crate::count::count_episodes_naive`] for any episodes, without any
+    /// per-call index construction.
+    pub fn count(&self, stream: &[u8], scratch: &mut CountScratch) -> Vec<u64> {
+        let mut counts = vec![0u64; self.len()];
+        self.scan_range(stream, 0..stream.len(), scratch, &mut counts);
+        counts
+    }
+
+    /// Segmented count over arbitrary cut positions (non-decreasing, in
+    /// `0..=stream.len()`), sequentially: per-segment active-set map step,
+    /// advance-only boundary continuations (paper Fig. 5), exact-composition
+    /// fallback for repeated-item episodes. Equals the sequential count for
+    /// every segmentation.
+    ///
+    /// This is the reference the parallel [`count_sharded`] is tested against
+    /// with adversarial boundary positions.
+    ///
+    /// [`count_sharded`]: CompiledCandidates::count_sharded
+    pub fn count_with_bounds(
+        &self,
+        stream: &[u8],
+        bounds: &[usize],
+        scratch: &mut CountScratch,
+    ) -> Vec<u64> {
+        let n = stream.len();
+        let mut counts = vec![0u64; self.len()];
+        let mut start = 0usize;
+        for &b in bounds.iter().chain(std::iter::once(&n)) {
+            debug_assert!(b >= start && b <= n);
+            self.scan_range(stream, start..b, scratch, &mut counts);
+            if b < n {
+                self.fix_boundary(stream, b, &scratch.state, &mut counts);
+            }
+            start = b;
+        }
+        self.apply_exact_fallback(stream, bounds, &mut counts);
+        counts
+    }
+
+    /// Database-sharded parallel count: the stream is split into `workers`
+    /// even segments, each scanned by one pool worker from the start state;
+    /// boundary partials are resolved with continuations and the per-segment
+    /// partial counts are reduced by summation — the paper's map → span-check
+    /// → reduce pipeline (Algorithms 3/4) on host threads.
+    ///
+    /// Bit-identical to the sequential count for every episode set (distinct
+    /// items via the continuation scheme, repeated items via exact
+    /// state-composition) and every worker count.
+    pub fn count_sharded(&self, stream: &[u8], workers: usize) -> Vec<u64> {
+        let n = stream.len();
+        let workers = workers.max(1);
+        if workers == 1 || n < MIN_SHARD_STREAM || self.is_empty() {
+            let mut scratch = CountScratch::new();
+            return self.count(stream, &mut scratch);
+        }
+        let bounds = crate::segment::even_bounds(n, workers);
+        let ranges: Vec<std::ops::Range<usize>> = std::iter::once(0)
+            .chain(bounds.iter().copied())
+            .zip(bounds.iter().copied().chain(std::iter::once(n)))
+            .map(|(s, e)| s..e)
+            .collect();
+
+        // Map: each worker scans its segment with a private scratch.
+        let shards: Vec<(Vec<u64>, Vec<u8>)> = map_items(&ranges, workers, |r| {
+            let mut scratch = CountScratch::new();
+            let mut counts = vec![0u64; self.len()];
+            self.scan_range(stream, r.clone(), &mut scratch, &mut counts);
+            (counts, scratch.state.clone())
+        });
+
+        // Reduce: sum segment counts, then resolve each interior boundary's
+        // live partials with advance-only continuations.
+        let mut counts = vec![0u64; self.len()];
+        for (seg_counts, _) in &shards {
+            for (t, &c) in counts.iter_mut().zip(seg_counts.iter()) {
+                *t += c;
+            }
+        }
+        for (w, &b) in bounds.iter().enumerate() {
+            self.fix_boundary(stream, b, &shards[w].1, &mut counts);
+        }
+        self.apply_exact_fallback(stream, &bounds, &mut counts);
+        counts
+    }
+
+    /// Convenience: sharded count with the machine's available parallelism.
+    pub fn count_auto(&self, stream: &[u8]) -> Vec<u64> {
+        self.count_sharded(stream, default_workers())
+    }
+
+    /// Resolves one interior boundary: every episode with a live end state gets
+    /// its advance-only continuation scanned past `boundary`.
+    fn fix_boundary(&self, stream: &[u8], boundary: usize, end_states: &[u8], counts: &mut [u64]) {
+        for (e, &st) in end_states.iter().enumerate() {
+            if st > 0 {
+                counts[e] += continuation_count_items(stream, self.items_of(e), st, boundary);
+            }
+        }
+    }
+
+    /// Replaces the (possibly inconsistent) continuation-scheme counts of
+    /// repeated-item episodes with the exact state-composition count over the
+    /// same segmentation.
+    fn apply_exact_fallback(&self, stream: &[u8], bounds: &[usize], counts: &mut [u64]) {
+        for &ei in &self.repeated {
+            let e = ei as usize;
+            counts[e] = count_segmented_exact_items(stream, self.items_of(e), bounds);
+        }
+    }
+}
+
+/// Reusable mutable state for [`CompiledCandidates`] scans.
+///
+/// Holding one of these across `count` calls (as the counting backends do)
+/// means the per-scan vectors are allocated once and then only grown — the
+/// level-wise miner pays zero steady-state allocation for the scan state.
+#[derive(Debug, Clone, Default)]
+pub struct CountScratch {
+    /// FSM state per episode (0 = start). After a scan, non-zero entries mark
+    /// live partial matches at the end of the scanned range.
+    pub(crate) state: Vec<u8>,
+    /// Segment-local position of each episode's last phase-1 step (repeated-item
+    /// guard; untouched for all-distinct sets).
+    last_step: Vec<u64>,
+    /// Indices of episodes with non-zero state (the active set).
+    active: Vec<u32>,
+    /// Double buffer for the active set.
+    next_active: Vec<u32>,
+}
+
+impl CountScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CountScratch::default()
+    }
+
+    /// FSM end states of the most recent scan (one per episode).
+    pub fn end_states(&self) -> &[u8] {
+        &self.state
+    }
+
+    /// Resets for a scan over `n_eps` episodes, reusing capacity.
+    fn prepare(&mut self, n_eps: usize) {
+        self.state.clear();
+        self.state.resize(n_eps, 0);
+        self.last_step.clear();
+        self.last_step.resize(n_eps, u64::MAX);
+        self.active.clear();
+        self.next_active.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::candidate::permutations;
+    use crate::count::count_episodes_naive;
+    use crate::sequence::EventDb;
+    use proptest::prelude::*;
+
+    fn db_of(s: &str) -> EventDb {
+        EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap()
+    }
+
+    fn eps_of(specs: &[&str]) -> Vec<Episode> {
+        let ab = Alphabet::latin26();
+        specs
+            .iter()
+            .map(|s| Episode::from_str(&ab, s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn csr_layout_round_trips() {
+        let eps = eps_of(&["AB", "Q", "CAB", "AZ"]);
+        let c = CompiledCandidates::compile(26, &eps);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.max_level(), 3);
+        assert_eq!(c.alphabet_len(), 26);
+        for (i, ep) in eps.iter().enumerate() {
+            assert_eq!(c.items_of(i), ep.items());
+        }
+        // Anchor index: episodes 0 and 3 start with A, 1 with Q, 2 with C.
+        assert_eq!(c.anchored_at(0), &[0, 3]);
+        assert_eq!(c.anchored_at(b'Q' - b'A'), &[1]);
+        assert_eq!(c.anchored_at(b'C' - b'A'), &[2]);
+        assert_eq!(c.anchored_at(b'Z' - b'A'), &[] as &[u32]);
+        assert!(c.all_distinct());
+    }
+
+    #[test]
+    fn repeated_items_detected() {
+        let c = CompiledCandidates::compile(26, &eps_of(&["AB", "ABA"]));
+        assert!(!c.all_distinct());
+        assert_eq!(c.repeated, vec![1]);
+    }
+
+    #[test]
+    fn recompile_reuses_buffers_without_reallocating() {
+        let big = permutations(&Alphabet::latin26(), 2);
+        let small = eps_of(&["AB", "BC"]);
+        let mut c = CompiledCandidates::compile(26, &big);
+        let caps = (
+            c.items.capacity(),
+            c.offsets.capacity(),
+            c.anchor_offsets.capacity(),
+            c.anchor_episodes.capacity(),
+        );
+        let ptrs = (c.items.as_ptr(), c.anchor_episodes.as_ptr());
+        c.recompile(26, &small);
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            caps,
+            (
+                c.items.capacity(),
+                c.offsets.capacity(),
+                c.anchor_offsets.capacity(),
+                c.anchor_episodes.capacity(),
+            )
+        );
+        assert_eq!(ptrs, (c.items.as_ptr(), c.anchor_episodes.as_ptr()));
+        let db = db_of("ABCABC");
+        let mut scratch = CountScratch::new();
+        assert_eq!(
+            c.count(db.symbols(), &mut scratch),
+            count_episodes_naive(&db, &small)
+        );
+    }
+
+    #[test]
+    fn compiled_count_matches_naive() {
+        let db = db_of("ABCABCABZZQABC");
+        let eps = eps_of(&["A", "AB", "ABC", "CBA", "ZQ", "QZ", "BCA", "AA", "ABA"]);
+        let c = CompiledCandidates::compile(26, &eps);
+        let mut scratch = CountScratch::new();
+        assert_eq!(
+            c.count(db.symbols(), &mut scratch),
+            count_episodes_naive(&db, &eps)
+        );
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_sets_of_different_sizes() {
+        let db = db_of(&"ABCXYZ".repeat(40));
+        let mut scratch = CountScratch::new();
+        for level in [1usize, 2, 3] {
+            let eps = permutations(&Alphabet::latin26(), level);
+            let c = CompiledCandidates::compile(26, &eps);
+            assert_eq!(
+                c.count(db.symbols(), &mut scratch),
+                count_episodes_naive(&db, &eps),
+                "level {level}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_naive_on_level2_universe() {
+        // Long enough to actually shard (> MIN_SHARD_STREAM).
+        let text: String = (0..8192u32)
+            .map(|i| char::from(b'A' + ((i.wrapping_mul(2654435761) >> 7) % 26) as u8))
+            .collect();
+        let db = db_of(&text);
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let c = CompiledCandidates::compile(26, &eps);
+        let expected = count_episodes_naive(&db, &eps);
+        for workers in [1usize, 2, 3, 4, 7, 8] {
+            assert_eq!(
+                c.count_sharded(db.symbols(), workers),
+                expected,
+                "workers={workers}"
+            );
+        }
+        assert_eq!(c.count_auto(db.symbols()), expected);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let c = CompiledCandidates::compile(26, &[]);
+        let mut scratch = CountScratch::new();
+        assert!(c.count(&[], &mut scratch).is_empty());
+        assert!(c.count_sharded(&[0, 1, 2], 4).is_empty());
+        let c2 = CompiledCandidates::compile(26, &eps_of(&["AB"]));
+        assert_eq!(c2.count(&[], &mut scratch), vec![0]);
+    }
+
+    proptest! {
+        /// Arbitrary cut positions (the adversarial segmentations a sharded run
+        /// could produce) preserve counts for arbitrary episode sets — repeats
+        /// included, thanks to the exact-composition fallback.
+        #[test]
+        fn bounded_count_equals_naive(
+            data in proptest::collection::vec(0u8..6, 0..400),
+            eps in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..25),
+            cuts in proptest::collection::vec(0usize..400, 0..8),
+        ) {
+            let ab = Alphabet::numbered(6).unwrap();
+            let n = data.len();
+            let db = EventDb::new(ab, data).unwrap();
+            let episodes: Vec<Episode> =
+                eps.into_iter().map(|v| Episode::new(v).unwrap()).collect();
+            let c = CompiledCandidates::compile(6, &episodes);
+            let mut bounds: Vec<usize> = cuts.into_iter().map(|x| x % (n + 1)).collect();
+            bounds.sort_unstable();
+            let mut scratch = CountScratch::new();
+            prop_assert_eq!(
+                c.count_with_bounds(db.symbols(), &bounds, &mut scratch),
+                count_episodes_naive(&db, &episodes)
+            );
+        }
+
+        /// The compiled sequential scan is observationally identical to the
+        /// per-episode FSM reference for arbitrary inputs.
+        #[test]
+        fn compiled_scan_equals_naive(
+            data in proptest::collection::vec(0u8..6, 0..400),
+            eps in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..25),
+        ) {
+            let ab = Alphabet::numbered(6).unwrap();
+            let db = EventDb::new(ab, data).unwrap();
+            let episodes: Vec<Episode> =
+                eps.into_iter().map(|v| Episode::new(v).unwrap()).collect();
+            let c = CompiledCandidates::compile(6, &episodes);
+            let mut scratch = CountScratch::new();
+            prop_assert_eq!(
+                c.count(db.symbols(), &mut scratch),
+                count_episodes_naive(&db, &episodes)
+            );
+        }
+    }
+}

@@ -15,6 +15,10 @@
 //!   ([`fsm`], [`semantics`]);
 //! * sequential counters, including a fast multi-episode *active-set* counter
 //!   ([`count`]);
+//! * the counting **engine**: candidate sets compiled into flat CSR buffers
+//!   with a symbol-anchored index, reusable scan scratch, and database-sharded
+//!   parallel counting with boundary fix-up — the CPU analogue of the paper's
+//!   block-level Algorithms 3/4 ([`engine`]);
 //! * **segmented** counting with boundary continuation — the span handling that the
 //!   paper's block-level algorithms need (paper Fig. 5) — plus an exact
 //!   state-composition variant ([`segment`]);
@@ -40,6 +44,7 @@
 pub mod alphabet;
 pub mod candidate;
 pub mod count;
+pub mod engine;
 pub mod episode;
 pub mod expiry;
 pub mod fsm;
@@ -50,6 +55,7 @@ pub mod sequence;
 pub mod stats;
 
 pub use alphabet::{Alphabet, Symbol};
+pub use engine::{CompiledCandidates, CountScratch};
 pub use episode::Episode;
 pub use miner::{CountingBackend, Miner, MinerConfig};
 pub use semantics::CountSemantics;

@@ -29,13 +29,23 @@ pub trait CountingBackend {
     }
 }
 
-/// The built-in sequential backend (active-set counter from [`crate::count`]).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SequentialBackend;
+/// The built-in sequential backend: the compiled active-set engine from
+/// [`crate::engine`], holding its [`CompiledCandidates`] and [`CountScratch`]
+/// across levels so the per-level `count` calls reuse every buffer instead of
+/// rebuilding the anchor index from scratch.
+///
+/// [`CompiledCandidates`]: crate::engine::CompiledCandidates
+/// [`CountScratch`]: crate::engine::CountScratch
+#[derive(Debug, Default, Clone)]
+pub struct SequentialBackend {
+    compiled: crate::engine::CompiledCandidates,
+    scratch: crate::engine::CountScratch,
+}
 
 impl CountingBackend for SequentialBackend {
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        crate::count::count_episodes(db, candidates)
+        self.compiled.recompile(db.alphabet().len(), candidates);
+        self.compiled.count(db.symbols(), &mut self.scratch)
     }
 
     fn name(&self) -> &str {
@@ -138,7 +148,7 @@ mod tests {
             alpha: 0.1,
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend);
+        let res = miner.mine(&db, &mut SequentialBackend::default());
         let ab = Alphabet::latin26();
         assert_eq!(res.levels[0].len(), 3); // A, B, C each support 1/3
         assert!(res
@@ -159,7 +169,7 @@ mod tests {
             alpha: 0.9,
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend);
+        let res = miner.mine(&db, &mut SequentialBackend::default());
         assert_eq!(res.levels.len(), 1);
         assert!(res.levels[0].is_empty());
         assert_eq!(res.total_frequent(), 0);
@@ -173,7 +183,7 @@ mod tests {
             max_level: Some(1),
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend);
+        let res = miner.mine(&db, &mut SequentialBackend::default());
         assert_eq!(res.levels.len(), 1);
         assert_eq!(res.levels[0].level, 1);
     }
@@ -187,7 +197,7 @@ mod tests {
             max_level: Some(2),
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend);
+        let res = miner.mine(&db, &mut SequentialBackend::default());
         assert_eq!(res.levels[0].candidates, 26);
         // Only A..D are frequent, so level 2 candidates = 4*3 ordered pairs.
         assert_eq!(res.levels[1].candidates, 12);
@@ -197,7 +207,7 @@ mod tests {
     fn empty_database_yields_single_empty_level() {
         let ab = Alphabet::latin26();
         let db = EventDb::new(ab, vec![]).unwrap();
-        let res = Miner::new(MinerConfig::default()).mine(&db, &mut SequentialBackend);
+        let res = Miner::new(MinerConfig::default()).mine(&db, &mut SequentialBackend::default());
         assert_eq!(res.total_frequent(), 0);
     }
 }

@@ -44,7 +44,18 @@ pub fn scan_segment(
     episode: &Episode,
     range: std::ops::Range<usize>,
 ) -> SegmentScan {
-    let mut fsm = EpisodeFsm::new(episode);
+    scan_segment_items(stream, episode.items(), range)
+}
+
+/// Item-slice form of [`scan_segment`], for callers holding a compiled
+/// candidate layout ([`crate::engine::CompiledCandidates`]) rather than
+/// [`Episode`] values. `items` must be non-empty.
+pub fn scan_segment_items(
+    stream: &[u8],
+    items: &[u8],
+    range: std::ops::Range<usize>,
+) -> SegmentScan {
+    let mut fsm = EpisodeFsm::from_items(items);
     let count = fsm.run(&stream[range]);
     SegmentScan {
         count,
@@ -61,10 +72,15 @@ pub fn scan_segment(
 ///
 /// Returns 1 when the spanning appearance completes, 0 otherwise.
 pub fn continuation_count(stream: &[u8], episode: &Episode, state: u8, from: usize) -> u64 {
+    continuation_count_items(stream, episode.items(), state, from)
+}
+
+/// Item-slice form of [`continuation_count`] (the engine's boundary-fix step
+/// uses this directly on the compiled layout).
+pub fn continuation_count_items(stream: &[u8], items: &[u8], state: u8, from: usize) -> u64 {
     if state == 0 {
         return 0;
     }
-    let items = episode.items();
     let mut j = state as usize;
     for &c in &stream[from..] {
         if c == items[j] {
@@ -120,7 +136,11 @@ pub struct SegmentEffect {
 impl SegmentEffect {
     /// Computes the effect of `stream[range]` for an episode of level `l`.
     pub fn compute(stream: &[u8], episode: &Episode, range: std::ops::Range<usize>) -> Self {
-        let items = episode.items();
+        Self::compute_items(stream, episode.items(), range)
+    }
+
+    /// Item-slice form of [`SegmentEffect::compute`].
+    pub fn compute_items(stream: &[u8], items: &[u8], range: std::ops::Range<usize>) -> Self {
         let l = items.len();
         let mut completions = vec![0u64; l];
         let mut exit: Vec<u8> = (0..l as u8).collect();
@@ -153,11 +173,16 @@ impl SegmentEffect {
 /// Exact segmented count via state-function composition. Matches the sequential
 /// FSM count for **every** episode and segmentation.
 pub fn count_segmented_exact(db: &EventDb, episode: &Episode, bounds: &[usize]) -> u64 {
-    let stream = db.symbols();
+    count_segmented_exact_items(db.symbols(), episode.items(), bounds)
+}
+
+/// Item-slice form of [`count_segmented_exact`] — the engine's fallback for
+/// repeated-item episodes in a sharded count.
+pub fn count_segmented_exact_items(stream: &[u8], items: &[u8], bounds: &[usize]) -> u64 {
     let mut start = 0usize;
     let mut acc: Option<SegmentEffect> = None;
     for &b in bounds.iter().chain(std::iter::once(&stream.len())) {
-        let eff = SegmentEffect::compute(stream, episode, start..b);
+        let eff = SegmentEffect::compute_items(stream, items, start..b);
         acc = Some(match acc {
             None => eff,
             Some(prev) => prev.then(&eff),

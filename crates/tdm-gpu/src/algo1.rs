@@ -16,7 +16,8 @@ use gpu_sim::{
     simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec, MemKind,
     MemTraffic, Phase, SimError,
 };
-use tdm_core::{Episode, EventDb};
+use tdm_core::engine::CompiledCandidates;
+use tdm_core::EventDb;
 
 /// Cache key: block size plus the divergence-model bit (bit 16).
 pub(crate) fn stats_key(tpb: u32, serialize: bool) -> u32 {
@@ -25,15 +26,16 @@ pub(crate) fn stats_key(tpb: u32, serialize: bool) -> u32 {
 
 /// Samples thread-level warps (shared by Algorithms 1 and 2, whose inner compute
 /// loops are identical — they differ only in where the characters come from).
+/// Lane episodes come straight from the compiled CSR layout.
 pub(crate) fn sample_thread_level(
     db: &EventDb,
-    episodes: &[Episode],
+    compiled: &CompiledCandidates,
     tpb: u32,
     serialize: bool,
     opts: &SimOptions,
 ) -> ProfileStats {
     let lanes = tpb.clamp(1, 32) as usize;
-    let n_warps = episodes.len().div_ceil(lanes).max(1);
+    let n_warps = compiled.len().div_ceil(lanes).max(1);
     let costs = FsmCosts::default();
 
     let sample_ids: Vec<usize> = if opts.exact || n_warps <= opts.sample_warps {
@@ -52,11 +54,11 @@ pub(crate) fn sample_thread_level(
     let mut max = 0u64;
     for &w in &sample_ids {
         let lo = w * lanes;
-        let hi = ((w + 1) * lanes).min(episodes.len());
+        let hi = ((w + 1) * lanes).min(compiled.len());
         if lo >= hi {
             continue;
         }
-        let warp_eps: Vec<&Episode> = episodes[lo..hi].iter().collect();
+        let warp_eps: Vec<&[u8]> = (lo..hi).map(|i| compiled.items_of(i)).collect();
         let out = run_broadcast_warp(db.symbols(), &warp_eps, &costs, serialize);
         let issue = out.recorder.issue_instructions();
         total += issue;
@@ -76,7 +78,7 @@ pub(crate) fn sample_thread_level(
 /// # Errors
 /// Propagates launch-validation failures from the simulator.
 pub fn run(
-    problem: &mut MiningProblem<'_>,
+    problem: &MiningProblem<'_>,
     tpb: u32,
     dev: &DeviceConfig,
     cost: &CostModel,
@@ -91,7 +93,7 @@ pub fn run(
             Algorithm::ThreadTexture,
             stats_key(tpb, cost.model_divergence),
         ),
-        |db, eps| sample_thread_level(db, eps, tpb, cost.model_divergence, &opts_c),
+        |db, compiled| sample_thread_level(db, compiled, tpb, cost.model_divergence, &opts_c),
     );
 
     let lanes = tpb.clamp(1, 32) as usize;
@@ -152,10 +154,10 @@ mod tests {
     fn counts_match_ground_truth() {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 2);
-        let mut problem = MiningProblem::new(&db, &eps);
+        let problem = MiningProblem::new(&db, &eps);
         let expected = tdm_core::count::count_episodes(&db, &eps);
         let run = run(
-            &mut problem,
+            &problem,
             128,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),
@@ -173,9 +175,9 @@ mod tests {
         // small-problem regime (Characterization 4).
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 1);
-        let mut problem = MiningProblem::new(&db, &eps);
+        let problem = MiningProblem::new(&db, &eps);
         let run = run(
-            &mut problem,
+            &problem,
             256,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),
@@ -190,9 +192,9 @@ mod tests {
     fn level3_like_load_is_issue_bound() {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 2); // 650 episodes: 21 warps
-        let mut problem = MiningProblem::new(&db, &eps);
+        let problem = MiningProblem::new(&db, &eps);
         let run96 = run(
-            &mut problem,
+            &problem,
             96,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),
@@ -211,10 +213,10 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p1 = MiningProblem::new(&db, &eps);
-        let mut p2 = MiningProblem::new(&db, &eps);
-        let a = run(&mut p1, 64, &dev, &cost, &opts).unwrap();
-        let b = run(&mut p2, 64, &dev, &cost, &opts).unwrap();
+        let p1 = MiningProblem::new(&db, &eps);
+        let p2 = MiningProblem::new(&db, &eps);
+        let a = run(&p1, 64, &dev, &cost, &opts).unwrap();
+        let b = run(&p2, 64, &dev, &cost, &opts).unwrap();
         assert_eq!(a.report.cycles, b.report.cycles);
     }
 
@@ -224,11 +226,11 @@ mod tests {
         let eps = permutations(&Alphabet::latin26(), 2);
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
-        let mut p1 = MiningProblem::new(&db, &eps);
-        let mut p2 = MiningProblem::new(&db, &eps);
-        let sampled = run(&mut p1, 128, &dev, &cost, &SimOptions::default()).unwrap();
+        let p1 = MiningProblem::new(&db, &eps);
+        let p2 = MiningProblem::new(&db, &eps);
+        let sampled = run(&p1, 128, &dev, &cost, &SimOptions::default()).unwrap();
         let exact = run(
-            &mut p2,
+            &p2,
             128,
             &dev,
             &cost,

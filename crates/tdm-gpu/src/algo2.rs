@@ -34,7 +34,7 @@ pub(crate) fn byte_load_penalty(cc: ComputeCapability) -> (u64, u64) {
 /// # Errors
 /// Propagates launch-validation failures from the simulator.
 pub fn run(
-    problem: &mut MiningProblem<'_>,
+    problem: &MiningProblem<'_>,
     tpb: u32,
     dev: &DeviceConfig,
     cost: &CostModel,
@@ -50,7 +50,7 @@ pub fn run(
             Algorithm::ThreadTexture,
             stats_key(tpb, cost.model_divergence),
         ),
-        |db, eps| sample_thread_level(db, eps, tpb, cost.model_divergence, &opts_c),
+        |db, compiled| sample_thread_level(db, compiled, tpb, cost.model_divergence, &opts_c),
     );
 
     let lanes = tpb.clamp(1, 32) as usize;
@@ -133,9 +133,9 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let a1 = crate::algo1::run(&mut p, 128, &dev, &cost, &opts).unwrap();
-        let a2 = run(&mut p, 128, &dev, &cost, &opts).unwrap();
+        let p = MiningProblem::new(&db, &eps);
+        let a1 = crate::algo1::run(&p, 128, &dev, &cost, &opts).unwrap();
+        let a2 = run(&p, 128, &dev, &cost, &opts).unwrap();
         // Buffering must not change the mining result (state persists across
         // epochs, so the scan is logically identical).
         assert_eq!(a1.counts, a2.counts);
@@ -150,9 +150,9 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let a1 = crate::algo1::run(&mut p, 512, &dev, &cost, &opts).unwrap();
-        let a2 = run(&mut p, 512, &dev, &cost, &opts).unwrap();
+        let p = MiningProblem::new(&db, &eps);
+        let a1 = crate::algo1::run(&p, 512, &dev, &cost, &opts).unwrap();
+        let a2 = run(&p, 512, &dev, &cost, &opts).unwrap();
         assert!(
             a2.report.time_ms < a1.report.time_ms,
             "A2 {} vs A1 {}",
@@ -169,9 +169,9 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let t16 = run(&mut p, 16, &dev, &cost, &opts).unwrap().report.time_ms;
-        let t512 = run(&mut p, 512, &dev, &cost, &opts).unwrap().report.time_ms;
+        let p = MiningProblem::new(&db, &eps);
+        let t16 = run(&p, 16, &dev, &cost, &opts).unwrap().report.time_ms;
+        let t512 = run(&p, 512, &dev, &cost, &opts).unwrap().report.time_ms;
         assert!(t512 < t16, "512tpb {t512} vs 16tpb {t16}");
     }
 
@@ -188,9 +188,9 @@ mod tests {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 1);
         let dev = DeviceConfig::geforce_gtx_280();
-        let mut p = MiningProblem::new(&db, &eps);
+        let p = MiningProblem::new(&db, &eps);
         let run = run(
-            &mut p,
+            &p,
             64,
             &dev,
             &CostModel::default(),

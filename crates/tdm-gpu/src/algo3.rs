@@ -18,12 +18,13 @@ use gpu_sim::{
     simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec, MemKind,
     MemTraffic, Phase, SimError,
 };
+use tdm_core::engine::CompiledCandidates;
 use tdm_core::segment::even_bounds;
-use tdm_core::{Episode, EventDb};
+use tdm_core::EventDb;
 
 pub(crate) fn sample_block_level(
     db: &EventDb,
-    episodes: &[Episode],
+    compiled: &CompiledCandidates,
     tpb: u32,
     serialize: bool,
     opts: &SimOptions,
@@ -34,7 +35,7 @@ pub(crate) fn sample_block_level(
     let warps: Vec<&[std::ops::Range<usize>]> = ranges.chunks(32).collect();
 
     // Sample blocks (episodes) evenly.
-    let n_blocks = episodes.len();
+    let n_blocks = compiled.len();
     let block_ids: Vec<usize> = if opts.exact || n_blocks <= opts.sample_blocks {
         (0..n_blocks).collect()
     } else {
@@ -52,7 +53,7 @@ pub(crate) fn sample_block_level(
     let mut spans = SpanStats::default();
     let bounds = even_bounds(n, tpb as usize);
     for &b in &block_ids {
-        let episode = &episodes[b];
+        let items = compiled.items_of(b);
         // Sample warps within the block.
         let warp_ids: Vec<usize> = if opts.exact || warps.len() <= opts.sample_warps {
             (0..warps.len()).collect()
@@ -65,13 +66,13 @@ pub(crate) fn sample_block_level(
                 .collect()
         };
         for &w in &warp_ids {
-            let out = run_partitioned_warp(db.symbols(), episode, warps[w], &costs, serialize);
+            let out = run_partitioned_warp(db.symbols(), items, warps[w], &costs, serialize);
             let issue = out.recorder.issue_instructions();
             total += issue;
             max = max.max(issue);
             samples += 1;
         }
-        let (_, s) = measure_spans(db.symbols(), episode, &bounds);
+        let (_, s) = measure_spans(db.symbols(), items, &bounds);
         spans.boundaries += s.boundaries;
         spans.live += s.live;
         spans.continuation_chars += s.continuation_chars;
@@ -175,7 +176,7 @@ pub(crate) fn span_and_reduce_phases(
 /// # Errors
 /// Propagates launch-validation failures from the simulator.
 pub fn run(
-    problem: &mut MiningProblem<'_>,
+    problem: &MiningProblem<'_>,
     tpb: u32,
     dev: &DeviceConfig,
     cost: &CostModel,
@@ -190,7 +191,7 @@ pub fn run(
             Algorithm::BlockTexture,
             crate::algo1::stats_key(tpb, cost.model_divergence),
         ),
-        |db, eps| sample_block_level(db, eps, tpb, cost.model_divergence, &opts_c),
+        |db, compiled| sample_block_level(db, compiled, tpb, cost.model_divergence, &opts_c),
     );
 
     let warps = tpb.div_ceil(32).max(1) as u64;
@@ -252,9 +253,9 @@ mod tests {
     fn one_block_per_episode() {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 1);
-        let mut p = MiningProblem::new(&db, &eps);
+        let p = MiningProblem::new(&db, &eps);
         let run = run(
-            &mut p,
+            &p,
             64,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),
@@ -273,9 +274,9 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let a1 = crate::algo1::run(&mut p, 256, &dev, &cost, &opts).unwrap();
-        let a3 = run(&mut p, 256, &dev, &cost, &opts).unwrap();
+        let p = MiningProblem::new(&db, &eps);
+        let a1 = crate::algo1::run(&p, 256, &dev, &cost, &opts).unwrap();
+        let a3 = run(&p, 256, &dev, &cost, &opts).unwrap();
         assert!(
             a3.report.time_ms * 5.0 < a1.report.time_ms,
             "A3 {} vs A1 {}",
@@ -293,9 +294,9 @@ mod tests {
         let dev = DeviceConfig::geforce_8800_gts_512();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let t64 = run(&mut p, 64, &dev, &cost, &opts).unwrap();
-        let t512 = run(&mut p, 512, &dev, &cost, &opts).unwrap();
+        let p = MiningProblem::new(&db, &eps);
+        let t64 = run(&p, 64, &dev, &cost, &opts).unwrap();
+        let t512 = run(&p, 512, &dev, &cost, &opts).unwrap();
         assert!(t512.report.counters.dram_bytes > t64.report.counters.dram_bytes);
     }
 
@@ -303,7 +304,8 @@ mod tests {
     fn span_statistics_present_for_multi_item_episodes() {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 2);
-        let stats = sample_block_level(&db, &eps, 128, true, &SimOptions::default());
+        let compiled = CompiledCandidates::compile(26, &eps);
+        let stats = sample_block_level(&db, &compiled, 128, true, &SimOptions::default());
         assert!(stats.live_boundary_fraction >= 0.0);
         assert!(stats.mean_warp_issue > 0.0);
     }

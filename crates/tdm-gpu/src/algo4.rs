@@ -23,8 +23,9 @@ use gpu_sim::{
     simulate, BlockProfile, CostModel, DeviceConfig, KernelResources, KernelSpec, MemKind,
     MemTraffic, Phase, SimError,
 };
+use tdm_core::engine::CompiledCandidates;
 use tdm_core::fsm::EpisodeFsm;
-use tdm_core::{Episode, EventDb};
+use tdm_core::EventDb;
 
 /// The buffer geometry Algorithm 4 actually runs with: the requested buffer is
 /// rounded down so each thread owns an integral slice of at least one byte.
@@ -61,11 +62,12 @@ pub fn slice_bounds(n: u64, geometry: &BufferGeometry) -> Vec<usize> {
 
 /// Lockstep execution of one Algorithm-4 warp: lane `i` (thread `t = warp*32 +
 /// i`) scans slice `t` of every epoch, restarting its FSM at each slice start
-/// (span handling is a separate phase, as in the kernel).
+/// (span handling is a separate phase, as in the kernel). The episode is given
+/// as its (non-empty) item slice.
 #[allow(clippy::too_many_arguments)]
 fn run_slice_warp(
     stream: &[u8],
-    episode: &Episode,
+    items: &[u8],
     geometry: &BufferGeometry,
     first_thread: u32,
     lanes: u32,
@@ -74,7 +76,7 @@ fn run_slice_warp(
     serialize: bool,
 ) -> (LockstepRecorder, Vec<u64>) {
     let n = stream.len() as u64;
-    let mut fsms: Vec<EpisodeFsm> = (0..lanes).map(|_| EpisodeFsm::new(episode)).collect();
+    let mut fsms: Vec<EpisodeFsm> = (0..lanes).map(|_| EpisodeFsm::from_items(items)).collect();
     let mut recorder = LockstepRecorder::new();
     let mut counts = vec![0u64; lanes as usize];
     let mut paths: Vec<PathTaken> = Vec::with_capacity(lanes as usize);
@@ -109,7 +111,7 @@ fn run_slice_warp(
 
 pub(crate) fn sample_slice_level(
     db: &EventDb,
-    episodes: &[Episode],
+    compiled: &CompiledCandidates,
     tpb: u32,
     requested_buffer: u32,
     serialize: bool,
@@ -120,7 +122,7 @@ pub(crate) fn sample_slice_level(
     let geometry = buffer_geometry(n, tpb, requested_buffer);
     let warps = tpb.div_ceil(32).max(1);
 
-    let n_blocks = episodes.len();
+    let n_blocks = compiled.len();
     let block_ids: Vec<usize> = if opts.exact || n_blocks <= opts.sample_blocks {
         (0..n_blocks).collect()
     } else {
@@ -138,7 +140,7 @@ pub(crate) fn sample_slice_level(
     let mut samples = 0u64;
     let mut spans = SpanStats::default();
     for &b in &block_ids {
-        let episode = &episodes[b];
+        let items = compiled.items_of(b);
         let warp_ids: Vec<u32> = if opts.exact || warps as usize <= opts.sample_warps {
             (0..warps).collect()
         } else {
@@ -154,7 +156,7 @@ pub(crate) fn sample_slice_level(
             let lanes = (tpb - first_thread).min(32);
             let (rec, _) = run_slice_warp(
                 db.symbols(),
-                episode,
+                items,
                 &geometry,
                 first_thread,
                 lanes,
@@ -167,7 +169,7 @@ pub(crate) fn sample_slice_level(
             max = max.max(issue);
             samples += 1;
         }
-        let (_, s) = measure_spans(db.symbols(), episode, &bounds);
+        let (_, s) = measure_spans(db.symbols(), items, &bounds);
         spans.boundaries += s.boundaries;
         spans.live += s.live;
         spans.continuation_chars += s.continuation_chars;
@@ -187,7 +189,7 @@ pub(crate) fn sample_slice_level(
 /// # Errors
 /// Propagates launch-validation failures from the simulator.
 pub fn run(
-    problem: &mut MiningProblem<'_>,
+    problem: &MiningProblem<'_>,
     tpb: u32,
     dev: &DeviceConfig,
     cost: &CostModel,
@@ -204,7 +206,16 @@ pub fn run(
             Algorithm::BlockBuffered,
             crate::algo1::stats_key(tpb, cost.model_divergence) ^ (buffer_key << 8),
         ),
-        |db, eps| sample_slice_level(db, eps, tpb, buffer_key, cost.model_divergence, &opts_c),
+        |db, compiled| {
+            sample_slice_level(
+                db,
+                compiled,
+                tpb,
+                buffer_key,
+                cost.model_divergence,
+                &opts_c,
+            )
+        },
     );
 
     let warps = tpb.div_ceil(32).max(1) as u64;
@@ -271,7 +282,7 @@ mod tests {
     use tdm_core::candidate::permutations;
     use tdm_core::count::count_episode;
     use tdm_core::segment::count_segmented;
-    use tdm_core::Alphabet;
+    use tdm_core::{Alphabet, Episode};
 
     fn small_db() -> EventDb {
         let symbols: Vec<u8> = (0..20_000u32)
@@ -311,8 +322,16 @@ mod tests {
         let ab = Alphabet::latin26();
         let ep = Episode::from_str(&ab, "AB").unwrap();
         let g = buffer_geometry(db.len() as u64, 64, 2048);
-        let (_, counts) =
-            run_slice_warp(db.symbols(), &ep, &g, 0, 32, 64, &FsmCosts::default(), true);
+        let (_, counts) = run_slice_warp(
+            db.symbols(),
+            ep.items(),
+            &g,
+            0,
+            32,
+            64,
+            &FsmCosts::default(),
+            true,
+        );
         // Lane 0 scans slice 0 of every epoch; verify against direct scans.
         let mut expect0 = 0u64;
         for e in 0..g.epochs {
@@ -329,9 +348,9 @@ mod tests {
     fn counts_match_ground_truth() {
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 1);
-        let mut p = MiningProblem::new(&db, &eps);
+        let p = MiningProblem::new(&db, &eps);
         let run = run(
-            &mut p,
+            &p,
             256,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),
@@ -356,9 +375,9 @@ mod tests {
         let dev = DeviceConfig::geforce_gtx_280();
         let cost = CostModel::default();
         let opts = SimOptions::default();
-        let mut p = MiningProblem::new(&db, &eps);
-        let t64 = run(&mut p, 64, &dev, &cost, &opts).unwrap();
-        let t240 = run(&mut p, 240, &dev, &cost, &opts).unwrap();
+        let p = MiningProblem::new(&db, &eps);
+        let t64 = run(&p, 64, &dev, &cost, &opts).unwrap();
+        let t240 = run(&p, 240, &dev, &cost, &opts).unwrap();
         assert!(
             t240.report.time_ms < t64.report.time_ms,
             "240tpb {} vs 64tpb {}",
@@ -374,9 +393,9 @@ mod tests {
         // with margin; the harness checks it at full size.)
         let db = small_db();
         let eps = permutations(&Alphabet::latin26(), 1);
-        let mut p = MiningProblem::new(&db, &eps);
+        let p = MiningProblem::new(&db, &eps);
         let run = run(
-            &mut p,
+            &p,
             256,
             &DeviceConfig::geforce_gtx_280(),
             &CostModel::default(),

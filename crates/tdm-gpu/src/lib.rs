@@ -32,6 +32,8 @@ pub mod validate;
 
 use gpu_sim::{CostModel, DeviceConfig, KernelSpec, LaunchConfig, SimError, SimReport};
 use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use tdm_core::engine::CompiledCandidates;
 use tdm_core::{CountingBackend, Episode, EventDb};
 
 /// The four kernels of the paper (Figure 4).
@@ -150,24 +152,30 @@ pub(crate) struct ProfileStats {
     pub live_boundary_fraction: f64,
 }
 
-/// A fixed (database, candidate set) pair with memoized ground-truth counts and
-/// per-kernel profile measurements. The reproduction harness holds one of these
-/// per episode level and sweeps cards and block sizes against it cheaply.
+/// A fixed (database, candidate set) pair with the candidate set compiled once
+/// into the flat CSR layout of [`CompiledCandidates`], memoized ground-truth
+/// counts, and per-kernel profile measurements. The reproduction harness holds
+/// one of these per episode level and sweeps cards and block sizes against it
+/// cheaply — concurrently, since all memoization is behind interior mutability
+/// and every kernel run takes `&self`.
 pub struct MiningProblem<'a> {
     db: &'a EventDb,
     episodes: &'a [Episode],
-    counts: Option<Vec<u64>>,
-    profile_cache: HashMap<(Algorithm, u32), ProfileStats>,
+    compiled: CompiledCandidates,
+    counts: OnceLock<Vec<u64>>,
+    profile_cache: Mutex<HashMap<(Algorithm, u32), ProfileStats>>,
 }
 
 impl<'a> MiningProblem<'a> {
-    /// Creates the problem (no work happens until needed).
+    /// Creates the problem, compiling the candidate set (counts and profile
+    /// sampling stay lazy).
     pub fn new(db: &'a EventDb, episodes: &'a [Episode]) -> Self {
         MiningProblem {
             db,
             episodes,
-            counts: None,
-            profile_cache: HashMap::new(),
+            compiled: CompiledCandidates::compile(db.alphabet().len(), episodes),
+            counts: OnceLock::new(),
+            profile_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -181,20 +189,25 @@ impl<'a> MiningProblem<'a> {
         self.episodes
     }
 
-    /// Ground-truth appearance counts (computed once, in parallel chunks).
-    pub fn counts(&mut self) -> &[u64] {
-        if self.counts.is_none() {
-            self.counts = Some(parallel_counts(self.db, self.episodes));
-        }
-        self.counts.as_deref().expect("just computed")
+    /// The compiled (CSR) form of the candidate set the kernels scan.
+    pub fn compiled(&self) -> &CompiledCandidates {
+        &self.compiled
     }
 
-    /// Runs one kernel configuration.
+    /// Ground-truth appearance counts, computed once via the database-sharded
+    /// engine and memoized.
+    pub fn counts(&self) -> &[u64] {
+        self.counts
+            .get_or_init(|| self.compiled.count_auto(self.db.symbols()))
+    }
+
+    /// Runs one kernel configuration. Takes `&self`: independent
+    /// configurations of the same problem may run concurrently.
     ///
     /// # Errors
     /// Propagates [`SimError`] from launch validation (e.g. block too large).
     pub fn run(
-        &mut self,
+        &self,
         algo: Algorithm,
         threads_per_block: u32,
         dev: &DeviceConfig,
@@ -210,39 +223,33 @@ impl<'a> MiningProblem<'a> {
     }
 
     pub(crate) fn cached_stats(
-        &mut self,
+        &self,
         key: (Algorithm, u32),
-        compute: impl FnOnce(&EventDb, &[Episode]) -> ProfileStats,
+        compute: impl FnOnce(&EventDb, &CompiledCandidates) -> ProfileStats,
     ) -> ProfileStats {
-        if let Some(s) = self.profile_cache.get(&key) {
+        if let Some(s) = self.profile_cache.lock().expect("profile cache").get(&key) {
             return s.clone();
         }
-        let s = compute(self.db, self.episodes);
-        self.profile_cache.insert(key, s.clone());
+        // Computed outside the lock: sampling is deterministic and idempotent,
+        // so a concurrent duplicate costs time, never correctness.
+        let s = compute(self.db, &self.compiled);
+        self.profile_cache
+            .lock()
+            .expect("profile cache")
+            .insert(key, s.clone());
         s
     }
 }
 
-/// Ground-truth counts via the active-set counter, chunked over scoped
-/// worker threads for large candidate sets.
+/// Ground-truth counts via the database-sharded engine: the candidate set is
+/// compiled once, the stream is split into per-worker segments over the
+/// `tdm-mapreduce` pool (inside [`CompiledCandidates::count_auto`]), and
+/// boundary spans are fixed up exactly as the paper's block-level kernels do
+/// (§3.3.3, Fig. 5). Falls back to one sequential compiled scan on short
+/// streams or single-core machines.
 pub fn parallel_counts(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    if episodes.len() < 256 || workers <= 1 {
-        return tdm_core::count::count_episodes(db, episodes);
-    }
-    let chunk = episodes.len().div_ceil(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = episodes
-            .chunks(chunk)
-            .map(|part| s.spawn(move || tdm_core::count::count_episodes(db, part)))
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("count worker panicked"))
-            .collect()
-    })
+    let compiled = CompiledCandidates::compile(db.alphabet().len(), episodes);
+    compiled.count_auto(db.symbols())
 }
 
 /// A [`CountingBackend`] that runs one of the simulated GPU kernels for the
@@ -279,7 +286,7 @@ impl GpuBackend {
 
 impl CountingBackend for GpuBackend {
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        let mut problem = MiningProblem::new(db, candidates);
+        let problem = MiningProblem::new(db, candidates);
         let run = problem
             .run(
                 self.algo,

@@ -10,7 +10,6 @@
 //! the lane counters double as a functional cross-check of the counting results.
 
 use gpu_sim::warp::{LockstepRecorder, PathTaken};
-use tdm_core::episode::Episode;
 use tdm_core::fsm::{EpisodeFsm, StepKind};
 use tdm_core::segment::SegmentScan;
 
@@ -77,10 +76,11 @@ pub struct WarpOutcome {
 
 /// Executes a *broadcast* warp: every lane reads the same character stream
 /// (thread-level kernels — each lane searches its own episode over the whole
-/// database).
+/// database). Episodes are given as raw item slices (the compiled layout of
+/// [`tdm_core::engine::CompiledCandidates`]); each slice must be non-empty.
 pub fn run_broadcast_warp(
     stream: &[u8],
-    episodes: &[&Episode],
+    episodes: &[&[u8]],
     costs: &FsmCosts,
     serialize_divergence: bool,
 ) -> WarpOutcome {
@@ -88,7 +88,10 @@ pub fn run_broadcast_warp(
         !episodes.is_empty() && episodes.len() <= 32,
         "a warp holds 1..=32 lanes"
     );
-    let mut fsms: Vec<EpisodeFsm> = episodes.iter().map(|e| EpisodeFsm::new(e)).collect();
+    let mut fsms: Vec<EpisodeFsm> = episodes
+        .iter()
+        .map(|it| EpisodeFsm::from_items(it))
+        .collect();
     let mut recorder = LockstepRecorder::new();
     let mut paths: Vec<PathTaken> = Vec::with_capacity(fsms.len());
     for &c in stream {
@@ -106,11 +109,12 @@ pub fn run_broadcast_warp(
 }
 
 /// Executes a *partitioned* warp: lane `i` scans its own byte range of the
-/// stream while all lanes search the same episode (block-level kernels).
-/// Ranges may have unequal lengths; exhausted lanes drop out of the step.
+/// stream while all lanes search the same episode, given as its (non-empty)
+/// item slice (block-level kernels). Ranges may have unequal lengths;
+/// exhausted lanes drop out of the step.
 pub fn run_partitioned_warp(
     stream: &[u8],
-    episode: &Episode,
+    items: &[u8],
     ranges: &[std::ops::Range<usize>],
     costs: &FsmCosts,
     serialize_divergence: bool,
@@ -119,7 +123,10 @@ pub fn run_partitioned_warp(
         !ranges.is_empty() && ranges.len() <= 32,
         "a warp holds 1..=32 lanes"
     );
-    let mut fsms: Vec<EpisodeFsm> = ranges.iter().map(|_| EpisodeFsm::new(episode)).collect();
+    let mut fsms: Vec<EpisodeFsm> = ranges
+        .iter()
+        .map(|_| EpisodeFsm::from_items(items))
+        .collect();
     let mut recorder = LockstepRecorder::new();
     let steps = ranges.iter().map(|r| r.len()).max().unwrap_or(0);
     let mut paths: Vec<PathTaken> = Vec::with_capacity(ranges.len());
@@ -179,14 +186,13 @@ impl SpanStats {
 }
 
 /// Measures span statistics (and the segmented count, returned alongside) for
-/// one episode over a segmentation.
-pub fn measure_spans(stream: &[u8], episode: &Episode, bounds: &[usize]) -> (u64, SpanStats) {
+/// one episode — given as its (non-empty) item slice — over a segmentation.
+pub fn measure_spans(stream: &[u8], items: &[u8], bounds: &[usize]) -> (u64, SpanStats) {
     let mut stats = SpanStats::default();
     let mut total = 0u64;
     let mut start = 0usize;
-    let items = episode.items();
     for &b in bounds.iter().chain(std::iter::once(&stream.len())) {
-        let scan: SegmentScan = tdm_core::segment::scan_segment(stream, episode, start..b);
+        let scan: SegmentScan = tdm_core::segment::scan_segment_items(stream, items, start..b);
         total += scan.count;
         if b < stream.len() {
             stats.boundaries += 1;
@@ -221,7 +227,7 @@ mod tests {
     use super::*;
     use tdm_core::count::count_episode;
     use tdm_core::segment::even_bounds;
-    use tdm_core::{Alphabet, EventDb};
+    use tdm_core::{Alphabet, Episode, EventDb};
 
     fn db_of(s: &str) -> EventDb {
         EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap()
@@ -237,7 +243,7 @@ mod tests {
         let e1 = ep("ABC");
         let e2 = ep("XYZ");
         let e3 = ep("Q");
-        let eps = [&e1, &e2, &e3];
+        let eps = [e1.items(), e2.items(), e3.items()];
         let out = run_broadcast_warp(db.symbols(), &eps, &FsmCosts::default(), true);
         assert_eq!(out.lane_counts[0], count_episode(&db, &e1));
         assert_eq!(out.lane_counts[1], count_episode(&db, &e2));
@@ -251,8 +257,18 @@ mod tests {
         let e1 = ep("ABC");
         let e2 = ep("XYZ");
         // Two different episodes diverge; two copies of the same one do not.
-        let diverse = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), true);
-        let uniform = run_broadcast_warp(db.symbols(), &[&e1, &e1], &FsmCosts::default(), true);
+        let diverse = run_broadcast_warp(
+            db.symbols(),
+            &[e1.items(), e2.items()],
+            &FsmCosts::default(),
+            true,
+        );
+        let uniform = run_broadcast_warp(
+            db.symbols(),
+            &[e1.items(), e1.items()],
+            &FsmCosts::default(),
+            true,
+        );
         assert!(diverse.recorder.issue_instructions() > uniform.recorder.issue_instructions());
         assert!(diverse.recorder.divergent_steps() > 0);
         assert_eq!(uniform.recorder.divergent_steps(), 0);
@@ -263,8 +279,18 @@ mod tests {
         let db = db_of(&"ABCXYZ".repeat(100));
         let e1 = ep("ABC");
         let e2 = ep("XYZ");
-        let on = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), true);
-        let off = run_broadcast_warp(db.symbols(), &[&e1, &e2], &FsmCosts::default(), false);
+        let on = run_broadcast_warp(
+            db.symbols(),
+            &[e1.items(), e2.items()],
+            &FsmCosts::default(),
+            true,
+        );
+        let off = run_broadcast_warp(
+            db.symbols(),
+            &[e1.items(), e2.items()],
+            &FsmCosts::default(),
+            false,
+        );
         assert!(off.recorder.issue_instructions() < on.recorder.issue_instructions());
         // Functional results identical either way.
         assert_eq!(on.lane_counts, off.lane_counts);
@@ -276,7 +302,8 @@ mod tests {
         let db = db_of(text);
         let e = ep("AB");
         let ranges: Vec<_> = (0..4).map(|i| (i * 4)..((i + 1) * 4)).collect();
-        let out = run_partitioned_warp(db.symbols(), &e, &ranges, &FsmCosts::default(), true);
+        let out =
+            run_partitioned_warp(db.symbols(), e.items(), &ranges, &FsmCosts::default(), true);
         // Each 4-char segment "ABAB" holds 2 appearances.
         assert_eq!(out.lane_counts, vec![2, 2, 2, 2]);
         assert_eq!(out.recorder.steps(), 4);
@@ -287,7 +314,8 @@ mod tests {
         let db = db_of("AAAAAAA"); // 7 chars
         let e = ep("A");
         let ranges = vec![0..3, 3..6, 6..7];
-        let out = run_partitioned_warp(db.symbols(), &e, &ranges, &FsmCosts::default(), true);
+        let out =
+            run_partitioned_warp(db.symbols(), e.items(), &ranges, &FsmCosts::default(), true);
         assert_eq!(out.lane_counts, vec![3, 3, 1]);
         assert_eq!(out.recorder.steps(), 3);
     }
@@ -299,7 +327,7 @@ mod tests {
         let seq = count_episode(&db, &e);
         for parts in [2usize, 3, 7, 16, 64] {
             let bounds = even_bounds(db.len(), parts);
-            let (total, stats) = measure_spans(db.symbols(), &e, &bounds);
+            let (total, stats) = measure_spans(db.symbols(), e.items(), &bounds);
             assert_eq!(total, seq, "parts={parts}");
             assert_eq!(stats.boundaries, (parts - 1) as u64);
         }
@@ -310,7 +338,7 @@ mod tests {
         // Cut right inside an appearance: boundary is live and recovers it.
         let db = db_of("XXABC");
         let e = ep("ABC");
-        let (total, stats) = measure_spans(db.symbols(), &e, &[3]); // "XXA | BC"
+        let (total, stats) = measure_spans(db.symbols(), e.items(), &[3]); // "XXA | BC"
         assert_eq!(total, 1);
         assert_eq!(stats.live, 1);
         assert_eq!(stats.recovered, 1);
@@ -324,8 +352,8 @@ mod tests {
         // Characterization 3's mechanism: higher level -> more live boundaries.
         let db = db_of(&"ABCDEFX".repeat(500));
         let bounds = even_bounds(db.len(), 64);
-        let (_, s2) = measure_spans(db.symbols(), &ep("AB"), &bounds);
-        let (_, s6) = measure_spans(db.symbols(), &ep("ABCDEF"), &bounds);
+        let (_, s2) = measure_spans(db.symbols(), ep("AB").items(), &bounds);
+        let (_, s6) = measure_spans(db.symbols(), ep("ABCDEF").items(), &bounds);
         assert!(
             s6.live_fraction() >= s2.live_fraction(),
             "L6 {} vs L2 {}",

@@ -123,7 +123,7 @@ pub fn simulate_pipelined_mining(
         assert_eq!(regenerated.len(), episodes.len(), "level mismatch");
         generation_ms.push(gen_ms);
 
-        let mut problem = MiningProblem::new(db, episodes);
+        let problem = MiningProblem::new(db, episodes);
         let run = problem.run(algo, tpb, dev, cost, opts)?;
         let occ = occupancy(
             dev,

@@ -60,7 +60,7 @@ pub fn validate_all(
     let reference = tdm_core::count::count_episodes_naive(db, episodes);
     let mut out = Vec::with_capacity(4);
     for algo in Algorithm::ALL {
-        let mut problem = MiningProblem::new(db, episodes);
+        let problem = MiningProblem::new(db, episodes);
         let run = problem.run(algo, tpb, dev, &cost, &opts)?;
         out.push((algo, validate_counts(&run, episodes, &reference)));
     }
@@ -90,7 +90,7 @@ mod tests {
     fn mismatch_reporting_works() {
         let db = EventDb::from_str_symbols(&Alphabet::latin26(), "ABAB").unwrap();
         let eps = vec![Episode::from_str(&Alphabet::latin26(), "AB").unwrap()];
-        let mut problem = MiningProblem::new(&db, &eps);
+        let problem = MiningProblem::new(&db, &eps);
         let mut run = problem
             .run(
                 Algorithm::ThreadTexture,

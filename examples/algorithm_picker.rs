@@ -31,7 +31,7 @@ fn main() {
         let episodes = permutations(&ab, level);
         println!("level {level} ({} episodes):", episodes.len());
         for card in DeviceConfig::paper_testbed() {
-            let mut problem = MiningProblem::new(&db, &episodes);
+            let problem = MiningProblem::new(&db, &episodes);
             let mut rows: Vec<(Algorithm, u32, f64)> = Vec::new();
             for algo in Algorithm::ALL {
                 for &tpb in &sweep {

@@ -24,7 +24,7 @@ fn main() {
         max_level: Some(3),
         ..Default::default()
     });
-    let result = miner.mine(&db, &mut ActiveSetBackend);
+    let result = miner.mine(&db, &mut ActiveSetBackend::default());
     println!(
         "mined {} candidates -> {} frequent episodes",
         result.total_candidates(),

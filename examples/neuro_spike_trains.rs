@@ -93,7 +93,7 @@ fn main() {
     println!("\nreal-time feasibility on the paper's cards (level-2 sweep, 650 candidates):");
     let episodes = temporal_mining::core::candidate::permutations(db.alphabet(), 2);
     for card in DeviceConfig::paper_testbed() {
-        let mut problem = MiningProblem::new(&db, &episodes);
+        let problem = MiningProblem::new(&db, &episodes);
         let mut best = (Algorithm::ThreadTexture, 0u32, f64::INFINITY);
         for algo in Algorithm::ALL {
             for tpb in [64u32, 128, 256] {

@@ -35,7 +35,7 @@ fn main() {
             "  {:>5} {:>8} {:>10} {:>12} {:>10} {:>9}",
             "tpb", "blocks", "occupancy", "limiter", "time(ms)", "bound"
         );
-        let mut problem = MiningProblem::new(&db, &episodes);
+        let problem = MiningProblem::new(&db, &episodes);
         let mut best: (u32, f64) = (0, f64::INFINITY);
         let mut best_occ: (u32, f64) = (0, 0.0);
         for tpb in temporal_mining::gpu::launch::paper_tpb_sweep() {

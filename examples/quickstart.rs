@@ -29,7 +29,7 @@ fn main() {
         ..Default::default()
     });
     let t0 = std::time::Instant::now();
-    let result = miner.mine(&db, &mut ActiveSetBackend);
+    let result = miner.mine(&db, &mut ActiveSetBackend::default());
     let cpu_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
         "\nCPU mining: {} candidates -> {} frequent episodes in {:.1} ms (wall)",

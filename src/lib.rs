@@ -28,7 +28,7 @@
 //!
 //! // Mine frequent episodes on the CPU.
 //! let miner = Miner::new(MinerConfig { alpha: 0.0005, max_level: Some(2), ..Default::default() });
-//! let cpu = miner.mine(&db, &mut ActiveSetBackend);
+//! let cpu = miner.mine(&db, &mut ActiveSetBackend::default());
 //!
 //! // Count the same candidates with the simulated GPU kernel of the paper's
 //! // Algorithm 3 on a GeForce GTX 280 — identical results, plus a time model.
@@ -51,10 +51,12 @@ pub use tdm_workloads as workloads;
 /// The most common imports, for `use temporal_mining::prelude::*;`.
 pub mod prelude {
     pub use gpu_sim::{CostModel, DeviceConfig, SimReport};
-    pub use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend};
+    pub use tdm_baselines::{
+        ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend,
+    };
     pub use tdm_core::{
-        Alphabet, CountSemantics, CountingBackend, Episode, EventDb, Miner, MinerConfig,
-        MiningResult, Symbol,
+        Alphabet, CompiledCandidates, CountScratch, CountSemantics, CountingBackend, Episode,
+        EventDb, Miner, MinerConfig, MiningResult, Symbol,
     };
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
 }

@@ -1,0 +1,75 @@
+//! Integration test: every counting backend in the workspace — the serial
+//! GMiner-class scan, the compiled active-set counter, the database-sharded
+//! engine, the MapReduce pool, and all four simulated GPU kernels — returns
+//! bit-identical counts on a slice of the paper's database.
+
+use temporal_mining::core::candidate::permutations;
+use temporal_mining::core::count::count_episodes_naive;
+use temporal_mining::prelude::*;
+use temporal_mining::workloads::paper_database_scaled;
+
+#[test]
+fn all_backends_bit_identical_on_paper_db_slice() {
+    // ~19,651 letters: large enough to shard, small enough for the serial scan.
+    let db = paper_database_scaled(0.05);
+    for level in [1usize, 2] {
+        let episodes = permutations(db.alphabet(), level);
+        let reference = count_episodes_naive(&db, &episodes);
+
+        let mut results: Vec<(String, Vec<u64>)> = vec![
+            (
+                "cpu-serial-scan".into(),
+                SerialScanBackend.count(&db, &episodes),
+            ),
+            (
+                "cpu-active-set".into(),
+                ActiveSetBackend::default().count(&db, &episodes),
+            ),
+            (
+                "cpu-mapreduce".into(),
+                MapReduceBackend::new(3).count(&db, &episodes),
+            ),
+        ];
+        for workers in [1usize, 2, 4, 8] {
+            results.push((
+                format!("cpu-sharded-scan-w{workers}"),
+                ShardedScanBackend::new(workers).count(&db, &episodes),
+            ));
+        }
+        let problem = MiningProblem::new(&db, &episodes);
+        for algo in Algorithm::ALL {
+            let run = problem
+                .run(
+                    algo,
+                    128,
+                    &DeviceConfig::geforce_gtx_280(),
+                    &CostModel::default(),
+                    &SimOptions::default(),
+                )
+                .unwrap_or_else(|e| panic!("{algo} failed to launch: {e}"));
+            results.push((format!("{algo}"), run.counts));
+        }
+
+        for (name, counts) in &results {
+            assert_eq!(
+                counts, &reference,
+                "level {level}: {name} disagrees with the naive reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn mining_results_identical_across_cpu_backends() {
+    let db = paper_database_scaled(0.02);
+    let miner = Miner::new(MinerConfig {
+        alpha: 0.001,
+        max_level: Some(3),
+        ..Default::default()
+    });
+    let reference = miner.mine(&db, &mut SerialScanBackend);
+    assert!(reference.total_frequent() > 0);
+    assert_eq!(reference, miner.mine(&db, &mut ActiveSetBackend::default()));
+    assert_eq!(reference, miner.mine(&db, &mut ShardedScanBackend::new(4)));
+    assert_eq!(reference, miner.mine(&db, &mut MapReduceBackend::new(2)));
+}

@@ -13,7 +13,7 @@ use temporal_mining::workloads::{
 fn check_all_kernels(db: &EventDb, episodes: &[Episode], tpb: u32, card: &DeviceConfig) {
     let reference = count_episodes_naive(db, episodes);
     for algo in Algorithm::ALL {
-        let mut problem = MiningProblem::new(db, episodes);
+        let problem = MiningProblem::new(db, episodes);
         let run = problem
             .run(
                 algo,
@@ -69,7 +69,7 @@ fn kernels_find_planted_episodes() {
     let reference = count_episodes_naive(&db, &episodes);
     assert!(reference[0] > 0);
     for algo in Algorithm::ALL {
-        let mut problem = MiningProblem::new(&db, &episodes);
+        let problem = MiningProblem::new(&db, &episodes);
         let run = problem
             .run(
                 algo,
@@ -90,8 +90,8 @@ fn exact_mode_counts_are_identical_to_sampled() {
     let episodes = permutations(db.alphabet(), 2);
     let card = DeviceConfig::geforce_gtx_280();
     for algo in Algorithm::ALL {
-        let mut p1 = MiningProblem::new(&db, &episodes);
-        let mut p2 = MiningProblem::new(&db, &episodes);
+        let p1 = MiningProblem::new(&db, &episodes);
+        let p2 = MiningProblem::new(&db, &episodes);
         let sampled = p1
             .run(
                 algo,
@@ -134,7 +134,7 @@ fn full_grid_matches_serial_scan_backend() {
         let reference = SerialScanBackend.count(db, &episodes);
         for algo in Algorithm::ALL {
             for tpb in [64u32, 256] {
-                let mut problem = MiningProblem::new(db, &episodes);
+                let problem = MiningProblem::new(db, &episodes);
                 let run = problem
                     .run(
                         algo,
@@ -158,7 +158,7 @@ fn full_grid_matches_serial_scan_backend() {
 fn oversized_blocks_are_rejected_cleanly() {
     let db = uniform_letters(1_000, 47);
     let episodes = permutations(db.alphabet(), 1);
-    let mut problem = MiningProblem::new(&db, &episodes);
+    let problem = MiningProblem::new(&db, &episodes);
     let err = problem
         .run(
             Algorithm::ThreadTexture,

@@ -21,7 +21,7 @@ fn all_backends_mine_identically() {
     let reference = miner.mine(&db, &mut SerialScanBackend);
     assert!(reference.total_frequent() > 0);
 
-    let mut active = ActiveSetBackend;
+    let mut active = ActiveSetBackend::default();
     assert_eq!(miner.mine(&db, &mut active), reference);
 
     let mut mapreduce = MapReduceBackend::new(2);
@@ -43,7 +43,7 @@ fn mining_respects_support_threshold() {
         alpha: 0.05,
         ..Default::default()
     })
-    .mine(&db, &mut ActiveSetBackend);
+    .mine(&db, &mut ActiveSetBackend::default());
     assert_eq!(strict.total_frequent(), 0);
 
     let lax = Miner::new(MinerConfig {
@@ -51,7 +51,7 @@ fn mining_respects_support_threshold() {
         max_level: Some(1),
         ..Default::default()
     })
-    .mine(&db, &mut ActiveSetBackend);
+    .mine(&db, &mut ActiveSetBackend::default());
     assert_eq!(lax.levels[0].len(), 26);
     for (_, count, support) in lax.iter() {
         assert!(support > 0.03);
@@ -102,7 +102,7 @@ fn basket_round_trips_through_serialization_and_mines_the_motif() {
         max_level: Some(3),
         ..Default::default()
     });
-    let result = miner.mine(&db2, &mut ActiveSetBackend);
+    let result = miner.mine(&db2, &mut ActiveSetBackend::default());
     let motif = Episode::new(vec![0, 1, 2]).unwrap(); // peanut-butter, bread, jelly
     assert!(
         result.count_of(&motif).is_some(),
@@ -142,7 +142,7 @@ fn facade_prelude_covers_the_doctest_workflow() {
         max_level: Some(2),
         ..Default::default()
     });
-    let cpu = miner.mine(&db, &mut ActiveSetBackend);
+    let cpu = miner.mine(&db, &mut ActiveSetBackend::default());
     let mut gpu = GpuBackend::new(
         Algorithm::ThreadBuffered,
         96,
