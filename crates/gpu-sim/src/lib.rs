@@ -10,7 +10,7 @@
 //!   per SM; divergent branches serialize the union of taken paths
 //!   ([`warp::LockstepRecorder`]);
 //! * **occupancy** — active blocks per SM limited by block/thread/warp/register/
-//!   shared-memory ceilings (paper Table 2; [`occupancy`]);
+//!   shared-memory ceilings (paper Table 2; [`occupancy()`]);
 //! * **texture cache** — per-SM cache with spatial-locality streaming reuse and a
 //!   thrash regime when concurrent streams exceed capacity ([`texcache`]);
 //! * **shared memory** — low latency, 16-bank conflict serialization ([`smem`]);

@@ -2,48 +2,55 @@
 //!
 //! The paper motivates its GPU work against "current technology, like GMiner …
 //! limited to a single CPU" (§1). This crate provides that comparison point and
-//! the parallel CPU contenders, all built on the compiled counting engine of
-//! [`tdm_core::engine`]:
+//! the parallel CPU contenders, all as **executors** of the plan/execute
+//! counting API ([`tdm_core::session`]): each backend receives a borrowed
+//! [`CountRequest`] — the compiled CSR candidate layout, the symbol stream,
+//! the database shard bounds, and the session's persistent worker pool — and
+//! never recompiles, clones, or even sees a raw `&[Episode]`:
 //!
 //! * [`SerialScanBackend`] — one full database scan per episode on one core:
-//!   the direct CPU analogue of what each GPU thread does, and the GMiner-class
-//!   single-CPU baseline;
+//!   the direct CPU analogue of what each GPU thread does, and the
+//!   GMiner-class single-CPU baseline;
 //! * [`ActiveSetBackend`] — the optimized single-core counter (one database
-//!   pass for all candidates over the compiled CSR layout), holding its
-//!   [`CompiledCandidates`] and [`CountScratch`] across calls so the level-wise
-//!   miner pays no per-level index reconstruction;
+//!   pass for all candidates over the request's compiled layout), holding
+//!   only its [`CountScratch`] across calls;
 //! * [`ShardedScanBackend`] — **database-sharded** parallel counting: the
-//!   symbol stream is split into per-worker segments, each worker runs the
-//!   active-set scan over its segment, and boundary spans are fixed up — the
-//!   CPU analogue of the paper's block-level Algorithms 3/4 (§3.3.3, Fig. 5),
-//!   and the fastest configuration when candidates are few and the stream is
-//!   long (levels 1–2);
-//! * [`MapReduceBackend`] — candidate chunks fanned out over a scoped-thread
-//!   worker pool via the `tdm-mapreduce` framework (map = compile + count one
-//!   chunk of candidates, reduce = identity), mirroring the paper's MapReduce
-//!   framing on a multicore host — the right shape once candidates are
-//!   plentiful (level 3+).
+//!   symbol stream is split into per-worker segments, each segment is scanned
+//!   by a persistent pool worker, and boundary spans are fixed up — the CPU
+//!   analogue of the paper's block-level Algorithms 3/4 (§3.3.3, Fig. 5), and
+//!   the fastest configuration when candidates are few and the stream is long
+//!   (levels 1–2);
+//! * [`MapReduceBackend`] — **candidate-sharded** parallel counting in the
+//!   MapReduce shape: map = scan one borrowed chunk (a compiled episode
+//!   range) of the candidate set, reduce = concatenate chunk counts in order.
+//!   Chunks are `CountRequest` slices — index ranges into the shared compiled
+//!   layout — so nothing is copied per chunk. The right shape once candidates
+//!   are plentiful (level 3+).
 //!
-//! All four implement [`tdm_core::CountingBackend`], so the level-wise miner
-//! runs unchanged on any of them, and their counts are interchangeable — which
-//! the tests assert.
+//! All four implement [`tdm_core::session::Executor`], so the level-wise
+//! miner runs unchanged on any of them, and their counts are bit-identical —
+//! which the tests (and the workspace conformance suite) assert.
+//!
+//! [`CountRequest`]: tdm_core::session::CountRequest
+//! [`CountScratch`]: tdm_core::engine::CountScratch
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use tdm_core::count::count_episode;
-use tdm_core::engine::{CompiledCandidates, CountScratch};
-use tdm_core::{CountingBackend, Episode, EventDb};
+use tdm_core::count::{count_compiled_naive, count_episode};
+use tdm_core::engine::{with_thread_scratch, CompiledCandidates, CountScratch, MIN_SHARD_STREAM};
+use tdm_core::segment::{even_bounds, segment_ranges};
+use tdm_core::session::{BackendError, CountRequest, Counts, Executor};
+use tdm_core::{Episode, EventDb};
 use tdm_mapreduce::pool::{default_workers, map_items};
-use tdm_mapreduce::{run_parallel, IdentityReducer, Mapper};
 
 /// Single-core, one-scan-per-episode baseline (GMiner-class).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SerialScanBackend;
 
-impl CountingBackend for SerialScanBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        candidates.iter().map(|e| count_episode(db, e)).collect()
+impl Executor for SerialScanBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        Ok(count_compiled_naive(req.stream(), req.compiled()))
     }
 
     fn name(&self) -> &str {
@@ -52,19 +59,17 @@ impl CountingBackend for SerialScanBackend {
 }
 
 /// Single-core active-set counter (one pass over the database for all
-/// candidates) — the fast CPU ground truth. The compiled candidate layout and
-/// scan scratch persist across `count` calls, so repeated counting (the miner's
-/// level loop) reuses every buffer.
+/// candidates) — the fast CPU ground truth. The compiled layout lives in the
+/// session; only the scan scratch persists here, so repeated counting (the
+/// miner's level loop) reuses every buffer.
 #[derive(Debug, Default, Clone)]
 pub struct ActiveSetBackend {
-    compiled: CompiledCandidates,
     scratch: CountScratch,
 }
 
-impl CountingBackend for ActiveSetBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        self.compiled.recompile(db.alphabet().len(), candidates);
-        self.compiled.count(db.symbols(), &mut self.scratch)
+impl Executor for ActiveSetBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        Ok(req.compiled().count(req.stream(), &mut self.scratch))
     }
 
     fn name(&self) -> &str {
@@ -73,39 +78,65 @@ impl CountingBackend for ActiveSetBackend {
 }
 
 /// Database-sharded parallel backend: splits the *stream* (not the candidate
-/// set) across workers and fixes up boundary spans, like the paper's
-/// block-level kernels. Counts are bit-identical to the sequential reference
-/// for any candidate set and worker count.
+/// set) across the session's persistent pool workers and fixes up boundary
+/// spans, like the paper's block-level kernels. Counts are bit-identical to
+/// the sequential reference for any candidate set and worker count.
 #[derive(Debug, Default, Clone)]
 pub struct ShardedScanBackend {
-    workers: usize,
-    compiled: CompiledCandidates,
+    /// `Some(w)` = explicit segmentation into `w` shards; `None` = follow the
+    /// session's planned shard bounds.
+    workers: Option<usize>,
 }
 
 impl ShardedScanBackend {
-    /// Backend with an explicit worker count (0 is clamped to 1).
+    /// Backend with an explicit shard count (0 is clamped to 1).
     pub fn new(workers: usize) -> Self {
         ShardedScanBackend {
-            workers: workers.max(1),
-            compiled: CompiledCandidates::default(),
+            workers: Some(workers.max(1)),
         }
     }
 
-    /// Backend sized to the machine's available parallelism.
+    /// Backend that follows the session's planned shard bounds (sized to the
+    /// session pool).
     pub fn auto() -> Self {
-        Self::new(default_workers())
+        ShardedScanBackend { workers: None }
     }
 
-    /// The configured worker count.
+    /// The configured shard count (the machine's parallelism for
+    /// [`ShardedScanBackend::auto`]).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.workers.unwrap_or_else(default_workers)
     }
 }
 
-impl CountingBackend for ShardedScanBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        self.compiled.recompile(db.alphabet().len(), candidates);
-        self.compiled.count_sharded(db.symbols(), self.workers)
+impl Executor for ShardedScanBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        let stream = req.stream();
+        let n = stream.len();
+        // Explicit worker counts cut their own bounds; auto follows the plan.
+        let owned_bounds;
+        let bounds: &[usize] = match self.workers {
+            Some(w) if w > 1 && n >= MIN_SHARD_STREAM => {
+                owned_bounds = even_bounds(n, w);
+                &owned_bounds
+            }
+            Some(_) => &[],
+            None => req.shard_bounds(),
+        };
+        if bounds.is_empty() || req.compiled().is_empty() {
+            return Ok(with_thread_scratch(|scratch| {
+                req.compiled().count(stream, scratch)
+            }));
+        }
+        let ranges = segment_ranges(n, bounds);
+        // Map on the persistent pool: workers borrow nothing — they share the
+        // stream and compiled layout through Arc handles (refcount bumps).
+        let compiled = req.compiled_shared();
+        let shared_stream = req.stream_shared();
+        let shards = req
+            .pool()
+            .map_move(ranges, move |r| compiled.shard_scan(&shared_stream, r));
+        Ok(req.compiled().merge_shard_counts(stream, bounds, &shards))
     }
 
     fn name(&self) -> &str {
@@ -113,64 +144,48 @@ impl CountingBackend for ShardedScanBackend {
     }
 }
 
-/// Parallel CPU backend on the MapReduce framework: map(candidate chunk) →
-/// (chunk index, counts) via a per-chunk compiled active-set scan; identity
-/// reduce; workers = threads.
+/// Candidate-sharded parallel backend in the MapReduce shape: map = scan one
+/// borrowed chunk (compiled episode range) over the whole stream on a pool
+/// worker, reduce = concatenate the chunk counts in order. No per-chunk
+/// compile, no owned candidate copies — chunks are index ranges into the
+/// request's shared compiled layout.
+#[derive(Debug, Default, Clone)]
 pub struct MapReduceBackend {
-    workers: usize,
+    /// `Some(w)` = split into `w` chunks; `None` = one chunk per pool worker.
+    workers: Option<usize>,
 }
 
 impl MapReduceBackend {
-    /// Backend with an explicit worker count.
+    /// Backend with an explicit chunk count (0 is clamped to 1).
     pub fn new(workers: usize) -> Self {
         MapReduceBackend {
-            workers: workers.max(1),
+            workers: Some(workers.max(1)),
         }
     }
 
-    /// Backend sized to the machine's available parallelism.
+    /// Backend sized to the session pool (one chunk per worker).
     pub fn auto() -> Self {
-        Self::new(default_workers())
+        MapReduceBackend { workers: None }
     }
 }
 
-struct ChunkCountMapper<'a> {
-    db: &'a EventDb,
-}
-
-impl Mapper for ChunkCountMapper<'_> {
-    type Input = (usize, Vec<Episode>);
-    type Key = usize;
-    type Value = Vec<u64>;
-
-    fn map(&self, (idx, chunk): &(usize, Vec<Episode>), emit: &mut dyn FnMut(usize, Vec<u64>)) {
-        let compiled = CompiledCandidates::compile(self.db.alphabet().len(), chunk);
-        let mut scratch = CountScratch::new();
-        emit(*idx, compiled.count(self.db.symbols(), &mut scratch));
-    }
-}
-
-impl CountingBackend for MapReduceBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        if candidates.is_empty() {
-            return Vec::new();
+impl Executor for MapReduceBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        let chunks = req.chunk_ranges(self.workers.unwrap_or_else(|| req.workers()));
+        if chunks.is_empty() {
+            return Ok(Vec::new());
         }
-        let chunk = candidates.len().div_ceil(self.workers);
-        let inputs: Vec<(usize, Vec<Episode>)> = candidates
-            .chunks(chunk)
-            .enumerate()
-            .map(|(i, c)| (i, c.to_vec()))
-            .collect();
-        let out = run_parallel(
-            &ChunkCountMapper { db },
-            &IdentityReducer::default(),
-            &inputs,
-            self.workers,
-        );
-        // Keys are chunk indices 0..k sorted; concatenation restores candidate
-        // order.
-        debug_assert!(out.iter().enumerate().all(|(i, (k, _))| i == *k));
-        out.into_iter().flat_map(|(_, c)| c).collect()
+        if chunks.len() == 1 {
+            return Ok(req
+                .compiled()
+                .chunk_scan(req.stream(), chunks.into_iter().next().expect("one chunk")));
+        }
+        let compiled = req.compiled_shared();
+        let shared_stream = req.stream_shared();
+        let per_chunk = req
+            .pool()
+            .map_move(chunks, move |c| compiled.chunk_scan(&shared_stream, c));
+        Ok(per_chunk.into_iter().flatten().collect())
     }
 
     fn name(&self) -> &str {
@@ -178,12 +193,13 @@ impl CountingBackend for MapReduceBackend {
     }
 }
 
-/// Chunked **candidate-sharded** parallel counting without the MapReduce
-/// framing: each worker compiles and scans a contiguous slice of the candidate
-/// set. Complementary to [`ShardedScanBackend`]: candidate-sharding pays one
-/// full stream pass *per worker*, so it only wins once the per-pass candidate
-/// work dominates (large level-3+ sets); with few candidates over a long
-/// stream, database-sharding is strictly better (paper Characterizations 5–6).
+/// Chunked **candidate-sharded** parallel counting without the session
+/// framing: each scoped worker compiles and scans a contiguous slice of the
+/// candidate set. Complementary to [`ShardedScanBackend`]: candidate-sharding
+/// pays one full stream pass *per worker*, so it only wins once the per-pass
+/// candidate work dominates (large level-3+ sets); with few candidates over a
+/// long stream, database-sharding is strictly better (paper
+/// Characterizations 5–6).
 pub fn count_parallel_chunks(db: &EventDb, candidates: &[Episode], workers: usize) -> Vec<u64> {
     if candidates.len() < 64 || workers <= 1 {
         return tdm_core::count::count_episodes(db, candidates);
@@ -192,8 +208,7 @@ pub fn count_parallel_chunks(db: &EventDb, candidates: &[Episode], workers: usiz
     let chunks: Vec<&[Episode]> = candidates.chunks(chunk).collect();
     map_items(&chunks, workers, |c| {
         let compiled = CompiledCandidates::compile(db.alphabet().len(), c);
-        let mut scratch = CountScratch::new();
-        compiled.count(db.symbols(), &mut scratch)
+        with_thread_scratch(|scratch| compiled.count(db.symbols(), scratch))
     })
     .into_iter()
     .flatten()
@@ -204,40 +219,55 @@ pub fn count_parallel_chunks(db: &EventDb, candidates: &[Episode], workers: usiz
 mod tests {
     use super::*;
     use tdm_core::candidate::permutations;
+    use tdm_core::session::MiningSession;
     use tdm_core::{Alphabet, Miner, MinerConfig};
     use tdm_workloads::uniform_letters;
+
+    fn counts_of(
+        session: &mut MiningSession<'_>,
+        eps: &[Episode],
+        ex: &mut impl Executor,
+    ) -> Vec<u64> {
+        session.count_candidates(eps, ex).unwrap()
+    }
 
     #[test]
     fn all_backends_agree() {
         let db = uniform_letters(20_000, 17);
         let eps = permutations(&Alphabet::latin26(), 2);
-        let mut serial = SerialScanBackend;
-        let mut active = ActiveSetBackend::default();
-        let mut sharded = ShardedScanBackend::new(4);
-        let mut mr = MapReduceBackend::new(3);
-        let a = serial.count(&db, &eps);
-        let b = active.count(&db, &eps);
-        let c = mr.count(&db, &eps);
-        let d = sharded.count(&db, &eps);
+        let mut session = MiningSession::builder(&db).workers(4).build();
+        let a = counts_of(&mut session, &eps, &mut SerialScanBackend);
+        let b = counts_of(&mut session, &eps, &mut ActiveSetBackend::default());
+        let c = counts_of(&mut session, &eps, &mut MapReduceBackend::new(3));
+        let d = counts_of(&mut session, &eps, &mut ShardedScanBackend::new(4));
+        let e = counts_of(&mut session, &eps, &mut ShardedScanBackend::auto());
+        let f = counts_of(&mut session, &eps, &mut MapReduceBackend::auto());
         assert_eq!(a, b);
         assert_eq!(a, c);
         assert_eq!(a, d);
+        assert_eq!(a, e);
+        assert_eq!(a, f);
         assert_eq!(a, count_parallel_chunks(&db, &eps, 4));
+        // One compile per candidate set handed to count_candidates, however
+        // many executors ran against it.
+        assert_eq!(session.compiles(), 6);
     }
 
     #[test]
     fn sharded_backend_agrees_for_every_worker_count() {
         let db = uniform_letters(30_000, 23);
         let eps = permutations(&Alphabet::latin26(), 2);
-        let reference = ActiveSetBackend::default().count(&db, &eps);
+        let mut session = MiningSession::builder(&db).workers(3).build();
+        let reference = counts_of(&mut session, &eps, &mut ActiveSetBackend::default());
         for workers in [1usize, 2, 3, 5, 8] {
             assert_eq!(
-                ShardedScanBackend::new(workers).count(&db, &eps),
+                counts_of(&mut session, &eps, &mut ShardedScanBackend::new(workers)),
                 reference,
                 "workers={workers}"
             );
         }
-        assert_eq!(ShardedScanBackend::auto().count(&db, &eps), reference);
+        assert!(ShardedScanBackend::auto().workers() >= 1);
+        assert!(ShardedScanBackend::new(0).workers() == 1);
     }
 
     #[test]
@@ -248,10 +278,10 @@ mod tests {
             max_level: Some(2),
             ..Default::default()
         });
-        let r1 = miner.mine(&db, &mut SerialScanBackend);
-        let r2 = miner.mine(&db, &mut ActiveSetBackend::default());
-        let r3 = miner.mine(&db, &mut MapReduceBackend::new(2));
-        let r4 = miner.mine(&db, &mut ShardedScanBackend::new(3));
+        let r1 = miner.mine(&db, &mut SerialScanBackend).unwrap();
+        let r2 = miner.mine(&db, &mut ActiveSetBackend::default()).unwrap();
+        let r3 = miner.mine(&db, &mut MapReduceBackend::new(2)).unwrap();
+        let r4 = miner.mine(&db, &mut ShardedScanBackend::new(3)).unwrap();
         assert_eq!(r1, r2);
         assert_eq!(r1, r3);
         assert_eq!(r1, r4);
@@ -260,12 +290,22 @@ mod tests {
 
     #[test]
     fn backend_names() {
-        use tdm_core::CountingBackend as _;
+        use tdm_core::session::Executor as _;
         assert_eq!(SerialScanBackend.name(), "cpu-serial-scan");
         assert_eq!(ActiveSetBackend::default().name(), "cpu-active-set");
         assert_eq!(MapReduceBackend::auto().name(), "cpu-mapreduce");
         assert_eq!(ShardedScanBackend::auto().name(), "cpu-sharded-scan");
-        assert!(ShardedScanBackend::new(0).workers() == 1);
+    }
+
+    #[test]
+    fn empty_candidate_sets_yield_empty_counts() {
+        let db = uniform_letters(6_000, 9);
+        let mut session = MiningSession::builder(&db).workers(2).build();
+        let none: Vec<Episode> = Vec::new();
+        assert!(counts_of(&mut session, &none, &mut SerialScanBackend).is_empty());
+        assert!(counts_of(&mut session, &none, &mut ActiveSetBackend::default()).is_empty());
+        assert!(counts_of(&mut session, &none, &mut ShardedScanBackend::new(4)).is_empty());
+        assert!(counts_of(&mut session, &none, &mut MapReduceBackend::new(4)).is_empty());
     }
 
     #[test]

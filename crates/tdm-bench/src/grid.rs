@@ -5,6 +5,7 @@ use gpu_sim::{CostModel, DeviceConfig};
 use serde::Serialize;
 use std::collections::HashMap;
 use tdm_core::candidate::permutations;
+use tdm_core::engine::CompiledCandidates;
 use tdm_core::{Alphabet, Episode, EventDb};
 use tdm_gpu::{Algorithm, MiningProblem, SimOptions};
 use tdm_mapreduce::pool::{default_workers, map_items};
@@ -146,7 +147,10 @@ impl Grid {
         let mut cells = Vec::new();
         for &level in &cfg.levels {
             let episodes: Vec<Episode> = permutations(&alphabet, level);
-            let problem = MiningProblem::new(db, &episodes);
+            // Plan once per level: the compiled layout is shared by every
+            // (algo, tpb, card) cell of the plane.
+            let compiled = CompiledCandidates::compile(alphabet.len(), &episodes);
+            let problem = MiningProblem::from_compiled(db, &compiled);
             // Ground truth once per level (database-sharded internally).
             let total_count: u64 = problem.counts().iter().sum();
             // One work item per cell; contiguous chunking keeps the cards of

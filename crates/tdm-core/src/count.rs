@@ -27,6 +27,18 @@ pub fn count_episodes_naive(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
     episodes.iter().map(|e| count_episode(db, e)).collect()
 }
 
+/// [`count_episodes_naive`] over a compiled candidate set: one independent
+/// full FSM scan per compiled episode, deliberately *not* the active-set
+/// engine — the serial baseline backend and the GPU validators share this so
+/// engine bugs cannot self-validate.
+pub fn count_compiled_naive(stream: &[u8], compiled: &CompiledCandidates) -> Vec<u64> {
+    (0..compiled.len())
+        .map(|i| {
+            crate::segment::scan_segment_items(stream, compiled.items_of(i), 0..stream.len()).count
+        })
+        .collect()
+}
+
 /// Single-pass multi-episode counter.
 ///
 /// Compiles the candidate set into the flat CSR layout of

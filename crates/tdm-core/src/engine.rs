@@ -46,8 +46,8 @@ use crate::segment::{continuation_count_items, count_segmented_exact_items};
 use tdm_mapreduce::pool::{default_workers, map_items};
 
 /// Streams shorter than this are counted sequentially even when more workers
-/// are requested — thread spawn costs more than the scan.
-const MIN_SHARD_STREAM: usize = 4096;
+/// are requested — dispatch costs more than the scan.
+pub const MIN_SHARD_STREAM: usize = 4096;
 
 /// A candidate set compiled into flat, scan-friendly buffers.
 ///
@@ -190,47 +190,94 @@ impl CompiledCandidates {
         scratch: &mut CountScratch,
         counts: &mut [u64],
     ) {
-        debug_assert_eq!(counts.len(), self.len());
-        scratch.prepare(self.len());
-        if self.is_empty() || range.is_empty() {
+        self.scan_episode_range(stream, range, 0..self.len(), scratch, counts);
+    }
+
+    /// Like [`scan_range`], but restricted to the candidate chunk
+    /// `episodes` (a contiguous range of compiled episode indices): only
+    /// chunk members may anchor, and `counts`, the scratch state, and the
+    /// end states are all **chunk-local** (`counts.len() ==
+    /// episodes.len()`, index `e - episodes.start`) — the per-chunk work is
+    /// `O(chunk)`, not `O(total candidates)`.
+    ///
+    /// This is the borrowed-chunk view the candidate-sharded (MapReduce-style)
+    /// executors scan — one compiled layout shared by every worker, no
+    /// per-chunk clone or recompile.
+    ///
+    /// [`scan_range`]: CompiledCandidates::scan_range
+    pub fn scan_episode_range(
+        &self,
+        stream: &[u8],
+        range: std::ops::Range<usize>,
+        episodes: std::ops::Range<usize>,
+        scratch: &mut CountScratch,
+        counts: &mut [u64],
+    ) {
+        debug_assert_eq!(counts.len(), episodes.len());
+        debug_assert!(episodes.start <= episodes.end && episodes.end <= self.len());
+        scratch.prepare(episodes.len());
+        let ep_base = episodes.start;
+        if self.is_empty() || range.is_empty() || episodes.is_empty() {
             return;
+        }
+        let (ep_lo, ep_hi) = (episodes.start as u32, episodes.end as u32);
+        let whole_set = ep_lo == 0 && ep_hi as usize == self.len();
+        // Per-symbol anchor-bucket windows restricted to the chunk. Bucket
+        // entries are ascending (counting sort preserves episode order), so the
+        // chunk members form one contiguous sub-slice per bucket.
+        scratch.anchor_window.clear();
+        for c in 0..self.alphabet_len {
+            let bucket = &self.anchor_episodes
+                [self.anchor_offsets[c] as usize..self.anchor_offsets[c + 1] as usize];
+            let (lo, hi) = if whole_set {
+                (0, bucket.len() as u32)
+            } else {
+                (
+                    bucket.partition_point(|&e| e < ep_lo) as u32,
+                    bucket.partition_point(|&e| e < ep_hi) as u32,
+                )
+            };
+            scratch.anchor_window.push((lo, hi));
         }
         let CountScratch {
             state,
             last_step,
             active,
             next_active,
+            anchor_window,
         } = scratch;
         // Distinct-item episodes can never re-anchor on the character that
         // completed or reset them (the completing character equals the LAST
         // item, the resetting one differs from the first), so the `last_step`
         // guard — and its per-step bookkeeping store — is only needed when the
-        // set holds repeated-item episodes.
-        let guard = !self.repeated.is_empty();
+        // set holds repeated-item episodes (in the chunk).
+        let guard = self.repeated.iter().any(|&r| r >= ep_lo && r < ep_hi);
 
         for (pos, &c) in stream[range].iter().enumerate() {
             let pos = pos as u64;
-            // Phase 1: step in-progress matches.
+            // Phase 1: step in-progress matches. The active set holds global
+            // episode indices (for `items_of`); state/counts are chunk-local.
             for &ei in active.iter() {
                 let e = ei as usize;
+                let l = e - ep_base;
                 let it = self.items_of(e);
-                let j = state[e] as usize;
+                let j = state[l] as usize;
                 if guard {
-                    last_step[e] = pos;
+                    last_step[l] = pos;
                 }
                 if c == it[j] {
                     if j + 1 == it.len() {
-                        counts[e] += 1;
-                        state[e] = 0; // completed: leaves the active set
+                        counts[l] += 1;
+                        state[l] = 0; // completed: leaves the active set
                     } else {
-                        state[e] += 1;
+                        state[l] += 1;
                         next_active.push(ei);
                     }
                 } else if c == it[0] {
-                    state[e] = 1; // restart, stays active
+                    state[l] = 1; // restart, stays active
                     next_active.push(ei);
                 } else {
-                    state[e] = 0; // reset: leaves the active set
+                    state[l] = 0; // reset: leaves the active set
                 }
             }
             std::mem::swap(active, next_active);
@@ -238,13 +285,16 @@ impl CompiledCandidates {
 
             // Phase 2: anchor fresh matches. Only state-0 episodes that did not
             // already consume this character in phase 1 may anchor.
-            for &ei in self.anchored_at(c) {
+            let (wlo, whi) = anchor_window[c as usize];
+            let base = self.anchor_offsets[c as usize] as usize;
+            for &ei in &self.anchor_episodes[base + wlo as usize..base + whi as usize] {
                 let e = ei as usize;
-                if state[e] == 0 && (!guard || last_step[e] != pos) {
+                let l = e - ep_base;
+                if state[l] == 0 && (!guard || last_step[l] != pos) {
                     if self.offsets[e + 1] - self.offsets[e] == 1 {
-                        counts[e] += 1; // level-1 episodes complete on anchor
+                        counts[l] += 1; // level-1 episodes complete on anchor
                     } else {
-                        state[e] = 1;
+                        state[l] = 1;
                         active.push(ei);
                     }
                 }
@@ -310,11 +360,7 @@ impl CompiledCandidates {
             return self.count(stream, &mut scratch);
         }
         let bounds = crate::segment::even_bounds(n, workers);
-        let ranges: Vec<std::ops::Range<usize>> = std::iter::once(0)
-            .chain(bounds.iter().copied())
-            .zip(bounds.iter().copied().chain(std::iter::once(n)))
-            .map(|(s, e)| s..e)
-            .collect();
+        let ranges = crate::segment::segment_ranges(n, &bounds);
 
         // Map: each worker scans its segment with a private scratch.
         let shards: Vec<(Vec<u64>, Vec<u8>)> = map_items(&ranges, workers, |r| {
@@ -324,10 +370,47 @@ impl CompiledCandidates {
             (counts, scratch.state.clone())
         });
 
-        // Reduce: sum segment counts, then resolve each interior boundary's
-        // live partials with advance-only continuations.
+        self.merge_shard_counts(stream, &bounds, &shards)
+    }
+
+    /// Convenience: sharded count with the machine's available parallelism.
+    pub fn count_auto(&self, stream: &[u8]) -> Vec<u64> {
+        self.count_sharded(stream, default_workers())
+    }
+
+    /// The reduce step of a database-sharded count: sums per-segment partial
+    /// counts, resolves each interior boundary's live partials with
+    /// advance-only continuations (paper Fig. 5), and applies the exact
+    /// state-composition fallback for repeated-item episodes.
+    ///
+    /// `shards[w]` is segment `w`'s `(partial counts, FSM end states)` as
+    /// produced by [`shard_scan`] / [`scan_range`] over the segmentation
+    /// `bounds` (one more shard than bounds). Callers that run the map step on
+    /// their own worker pool (the `MiningSession` path) use this to finish the
+    /// count without re-implementing the boundary scheme.
+    ///
+    /// # Panics
+    /// When `shards.len() != bounds.len() + 1` — a malformed segmentation
+    /// would otherwise return silently wrong counts.
+    ///
+    /// [`shard_scan`]: CompiledCandidates::shard_scan
+    /// [`scan_range`]: CompiledCandidates::scan_range
+    pub fn merge_shard_counts(
+        &self,
+        stream: &[u8],
+        bounds: &[usize],
+        shards: &[(Vec<u64>, Vec<u8>)],
+    ) -> Vec<u64> {
+        assert_eq!(
+            shards.len(),
+            bounds.len() + 1,
+            "one shard per segment: {} bounds need {} shards, got {}",
+            bounds.len(),
+            bounds.len() + 1,
+            shards.len()
+        );
         let mut counts = vec![0u64; self.len()];
-        for (seg_counts, _) in &shards {
+        for (seg_counts, _) in shards {
             for (t, &c) in counts.iter_mut().zip(seg_counts.iter()) {
                 *t += c;
             }
@@ -335,13 +418,39 @@ impl CompiledCandidates {
         for (w, &b) in bounds.iter().enumerate() {
             self.fix_boundary(stream, b, &shards[w].1, &mut counts);
         }
-        self.apply_exact_fallback(stream, &bounds, &mut counts);
+        self.apply_exact_fallback(stream, bounds, &mut counts);
         counts
     }
 
-    /// Convenience: sharded count with the machine's available parallelism.
-    pub fn count_auto(&self, stream: &[u8]) -> Vec<u64> {
-        self.count_sharded(stream, default_workers())
+    /// One database shard's map step, using this worker thread's persistent
+    /// scratch: scans `stream[range]` from the start state and returns the
+    /// partial counts plus the FSM end states the reduce step
+    /// ([`merge_shard_counts`]) needs for boundary continuations.
+    ///
+    /// Designed for persistent-pool workers: the thread-local scratch stays
+    /// warm across every call the worker serves, so the steady-state
+    /// allocation cost is just the returned vectors.
+    ///
+    /// [`merge_shard_counts`]: CompiledCandidates::merge_shard_counts
+    pub fn shard_scan(&self, stream: &[u8], range: std::ops::Range<usize>) -> (Vec<u64>, Vec<u8>) {
+        with_thread_scratch(|scratch| {
+            let mut counts = vec![0u64; self.len()];
+            self.scan_range(stream, range, scratch, &mut counts);
+            (counts, scratch.state.clone())
+        })
+    }
+
+    /// One candidate chunk's map step, using this worker thread's persistent
+    /// scratch: scans the whole stream for the compiled episodes
+    /// `chunk` only and returns *their* counts (length `chunk.len()`,
+    /// chunk-local order). Concatenating the chunks in order restores the full
+    /// candidate order — the candidate-sharded executors' reduce step.
+    pub fn chunk_scan(&self, stream: &[u8], chunk: std::ops::Range<usize>) -> Vec<u64> {
+        with_thread_scratch(|scratch| {
+            let mut counts = vec![0u64; chunk.len()];
+            self.scan_episode_range(stream, 0..stream.len(), chunk, scratch, &mut counts);
+            counts
+        })
     }
 
     /// Resolves one interior boundary: every episode with a live end state gets
@@ -382,6 +491,25 @@ pub struct CountScratch {
     active: Vec<u32>,
     /// Double buffer for the active set.
     next_active: Vec<u32>,
+    /// Per-symbol anchor-bucket windows of the episode chunk being scanned
+    /// (whole buckets for unrestricted scans). Rebuilt per scan, reusing
+    /// capacity.
+    anchor_window: Vec<(u32, u32)>,
+}
+
+thread_local! {
+    static THREAD_SCRATCH: std::cell::RefCell<CountScratch> =
+        std::cell::RefCell::new(CountScratch::new());
+}
+
+/// Runs `f` with this thread's persistent [`CountScratch`].
+///
+/// Pool workers (and any other long-lived thread) get scan scratch that is
+/// allocated once per thread and then only grows — the per-call allocation
+/// profile of holding a scratch in a struct, without having to thread one
+/// through `'static` job closures.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut CountScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 impl CountScratch {
@@ -541,6 +669,52 @@ mod tests {
         assert_eq!(c2.count(&[], &mut scratch), vec![0]);
     }
 
+    #[test]
+    fn chunk_scans_concatenate_to_the_full_count() {
+        let db = db_of(&"ABCABZQXABC".repeat(40));
+        let eps = eps_of(&["A", "AB", "ABC", "ZQ", "QZ", "BCA", "AA", "ABA", "X"]);
+        let c = CompiledCandidates::compile(26, &eps);
+        let expected = count_episodes_naive(&db, &eps);
+        for chunks in [1usize, 2, 3, 4, eps.len()] {
+            let size = eps.len().div_ceil(chunks);
+            let mut got = Vec::new();
+            let mut lo = 0;
+            while lo < eps.len() {
+                let hi = (lo + size).min(eps.len());
+                got.extend(c.chunk_scan(db.symbols(), lo..hi));
+                lo = hi;
+            }
+            assert_eq!(got, expected, "chunks={chunks}");
+        }
+        // Empty chunk touches nothing.
+        assert!(c.chunk_scan(db.symbols(), 3..3).is_empty());
+    }
+
+    #[test]
+    fn shard_scan_plus_merge_equals_sequential() {
+        let text: String = (0..6000u32)
+            .map(|i| char::from(b'A' + ((i.wrapping_mul(2654435761) >> 9) % 26) as u8))
+            .collect();
+        let db = db_of(&text);
+        let eps = eps_of(&["AB", "BA", "QXZ", "A", "ABA"]);
+        let c = CompiledCandidates::compile(26, &eps);
+        let mut scratch = CountScratch::new();
+        let expected = c.count(db.symbols(), &mut scratch);
+        for parts in [2usize, 3, 5] {
+            let bounds = crate::segment::even_bounds(db.len(), parts);
+            let shards: Vec<(Vec<u64>, Vec<u8>)> =
+                crate::segment::segment_ranges(db.len(), &bounds)
+                    .into_iter()
+                    .map(|r| c.shard_scan(db.symbols(), r))
+                    .collect();
+            assert_eq!(
+                c.merge_shard_counts(db.symbols(), &bounds, &shards),
+                expected,
+                "parts={parts}"
+            );
+        }
+    }
+
     proptest! {
         /// Arbitrary cut positions (the adversarial segmentations a sharded run
         /// could produce) preserve counts for arbitrary episode sets — repeats
@@ -564,6 +738,30 @@ mod tests {
                 c.count_with_bounds(db.symbols(), &bounds, &mut scratch),
                 count_episodes_naive(&db, &episodes)
             );
+        }
+
+        /// Chunked (candidate-sharded) scans concatenate to the full count for
+        /// arbitrary inputs and arbitrary chunk granularity — repeats included
+        /// (the chunk guard is per-chunk).
+        #[test]
+        fn chunked_scan_equals_naive(
+            data in proptest::collection::vec(0u8..6, 0..300),
+            eps in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..20),
+            size in 1usize..8,
+        ) {
+            let ab = Alphabet::numbered(6).unwrap();
+            let db = EventDb::new(ab, data).unwrap();
+            let episodes: Vec<Episode> =
+                eps.into_iter().map(|v| Episode::new(v).unwrap()).collect();
+            let c = CompiledCandidates::compile(6, &episodes);
+            let mut got = Vec::new();
+            let mut lo = 0;
+            while lo < episodes.len() {
+                let hi = (lo + size).min(episodes.len());
+                got.extend(c.chunk_scan(db.symbols(), lo..hi));
+                lo = hi;
+            }
+            prop_assert_eq!(got, count_episodes_naive(&db, &episodes));
         }
 
         /// The compiled sequential scan is observationally identical to the

@@ -24,7 +24,12 @@
 //!   state-composition variant ([`segment`]);
 //! * candidate generation (full permutation spaces and Apriori-style joins)
 //!   ([`candidate`]);
-//! * the level-wise mining loop of the paper's Algorithm 1 ([`miner`]);
+//! * the **plan/execute** counting API: [`session::MiningSession`] compiles
+//!   each level once and owns the persistent worker pool, while counting
+//!   backends implement [`session::Executor`] over borrowed
+//!   [`session::CountRequest`] views ([`session`]);
+//! * the level-wise mining loop of the paper's Algorithm 1, a thin driver
+//!   over a session ([`miner`]);
 //! * the episode-expiry extension sketched in the paper's future work ([`expiry`]).
 //!
 //! ## Quick example
@@ -52,14 +57,20 @@ pub mod miner;
 pub mod segment;
 pub mod semantics;
 pub mod sequence;
+pub mod session;
 pub mod stats;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use engine::{CompiledCandidates, CountScratch};
 pub use episode::Episode;
-pub use miner::{CountingBackend, Miner, MinerConfig};
+#[allow(deprecated)]
+pub use miner::CountingBackend;
+pub use miner::{Miner, MinerConfig, SequentialBackend};
 pub use semantics::CountSemantics;
 pub use sequence::EventDb;
+pub use session::{
+    BackendError, CountRequest, Counts, Executor, MineError, MiningSession, MiningSessionBuilder,
+};
 pub use stats::{LevelResult, MiningResult};
 
 /// Errors produced by `tdm-core` constructors and validators.

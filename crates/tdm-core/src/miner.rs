@@ -3,22 +3,43 @@
 //! ```text
 //! k <- 1; candidates <- all level-1 episodes
 //! while candidates not empty:
-//!     count every candidate                (counting step   — pluggable backend)
+//!     count every candidate                (counting step   — pluggable executor)
 //!     keep those with count/n > alpha      (elimination step)
 //!     candidates <- join(frequent_k)       (generation step)
 //! ```
 //!
-//! The counting step is behind the [`CountingBackend`] trait so that the same loop
-//! can run on the sequential CPU counter, the parallel CPU MapReduce baseline, or
-//! any of the four simulated GPU kernels.
+//! The counting step is behind the [`Executor`] trait of the plan/execute API
+//! ([`crate::session`]): a [`MiningSession`] compiles each level's candidate
+//! set exactly once and hands executors a borrowed [`CountRequest`] — so the
+//! same loop runs on the sequential CPU counter, the parallel CPU backends,
+//! or any of the four simulated GPU kernels without recompiling or cloning
+//! anything per backend. [`Miner`] is the thin convenience driver over a
+//! fresh session.
+//!
+//! [`CountRequest`]: crate::session::CountRequest
+//! [`MiningSession`]: crate::session::MiningSession
 
-use crate::candidate::{apriori_join, level1};
 use crate::episode::Episode;
 use crate::sequence::EventDb;
-use crate::stats::{support, LevelResult, MiningResult};
+use crate::session::{BackendError, CountRequest, Counts, Executor, MineError, MiningSession};
+use crate::stats::{LevelResult, MiningResult};
 
-/// A strategy for the counting step: given the database and the candidate set,
-/// produce one appearance count per candidate (same order).
+/// The legacy counting-step strategy: given the database and raw candidate
+/// episodes, produce one appearance count per candidate.
+///
+/// Superseded by the plan/execute split of [`crate::session`]: implement
+/// [`Executor`] instead and drive it with a [`MiningSession`] (or
+/// [`Miner::mine`]), which compiles the candidate set once per level and
+/// lends backends a [`CountRequest`] view. Every [`Executor`] still
+/// implements this trait through a blanket shim, so old call sites keep
+/// working (each `count` call plans a throwaway session).
+///
+/// [`CountRequest`]: crate::session::CountRequest
+/// [`MiningSession`]: crate::session::MiningSession
+#[deprecated(
+    since = "0.2.0",
+    note = "implement tdm_core::session::Executor and drive it with a MiningSession (or Miner::mine)"
+)]
 pub trait CountingBackend {
     /// Counts every candidate episode over the database.
     fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64>;
@@ -29,23 +50,36 @@ pub trait CountingBackend {
     }
 }
 
-/// The built-in sequential backend: the compiled active-set engine from
-/// [`crate::engine`], holding its [`CompiledCandidates`] and [`CountScratch`]
-/// across levels so the per-level `count` calls reuse every buffer instead of
-/// rebuilding the anchor index from scratch.
+/// Every new-style [`Executor`] still serves the deprecated trait: one
+/// throwaway [`MiningSession`] per call (compile + execute). Migration shim
+/// only — the session API amortizes the plan step across levels.
+#[allow(deprecated)]
+impl<E: Executor> CountingBackend for E {
+    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
+        let mut session = MiningSession::builder(db).build();
+        session
+            .count_candidates(candidates, self)
+            .expect("counting backend failed")
+    }
+
+    fn name(&self) -> &str {
+        Executor::name(self)
+    }
+}
+
+/// The built-in sequential executor: one active-set pass over the request's
+/// compiled layout, holding only its [`CountScratch`] across levels (the
+/// compiled candidates live in the session).
 ///
-/// [`CompiledCandidates`]: crate::engine::CompiledCandidates
 /// [`CountScratch`]: crate::engine::CountScratch
 #[derive(Debug, Default, Clone)]
 pub struct SequentialBackend {
-    compiled: crate::engine::CompiledCandidates,
     scratch: crate::engine::CountScratch,
 }
 
-impl CountingBackend for SequentialBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        self.compiled.recompile(db.alphabet().len(), candidates);
-        self.compiled.count(db.symbols(), &mut self.scratch)
+impl Executor for SequentialBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        Ok(req.compiled().count(req.stream(), &mut self.scratch))
     }
 
     fn name(&self) -> &str {
@@ -76,7 +110,9 @@ impl Default for MinerConfig {
     }
 }
 
-/// The level-wise miner.
+/// The level-wise miner: a thin driver that plans a fresh [`MiningSession`]
+/// per run. Hold a session directly to amortize the plan state across runs or
+/// to stream per-level results.
 #[derive(Debug, Clone)]
 pub struct Miner {
     config: MinerConfig,
@@ -88,46 +124,38 @@ impl Miner {
         Miner { config }
     }
 
-    /// Runs the full level-wise loop with the supplied counting backend.
-    pub fn mine<B: CountingBackend>(&self, db: &EventDb, backend: &mut B) -> MiningResult {
-        let n = db.len();
-        let mut result = MiningResult {
-            levels: Vec::new(),
-            db_len: n,
-        };
-        let mut candidates = level1(db.alphabet());
-        let mut level = 1usize;
-        while !candidates.is_empty() {
-            if let Some(maxl) = self.config.max_level {
-                if level > maxl {
-                    break;
-                }
-            }
-            let counts = backend.count(db, &candidates);
-            assert_eq!(
-                counts.len(),
-                candidates.len(),
-                "backend returned wrong number of counts"
-            );
-            let frequent: Vec<(Episode, u64)> = candidates
-                .iter()
-                .cloned()
-                .zip(counts.iter().copied())
-                .filter(|(_, c)| support(*c, n) > self.config.alpha)
-                .collect();
-            let next_seed: Vec<Episode> = frequent.iter().map(|(e, _)| e.clone()).collect();
-            result.levels.push(LevelResult {
-                level,
-                candidates: candidates.len(),
-                frequent,
-            });
-            if next_seed.is_empty() {
-                break;
-            }
-            candidates = apriori_join(&next_seed, self.config.distinct_items_only);
-            level += 1;
-        }
-        result
+    /// Runs the full level-wise loop with the supplied executor.
+    ///
+    /// # Errors
+    /// [`MineError`] when the executor fails or returns malformed counts.
+    pub fn mine<E: Executor + ?Sized>(
+        &self,
+        db: &EventDb,
+        executor: &mut E,
+    ) -> Result<MiningResult, MineError> {
+        MiningSession::builder(db)
+            .config(self.config)
+            .build()
+            .mine(executor)
+    }
+
+    /// Like [`mine`], but invokes `on_level` as each level completes (the
+    /// streaming hook for serving use-cases).
+    ///
+    /// # Errors
+    /// [`MineError`] when the executor fails or returns malformed counts.
+    ///
+    /// [`mine`]: Miner::mine
+    pub fn mine_streaming<E: Executor + ?Sized>(
+        &self,
+        db: &EventDb,
+        executor: &mut E,
+        on_level: impl FnMut(&LevelResult),
+    ) -> Result<MiningResult, MineError> {
+        MiningSession::builder(db)
+            .config(self.config)
+            .build()
+            .mine_with(executor, on_level)
     }
 }
 
@@ -148,7 +176,7 @@ mod tests {
             alpha: 0.1,
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend::default());
+        let res = miner.mine(&db, &mut SequentialBackend::default()).unwrap();
         let ab = Alphabet::latin26();
         assert_eq!(res.levels[0].len(), 3); // A, B, C each support 1/3
         assert!(res
@@ -169,7 +197,7 @@ mod tests {
             alpha: 0.9,
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend::default());
+        let res = miner.mine(&db, &mut SequentialBackend::default()).unwrap();
         assert_eq!(res.levels.len(), 1);
         assert!(res.levels[0].is_empty());
         assert_eq!(res.total_frequent(), 0);
@@ -183,7 +211,7 @@ mod tests {
             max_level: Some(1),
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend::default());
+        let res = miner.mine(&db, &mut SequentialBackend::default()).unwrap();
         assert_eq!(res.levels.len(), 1);
         assert_eq!(res.levels[0].level, 1);
     }
@@ -197,7 +225,7 @@ mod tests {
             max_level: Some(2),
             ..Default::default()
         });
-        let res = miner.mine(&db, &mut SequentialBackend::default());
+        let res = miner.mine(&db, &mut SequentialBackend::default()).unwrap();
         assert_eq!(res.levels[0].candidates, 26);
         // Only A..D are frequent, so level 2 candidates = 4*3 ordered pairs.
         assert_eq!(res.levels[1].candidates, 12);
@@ -207,7 +235,44 @@ mod tests {
     fn empty_database_yields_single_empty_level() {
         let ab = Alphabet::latin26();
         let db = EventDb::new(ab, vec![]).unwrap();
-        let res = Miner::new(MinerConfig::default()).mine(&db, &mut SequentialBackend::default());
+        let res = Miner::new(MinerConfig::default())
+            .mine(&db, &mut SequentialBackend::default())
+            .unwrap();
         assert_eq!(res.total_frequent(), 0);
+    }
+
+    #[test]
+    fn streaming_levels_arrive_in_order() {
+        let db = db_of(&"ABC".repeat(60));
+        let miner = Miner::new(MinerConfig {
+            alpha: 0.05,
+            max_level: Some(3),
+            ..Default::default()
+        });
+        let mut seen: Vec<usize> = Vec::new();
+        let res = miner
+            .mine_streaming(&db, &mut SequentialBackend::default(), |l| {
+                seen.push(l.level);
+            })
+            .unwrap();
+        assert_eq!(seen, (1..=res.levels.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn legacy_trait_shim_still_counts() {
+        #[allow(deprecated)]
+        fn old_style<B: CountingBackend>(db: &EventDb, b: &mut B) -> Vec<u64> {
+            let ab = Alphabet::latin26();
+            let eps = vec![
+                Episode::from_str(&ab, "AB").unwrap(),
+                Episode::from_str(&ab, "C").unwrap(),
+            ];
+            b.count(db, &eps)
+        }
+        let db = db_of("ABCABC");
+        assert_eq!(
+            old_style(&db, &mut SequentialBackend::default()),
+            vec![2, 2]
+        );
     }
 }

@@ -200,6 +200,18 @@ pub fn even_bounds(n: usize, parts: usize) -> Vec<usize> {
     (1..parts).map(|t| t * n / parts).collect()
 }
 
+/// The segments a set of interior cut positions induces over a stream of
+/// length `n`: `bounds.len() + 1` contiguous half-open ranges covering
+/// `0..n`. The inverse view of [`even_bounds`]-style cuts, shared by every
+/// sharded scanner (one range per map worker).
+pub fn segment_ranges(n: usize, bounds: &[usize]) -> Vec<std::ops::Range<usize>> {
+    std::iter::once(0)
+        .chain(bounds.iter().copied())
+        .zip(bounds.iter().copied().chain(std::iter::once(n)))
+        .map(|(s, e)| s..e)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,478 @@
+//! The plan/execute counting API: compile once per level, execute many times.
+//!
+//! The paper's central systems lesson — echoed by later GPU mining systems
+//! like Everest and Mayura — is that counting dominates mining and must be
+//! *staged*: candidate layout, launch geometry, and per-level buffer reuse are
+//! planning decisions, separate from the backend that executes the scan. This
+//! module is that seam:
+//!
+//! * [`MiningSession`] — the **plan** side. Built from `&EventDb` +
+//!   [`MinerConfig`] via [`MiningSession::builder`], it owns the
+//!   [`CompiledCandidates`] (recompiled in place once per level), the
+//!   database shard bounds, and a persistent [`Pool`] of worker threads that
+//!   serves every counting call of the level loop.
+//! * [`CountRequest`] — the borrowed view handed to backends: the compiled
+//!   CSR buffers and symbol-anchor index, the symbol stream, the shard
+//!   bounds, the session pool, and the level metadata. No `&[Episode]`, no
+//!   clones, no recompiles on the execute side.
+//! * [`Executor`] — the **execute** side: one `execute(&CountRequest) ->
+//!   Result<Counts, BackendError>` call per level. CPU backends scan borrowed
+//!   chunks; GPU backends derive launch geometry and sampling from the same
+//!   compiled layout.
+//!
+//! The level-wise miner ([`crate::miner::Miner`]) is a thin driver over a
+//! session; long-lived services can hold a session directly and stream
+//! per-level results via [`MiningSession::mine_with`].
+//!
+//! ```
+//! use tdm_core::session::MiningSession;
+//! use tdm_core::miner::{MinerConfig, SequentialBackend};
+//! use tdm_core::{Alphabet, EventDb};
+//!
+//! let db = EventDb::from_str_symbols(&Alphabet::latin26(), &"ABC".repeat(50)).unwrap();
+//! let mut session = MiningSession::builder(&db)
+//!     .config(MinerConfig { alpha: 0.1, ..Default::default() })
+//!     .build();
+//! let result = session.mine(&mut SequentialBackend::default()).unwrap();
+//! assert!(result.total_frequent() > 0);
+//! // One compile per level, however many executors ran.
+//! assert_eq!(session.compiles(), result.levels.len());
+//! ```
+
+use std::sync::Arc;
+
+use crate::candidate::{apriori_join, level1};
+use crate::engine::{CompiledCandidates, MIN_SHARD_STREAM};
+use crate::episode::Episode;
+use crate::miner::MinerConfig;
+use crate::segment::even_bounds;
+use crate::sequence::EventDb;
+use crate::stats::{support, LevelResult, MiningResult};
+use std::sync::OnceLock;
+use tdm_mapreduce::pool::{default_workers, Pool};
+
+/// Appearance counts, one per candidate episode in compiled order.
+pub type Counts = Vec<u64>;
+
+/// An error raised by a counting backend's execute phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The backend returned the wrong number of counts.
+    CountLength {
+        /// Counts expected (the compiled candidate count).
+        expected: usize,
+        /// Counts actually returned.
+        got: usize,
+    },
+    /// A kernel/launch configuration was rejected (simulated GPU backends).
+    Launch(String),
+    /// Any other execution failure, with a human-readable reason.
+    Failed(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::CountLength { expected, got } => {
+                write!(f, "backend returned {got} counts for {expected} candidates")
+            }
+            BackendError::Launch(e) => write!(f, "kernel launch failed: {e}"),
+            BackendError::Failed(e) => write!(f, "backend execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// An error from a mining run: which level failed, which backend, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MineError {
+    /// Episode level at which counting failed.
+    pub level: usize,
+    /// `Executor::name` of the failing backend.
+    pub backend: String,
+    /// The underlying backend error.
+    pub source: BackendError,
+}
+
+impl std::fmt::Display for MineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mining failed at level {} in backend {:?}: {}",
+            self.level, self.backend, self.source
+        )
+    }
+}
+
+impl std::error::Error for MineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// One level's counting work, as a set of borrowed views: everything a
+/// backend needs to execute, nothing it could use to recompile.
+///
+/// The request borrows from the owning [`MiningSession`]; parallel executors
+/// ship work to the session's persistent [`Pool`] by cloning the `Arc`
+/// handles ([`CountRequest::compiled_shared`], [`CountRequest::stream_shared`])
+/// — a refcount bump, never a buffer copy.
+#[derive(Debug, Clone, Copy)]
+pub struct CountRequest<'a> {
+    db: &'a EventDb,
+    stream: &'a Arc<[u8]>,
+    compiled: &'a Arc<CompiledCandidates>,
+    shard_bounds: &'a [usize],
+    pool: &'a OnceLock<Pool>,
+    workers: usize,
+    level: usize,
+}
+
+impl<'a> CountRequest<'a> {
+    /// The event database (alphabet + stream + optional timestamps).
+    #[inline]
+    pub fn db(&self) -> &'a EventDb {
+        self.db
+    }
+
+    /// The symbol stream to scan.
+    #[inline]
+    pub fn stream(&self) -> &'a [u8] {
+        self.stream
+    }
+
+    /// A shareable handle to the stream for `'static` pool jobs (refcount
+    /// bump, not a copy).
+    #[inline]
+    pub fn stream_shared(&self) -> Arc<[u8]> {
+        Arc::clone(self.stream)
+    }
+
+    /// The compiled candidate set (flat CSR items + symbol-anchor index).
+    #[inline]
+    pub fn compiled(&self) -> &'a CompiledCandidates {
+        self.compiled
+    }
+
+    /// A shareable handle to the compiled set for `'static` pool jobs
+    /// (refcount bump, not a copy).
+    #[inline]
+    pub fn compiled_shared(&self) -> Arc<CompiledCandidates> {
+        Arc::clone(self.compiled)
+    }
+
+    /// Number of candidate episodes in the request.
+    #[inline]
+    pub fn candidates(&self) -> usize {
+        self.compiled.len()
+    }
+
+    /// The session's database shard bounds (interior cut positions for
+    /// database-parallel executors; empty when the stream is too short to
+    /// shard or the session runs single-worker).
+    #[inline]
+    pub fn shard_bounds(&self) -> &'a [usize] {
+        self.shard_bounds
+    }
+
+    /// The session's persistent worker pool, spawned lazily on first use —
+    /// sequential executors never pay for idle threads.
+    #[inline]
+    pub fn pool(&self) -> &'a Pool {
+        self.pool.get_or_init(|| Pool::with_workers(self.workers))
+    }
+
+    /// The session's planned worker count, without spawning the pool.
+    /// Executors sizing their decomposition (chunk counts, fallback
+    /// thresholds) should read this and call [`pool`] only when they actually
+    /// dispatch work.
+    ///
+    /// [`pool`]: CountRequest::pool
+    #[inline]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Episode level (item count) of this request's candidates.
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Contiguous candidate-chunk ranges for candidate-sharded executors:
+    /// at most `chunks` ranges covering `0..candidates()`.
+    pub fn chunk_ranges(&self, chunks: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.candidates();
+        if n == 0 {
+            return Vec::new();
+        }
+        let size = n.div_ceil(chunks.max(1));
+        (0..n.div_ceil(size))
+            .map(|i| i * size..((i + 1) * size).min(n))
+            .collect()
+    }
+}
+
+/// The execute side of the plan/execute counting API.
+///
+/// Implementations receive a borrowed [`CountRequest`] — compiled candidates,
+/// stream, shard bounds, pool — and return one count per candidate. They must
+/// not recompile or clone the candidate set; everything needed is in the
+/// request.
+pub trait Executor {
+    /// Counts every candidate of the request.
+    ///
+    /// # Errors
+    /// [`BackendError`] when the backend cannot execute the request (e.g. a
+    /// rejected kernel launch). Length mismatches are caught by the session.
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError>;
+
+    /// A short human-readable name (used in reports and errors).
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// Builder for a [`MiningSession`].
+#[derive(Debug)]
+pub struct MiningSessionBuilder<'db> {
+    db: &'db EventDb,
+    config: MinerConfig,
+    workers: usize,
+}
+
+impl<'db> MiningSessionBuilder<'db> {
+    /// Sets the mining configuration (support threshold, level bound, …).
+    pub fn config(mut self, config: MinerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-pool size (0 = the machine's available parallelism).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Builds the session: snapshots the stream into a shareable buffer and
+    /// fixes the database shard bounds. The persistent pool is spawned lazily
+    /// the first time an executor (or [`MiningSession::pool`]) asks for it.
+    pub fn build(self) -> MiningSession<'db> {
+        let workers = if self.workers == 0 {
+            default_workers()
+        } else {
+            self.workers
+        };
+        let n = self.db.len();
+        let shard_bounds = if workers > 1 && n >= MIN_SHARD_STREAM {
+            even_bounds(n, workers)
+        } else {
+            Vec::new()
+        };
+        MiningSession {
+            db: self.db,
+            stream: Arc::from(self.db.symbols()),
+            config: self.config,
+            compiled: Arc::new(CompiledCandidates::default()),
+            shard_bounds,
+            workers,
+            pool: OnceLock::new(),
+            compiles: 0,
+        }
+    }
+}
+
+/// The plan side of the counting API: owns everything that should be built
+/// once and reused across the level loop — the compiled candidate layout, the
+/// database shard bounds, and the persistent worker pool.
+///
+/// One session serves any number of executors; the compiled buffers are
+/// recompiled **in place** exactly once per level (`Arc::make_mut` — workers
+/// drop their handles at the end of each execute, so the steady state never
+/// copies). See the [module docs](self) for the full picture.
+pub struct MiningSession<'db> {
+    db: &'db EventDb,
+    stream: Arc<[u8]>,
+    config: MinerConfig,
+    compiled: Arc<CompiledCandidates>,
+    shard_bounds: Vec<usize>,
+    workers: usize,
+    pool: OnceLock<Pool>,
+    compiles: usize,
+}
+
+impl std::fmt::Debug for MiningSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiningSession")
+            .field("db_len", &self.db.len())
+            .field("workers", &self.workers)
+            .field("compiles", &self.compiles)
+            .finish()
+    }
+}
+
+impl<'db> MiningSession<'db> {
+    /// Starts building a session over `db` (default config, auto workers).
+    pub fn builder(db: &'db EventDb) -> MiningSessionBuilder<'db> {
+        MiningSessionBuilder {
+            db,
+            config: MinerConfig::default(),
+            workers: 0,
+        }
+    }
+
+    /// The database this session mines.
+    pub fn db(&self) -> &'db EventDb {
+        self.db
+    }
+
+    /// The mining configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The session's persistent worker pool (spawned on first call).
+    pub fn pool(&self) -> &Pool {
+        self.pool.get_or_init(|| Pool::with_workers(self.workers))
+    }
+
+    /// How many candidate sets this session has compiled — exactly one per
+    /// counted level, regardless of how many executors ran against each.
+    pub fn compiles(&self) -> usize {
+        self.compiles
+    }
+
+    /// The current compiled candidate set (the last compiled level).
+    pub fn compiled(&self) -> &CompiledCandidates {
+        &self.compiled
+    }
+
+    /// Compiles `candidates` into the session's reusable buffers (the plan
+    /// step) and returns the request for the given level.
+    fn plan(&mut self, level: usize, candidates: &[Episode]) -> CountRequest<'_> {
+        Arc::make_mut(&mut self.compiled).recompile(self.db.alphabet().len(), candidates);
+        self.compiles += 1;
+        CountRequest {
+            db: self.db,
+            stream: &self.stream,
+            compiled: &self.compiled,
+            shard_bounds: &self.shard_bounds,
+            pool: &self.pool,
+            workers: self.workers,
+            level,
+        }
+    }
+
+    /// The plan step alone: compiles `candidates` into the session's reusable
+    /// buffers and returns the borrowed request, so callers can run *many*
+    /// executes against one compile (benchmarks, backend comparisons,
+    /// serving). [`count_candidates`] is the plan+execute convenience.
+    ///
+    /// [`count_candidates`]: MiningSession::count_candidates
+    pub fn plan_candidates(&mut self, candidates: &[Episode]) -> CountRequest<'_> {
+        let level = candidates.iter().map(|e| e.level()).max().unwrap_or(1);
+        self.plan(level, candidates)
+    }
+
+    /// Compiles `candidates` once and executes `executor` against them.
+    ///
+    /// # Errors
+    /// [`MineError`] when the executor fails or returns the wrong number of
+    /// counts.
+    pub fn count_candidates<E: Executor + ?Sized>(
+        &mut self,
+        candidates: &[Episode],
+        executor: &mut E,
+    ) -> Result<Counts, MineError> {
+        let level = candidates.iter().map(|e| e.level()).max().unwrap_or(1);
+        self.count_level(level, candidates, executor)
+    }
+
+    fn count_level<E: Executor + ?Sized>(
+        &mut self,
+        level: usize,
+        candidates: &[Episode],
+        executor: &mut E,
+    ) -> Result<Counts, MineError> {
+        let req = self.plan(level, candidates);
+        let counts = executor.execute(&req).map_err(|source| MineError {
+            level,
+            backend: executor.name().to_string(),
+            source,
+        })?;
+        if counts.len() != candidates.len() {
+            return Err(MineError {
+                level,
+                backend: executor.name().to_string(),
+                source: BackendError::CountLength {
+                    expected: candidates.len(),
+                    got: counts.len(),
+                },
+            });
+        }
+        Ok(counts)
+    }
+
+    /// Runs the full level-wise mining loop (paper Algorithm 1) with
+    /// `executor` as the counting step.
+    ///
+    /// # Errors
+    /// [`MineError`] from the first failing level.
+    pub fn mine<E: Executor + ?Sized>(
+        &mut self,
+        executor: &mut E,
+    ) -> Result<MiningResult, MineError> {
+        self.mine_with(executor, |_| {})
+    }
+
+    /// Like [`mine`], but invokes `on_level` with each level's result as soon
+    /// as that level's elimination step finishes — the streaming hook serving
+    /// use-cases want (emit level-1 frequent episodes while level 2 counts).
+    ///
+    /// # Errors
+    /// [`MineError`] from the first failing level.
+    ///
+    /// [`mine`]: MiningSession::mine
+    pub fn mine_with<E: Executor + ?Sized>(
+        &mut self,
+        executor: &mut E,
+        mut on_level: impl FnMut(&LevelResult),
+    ) -> Result<MiningResult, MineError> {
+        let n = self.db.len();
+        let mut result = MiningResult {
+            levels: Vec::new(),
+            db_len: n,
+        };
+        let mut candidates = level1(self.db.alphabet());
+        let mut level = 1usize;
+        while !candidates.is_empty() {
+            if let Some(maxl) = self.config.max_level {
+                if level > maxl {
+                    break;
+                }
+            }
+            let counts = self.count_level(level, &candidates, executor)?;
+            let frequent: Vec<(Episode, u64)> = candidates
+                .iter()
+                .cloned()
+                .zip(counts.iter().copied())
+                .filter(|(_, c)| support(*c, n) > self.config.alpha)
+                .collect();
+            let next_seed: Vec<Episode> = frequent.iter().map(|(e, _)| e.clone()).collect();
+            let level_result = LevelResult {
+                level,
+                candidates: candidates.len(),
+                frequent,
+            };
+            on_level(&level_result);
+            result.levels.push(level_result);
+            if next_seed.is_empty() {
+                break;
+            }
+            candidates = apriori_join(&next_seed, self.config.distinct_items_only);
+            level += 1;
+        }
+        Ok(result)
+    }
+}

@@ -9,7 +9,6 @@
 //! locality — "the spatial and temporal locality of the data-access pattern
 //! should be able to be exploited by the texture cache", §3.3.2).
 
-use crate::launch::thread_level_grid;
 use crate::lockstep::{run_broadcast_warp, FsmCosts};
 use crate::{Algorithm, KernelRun, MiningProblem, ProfileStats, SimOptions};
 use gpu_sim::{
@@ -85,8 +84,8 @@ pub fn run(
     opts: &SimOptions,
 ) -> Result<KernelRun, SimError> {
     let n = problem.db().len() as u64;
-    let n_eps = problem.episodes().len();
-    let launch = thread_level_grid(n_eps, tpb);
+    let n_eps = problem.compiled().len();
+    let launch = crate::launch::grid_for(Algorithm::ThreadTexture, problem.compiled(), tpb);
     let opts_c = *opts;
     let stats = problem.cached_stats(
         (

@@ -11,7 +11,6 @@
 //! shrinks as threads are added, the amortization of Characterization 2.
 
 use crate::algo1::{sample_thread_level, stats_key};
-use crate::launch::thread_level_grid;
 use crate::{Algorithm, KernelRun, MiningProblem, SimOptions};
 use gpu_sim::{
     simulate, BlockProfile, ComputeCapability, CostModel, DeviceConfig, KernelResources,
@@ -41,8 +40,8 @@ pub fn run(
     opts: &SimOptions,
 ) -> Result<KernelRun, SimError> {
     let n = problem.db().len() as u64;
-    let n_eps = problem.episodes().len();
-    let launch = thread_level_grid(n_eps, tpb);
+    let n_eps = problem.compiled().len();
+    let launch = crate::launch::grid_for(Algorithm::ThreadBuffered, problem.compiled(), tpb);
     let opts_c = *opts;
     // The compute inner loop is identical to Algorithm 1's; reuse its samples.
     let stats = problem.cached_stats(

@@ -11,7 +11,7 @@
 //! texture streams alive per SM — the cache-thrash / bandwidth regime of
 //! Characterization 8 once that number outgrows the texture cache.
 
-use crate::launch::{block_level_grid, thread_ranges};
+use crate::launch::thread_ranges;
 use crate::lockstep::{measure_spans, run_partitioned_warp, FsmCosts, SpanStats};
 use crate::{Algorithm, KernelRun, MiningProblem, ProfileStats, SimOptions};
 use gpu_sim::{
@@ -183,8 +183,7 @@ pub fn run(
     opts: &SimOptions,
 ) -> Result<KernelRun, SimError> {
     let n = problem.db().len() as u64;
-    let n_eps = problem.episodes().len();
-    let launch = block_level_grid(n_eps, tpb);
+    let launch = crate::launch::grid_for(Algorithm::BlockTexture, problem.compiled(), tpb);
     let opts_c = *opts;
     let stats = problem.cached_stats(
         (

@@ -14,7 +14,6 @@
 
 use crate::algo2::byte_load_penalty;
 use crate::algo3::span_and_reduce_phases;
-use crate::launch::block_level_grid;
 use crate::lockstep::{measure_spans, FsmCosts, SpanStats};
 use crate::{Algorithm, KernelRun, MiningProblem, ProfileStats, SimOptions};
 use gpu_sim::smem::{conflict_degree_cc1x, SmemPattern};
@@ -196,8 +195,7 @@ pub fn run(
     opts: &SimOptions,
 ) -> Result<KernelRun, SimError> {
     let n = problem.db().len() as u64;
-    let n_eps = problem.episodes().len();
-    let launch = block_level_grid(n_eps, tpb);
+    let launch = crate::launch::grid_for(Algorithm::BlockBuffered, problem.compiled(), tpb);
     let geometry = buffer_geometry(n, tpb, opts.buffer_bytes.min(dev.shared_mem_per_sm / 2));
     let opts_c = *opts;
     let buffer_key = geometry.buffer_bytes as u32;

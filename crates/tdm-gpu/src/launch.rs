@@ -5,7 +5,9 @@
 //! block 1, …"); block-level kernels launch one block per episode, with the
 //! block's threads splitting the database evenly.
 
+use crate::Algorithm;
 use gpu_sim::LaunchConfig;
+use tdm_core::engine::CompiledCandidates;
 
 /// Thread-level grid: `ceil(episodes / tpb)` blocks of `tpb` threads.
 pub fn thread_level_grid(episodes: usize, threads_per_block: u32) -> LaunchConfig {
@@ -20,6 +22,23 @@ pub fn block_level_grid(episodes: usize, threads_per_block: u32) -> LaunchConfig
     LaunchConfig {
         blocks: episodes.max(1) as u32,
         threads_per_block,
+    }
+}
+
+/// The grid an algorithm launches for a compiled candidate set: thread-level
+/// kernels pack `ceil(candidates / tpb)` blocks, block-level kernels launch
+/// one block per candidate. This is the geometry entry point of the
+/// plan/execute API — launch shape is derived from the compiled layout, never
+/// from raw episode slices.
+pub fn grid_for(
+    algo: Algorithm,
+    compiled: &CompiledCandidates,
+    threads_per_block: u32,
+) -> LaunchConfig {
+    if algo.is_block_level() {
+        block_level_grid(compiled.len(), threads_per_block)
+    } else {
+        thread_level_grid(compiled.len(), threads_per_block)
     }
 }
 

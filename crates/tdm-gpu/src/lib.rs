@@ -31,10 +31,12 @@ pub mod pipeline;
 pub mod validate;
 
 use gpu_sim::{CostModel, DeviceConfig, KernelSpec, LaunchConfig, SimError, SimReport};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
 use tdm_core::engine::CompiledCandidates;
-use tdm_core::{CountingBackend, Episode, EventDb};
+use tdm_core::session::{BackendError, CountRequest, Counts, Executor};
+use tdm_core::{Episode, EventDb};
 
 /// The four kernels of the paper (Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -152,28 +154,46 @@ pub(crate) struct ProfileStats {
     pub live_boundary_fraction: f64,
 }
 
-/// A fixed (database, candidate set) pair with the candidate set compiled once
-/// into the flat CSR layout of [`CompiledCandidates`], memoized ground-truth
-/// counts, and per-kernel profile measurements. The reproduction harness holds
-/// one of these per episode level and sweeps cards and block sizes against it
-/// cheaply — concurrently, since all memoization is behind interior mutability
-/// and every kernel run takes `&self`.
+/// A fixed (database, candidate set) pair with the candidate set in the flat
+/// CSR layout of [`CompiledCandidates`], memoized ground-truth counts, and
+/// per-kernel profile measurements. Kernels take their launch geometry *and*
+/// their sampling inputs from the compiled layout — no `&[Episode]` anywhere
+/// on the execute side.
+///
+/// The reproduction harness holds one of these per episode level and sweeps
+/// cards and block sizes against it cheaply — concurrently, since all
+/// memoization is behind interior mutability and every kernel run takes
+/// `&self`. In the plan/execute API the session owns the compiled set and the
+/// problem merely **borrows** it ([`MiningProblem::from_compiled`]), so the
+/// GPU backend never recompiles per level.
 pub struct MiningProblem<'a> {
     db: &'a EventDb,
-    episodes: &'a [Episode],
-    compiled: CompiledCandidates,
+    compiled: Cow<'a, CompiledCandidates>,
     counts: OnceLock<Vec<u64>>,
     profile_cache: Mutex<HashMap<(Algorithm, u32), ProfileStats>>,
 }
 
 impl<'a> MiningProblem<'a> {
-    /// Creates the problem, compiling the candidate set (counts and profile
-    /// sampling stay lazy).
+    /// Creates the problem from raw episodes, compiling the candidate set
+    /// (counts and profile sampling stay lazy). Prefer
+    /// [`MiningProblem::from_compiled`] when a compiled set already exists.
     pub fn new(db: &'a EventDb, episodes: &'a [Episode]) -> Self {
+        Self::with_compiled(
+            db,
+            Cow::Owned(CompiledCandidates::compile(db.alphabet().len(), episodes)),
+        )
+    }
+
+    /// Creates the problem over an existing compiled candidate set, borrowing
+    /// it — the zero-recompile path the session-driven [`GpuBackend`] uses.
+    pub fn from_compiled(db: &'a EventDb, compiled: &'a CompiledCandidates) -> Self {
+        Self::with_compiled(db, Cow::Borrowed(compiled))
+    }
+
+    fn with_compiled(db: &'a EventDb, compiled: Cow<'a, CompiledCandidates>) -> Self {
         MiningProblem {
             db,
-            episodes,
-            compiled: CompiledCandidates::compile(db.alphabet().len(), episodes),
+            compiled,
             counts: OnceLock::new(),
             profile_cache: Mutex::new(HashMap::new()),
         }
@@ -182,11 +202,6 @@ impl<'a> MiningProblem<'a> {
     /// The database.
     pub fn db(&self) -> &EventDb {
         self.db
-    }
-
-    /// The candidate episodes.
-    pub fn episodes(&self) -> &[Episode] {
-        self.episodes
     }
 
     /// The compiled (CSR) form of the candidate set the kernels scan.
@@ -252,9 +267,11 @@ pub fn parallel_counts(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
     compiled.count_auto(db.symbols())
 }
 
-/// A [`CountingBackend`] that runs one of the simulated GPU kernels for the
+/// An [`Executor`] that runs one of the simulated GPU kernels for the
 /// counting step of the level-wise miner, so the full mining loop can execute
-/// "on the GPU" and be compared against CPU baselines.
+/// "on the GPU" and be compared against CPU baselines. Borrows the request's
+/// compiled candidate set end-to-end (geometry + sampling) — no per-level
+/// recompile.
 pub struct GpuBackend {
     /// Which kernel to use.
     pub algo: Algorithm,
@@ -284,9 +301,9 @@ impl GpuBackend {
     }
 }
 
-impl CountingBackend for GpuBackend {
-    fn count(&mut self, db: &EventDb, candidates: &[Episode]) -> Vec<u64> {
-        let problem = MiningProblem::new(db, candidates);
+impl Executor for GpuBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        let problem = MiningProblem::from_compiled(req.db(), req.compiled());
         let run = problem
             .run(
                 self.algo,
@@ -295,9 +312,9 @@ impl CountingBackend for GpuBackend {
                 &self.cost,
                 &self.opts,
             )
-            .expect("kernel launch failed");
+            .map_err(|e| BackendError::Launch(e.to_string()))?;
         self.simulated_ms += run.report.time_ms;
-        run.counts
+        Ok(run.counts)
     }
 
     fn name(&self) -> &str {

@@ -4,19 +4,22 @@
 //! match `tdm-core`'s sequential FSM scan. [`validate_counts`] checks a
 //! [`crate::KernelRun`] against the reference, and [`validate_all`] sweeps every
 //! kernel at a block size — used by integration tests and available to library
-//! users as a sanity gate after configuration changes.
+//! users as a sanity gate after configuration changes. Like the kernels
+//! themselves, validation works off the compiled candidate layout — item
+//! slices, not `&[Episode]`.
 
 use crate::{Algorithm, KernelRun, MiningProblem, SimOptions};
 use gpu_sim::{CostModel, DeviceConfig};
-use tdm_core::{Episode, EventDb};
+use tdm_core::engine::CompiledCandidates;
+use tdm_core::EventDb;
 
 /// A count mismatch found by validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CountMismatch {
-    /// Index of the episode in the candidate list.
+    /// Index of the episode in the compiled candidate set.
     pub episode_index: usize,
-    /// The episode itself.
-    pub episode: Episode,
+    /// The episode's items (compiled layout slice).
+    pub items: Vec<u8>,
     /// Count from the kernel.
     pub kernel: u64,
     /// Count from the sequential reference.
@@ -26,7 +29,7 @@ pub struct CountMismatch {
 /// Compares a kernel run's counts against an independently computed reference.
 pub fn validate_counts(
     run: &KernelRun,
-    episodes: &[Episode],
+    compiled: &CompiledCandidates,
     reference: &[u64],
 ) -> Vec<CountMismatch> {
     run.counts
@@ -36,11 +39,18 @@ pub fn validate_counts(
         .filter(|(_, (k, r))| k != r)
         .map(|(i, (&k, &r))| CountMismatch {
             episode_index: i,
-            episode: episodes[i].clone(),
+            items: compiled.items_of(i).to_vec(),
             kernel: k,
             reference: r,
         })
         .collect()
+}
+
+/// Independent sequential reference: one full per-episode FSM scan per
+/// compiled candidate (deliberately *not* the active-set engine the CPU
+/// backends share, so engine bugs cannot self-validate).
+pub fn reference_counts(db: &EventDb, compiled: &CompiledCandidates) -> Vec<u64> {
+    tdm_core::count::count_compiled_naive(db.symbols(), compiled)
 }
 
 /// Runs all four kernels at one block size on one card and validates each
@@ -51,18 +61,18 @@ pub fn validate_counts(
 /// Propagates simulator launch errors.
 pub fn validate_all(
     db: &EventDb,
-    episodes: &[Episode],
+    compiled: &CompiledCandidates,
     tpb: u32,
     dev: &DeviceConfig,
 ) -> Result<Vec<(Algorithm, Vec<CountMismatch>)>, gpu_sim::SimError> {
     let cost = CostModel::default();
     let opts = SimOptions::default();
-    let reference = tdm_core::count::count_episodes_naive(db, episodes);
+    let reference = reference_counts(db, compiled);
     let mut out = Vec::with_capacity(4);
     for algo in Algorithm::ALL {
-        let problem = MiningProblem::new(db, episodes);
+        let problem = MiningProblem::from_compiled(db, compiled);
         let run = problem.run(algo, tpb, dev, &cost, &opts)?;
-        out.push((algo, validate_counts(&run, episodes, &reference)));
+        out.push((algo, validate_counts(&run, compiled, &reference)));
     }
     Ok(out)
 }
@@ -71,7 +81,7 @@ pub fn validate_all(
 mod tests {
     use super::*;
     use tdm_core::candidate::permutations;
-    use tdm_core::Alphabet;
+    use tdm_core::{Alphabet, Episode};
 
     #[test]
     fn all_kernels_validate_on_random_text() {
@@ -80,7 +90,8 @@ mod tests {
             .collect();
         let db = EventDb::new(Alphabet::latin26(), symbols).unwrap();
         let eps = permutations(&Alphabet::latin26(), 2);
-        let results = validate_all(&db, &eps, 128, &DeviceConfig::geforce_gtx_280()).unwrap();
+        let compiled = CompiledCandidates::compile(26, &eps);
+        let results = validate_all(&db, &compiled, 128, &DeviceConfig::geforce_gtx_280()).unwrap();
         for (algo, mismatches) in results {
             assert!(mismatches.is_empty(), "{algo} mismatches: {mismatches:?}");
         }
@@ -90,7 +101,8 @@ mod tests {
     fn mismatch_reporting_works() {
         let db = EventDb::from_str_symbols(&Alphabet::latin26(), "ABAB").unwrap();
         let eps = vec![Episode::from_str(&Alphabet::latin26(), "AB").unwrap()];
-        let problem = MiningProblem::new(&db, &eps);
+        let compiled = CompiledCandidates::compile(26, &eps);
+        let problem = MiningProblem::from_compiled(&db, &compiled);
         let mut run = problem
             .run(
                 Algorithm::ThreadTexture,
@@ -102,9 +114,10 @@ mod tests {
             .unwrap();
         // Corrupt the counts and make sure validation notices.
         run.counts[0] += 1;
-        let reference = tdm_core::count::count_episodes_naive(&db, &eps);
-        let mismatches = validate_counts(&run, &eps, &reference);
+        let reference = reference_counts(&db, &compiled);
+        let mismatches = validate_counts(&run, &compiled, &reference);
         assert_eq!(mismatches.len(), 1);
         assert_eq!(mismatches[0].kernel, mismatches[0].reference + 1);
+        assert_eq!(mismatches[0].items, eps[0].items());
     }
 }

@@ -24,7 +24,9 @@ fn main() {
         max_level: Some(3),
         ..Default::default()
     });
-    let result = miner.mine(&db, &mut ActiveSetBackend::default());
+    let result = miner
+        .mine(&db, &mut ActiveSetBackend::default())
+        .expect("mining failed");
     println!(
         "mined {} candidates -> {} frequent episodes",
         result.total_candidates(),
@@ -68,7 +70,7 @@ fn main() {
 
     // And the same mining on a simulated GPU, validating the counts agree.
     let mut gpu = GpuBackend::new(Algorithm::BlockTexture, 64, DeviceConfig::geforce_gtx_280());
-    let gpu_result = miner.mine(&db, &mut gpu);
+    let gpu_result = miner.mine(&db, &mut gpu).expect("GPU mining failed");
     assert_eq!(gpu_result, result);
     println!(
         "\nGPU-simulated mining agrees; total simulated kernel time {:.2} ms on GeForce GTX 280",

@@ -22,29 +22,35 @@ fn main() {
         secret.display(&ab)
     );
 
-    // 2. Mine on the CPU with the level-wise miner (paper Algorithm 1).
-    let miner = Miner::new(MinerConfig {
-        alpha: 0.002, // support threshold: count / n must exceed this
-        max_level: Some(3),
-        ..Default::default()
-    });
+    // 2. Plan once: the session compiles each level's candidates exactly once
+    //    and owns the worker pool; then mine on the CPU (paper Algorithm 1),
+    //    streaming each level's result as soon as it is eliminated.
+    let mut session = MiningSession::builder(&db)
+        .config(MinerConfig {
+            alpha: 0.002, // support threshold: count / n must exceed this
+            max_level: Some(3),
+            ..Default::default()
+        })
+        .build();
     let t0 = std::time::Instant::now();
-    let result = miner.mine(&db, &mut ActiveSetBackend::default());
+    let result = session
+        .mine_with(&mut ActiveSetBackend::default(), |level| {
+            println!(
+                "  level {}: {} candidates, {} frequent (streamed)",
+                level.level,
+                level.candidates,
+                level.len()
+            );
+        })
+        .expect("CPU mining failed");
     let cpu_ms = t0.elapsed().as_secs_f64() * 1e3;
     println!(
-        "\nCPU mining: {} candidates -> {} frequent episodes in {:.1} ms (wall)",
+        "\nCPU mining: {} candidates -> {} frequent episodes in {:.1} ms (wall), {} compiles",
         result.total_candidates(),
         result.total_frequent(),
-        cpu_ms
+        cpu_ms,
+        session.compiles()
     );
-    for level in &result.levels {
-        println!(
-            "  level {}: {} candidates, {} frequent",
-            level.level,
-            level.candidates,
-            level.len()
-        );
-    }
     match result.count_of(&secret) {
         Some(c) => println!(
             "  planted episode {} found with count {c}",
@@ -53,13 +59,14 @@ fn main() {
         None => println!("  planted episode NOT found — lower alpha?"),
     }
 
-    // 3. The same mining loop with each simulated GPU kernel as the counting
-    //    backend: identical results, plus the simulated kernel time on a
-    //    GeForce GTX 280.
+    // 3. The same session drives each simulated GPU kernel as the counting
+    //    executor: identical results, plus the simulated kernel time on a
+    //    GeForce GTX 280. Each run still compiles once per level, but into
+    //    the session's buffers, reused in place across every run below.
     println!("\nsimulated GPU backends (GeForce GTX 280, 128 threads/block):");
     for algo in Algorithm::ALL {
         let mut backend = GpuBackend::new(algo, 128, DeviceConfig::geforce_gtx_280());
-        let gpu_result = miner.mine(&db, &mut backend);
+        let gpu_result = session.mine(&mut backend).expect("GPU mining failed");
         assert_eq!(gpu_result, result, "kernel and CPU results must agree");
         println!(
             "  {algo}: same {} frequent episodes, simulated kernel time {:.2} ms",

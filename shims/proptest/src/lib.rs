@@ -65,7 +65,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use rand::RngExt;
 
-    /// A length range for [`vec`]: `lo..hi` (half-open) or an exact size.
+    /// A length range for [`vec()`]: `lo..hi` (half-open) or an exact size.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

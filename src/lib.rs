@@ -26,14 +26,22 @@
 //! // The paper's workload, scaled down for a doctest.
 //! let db = temporal_mining::workloads::paper_database_scaled(0.01);
 //!
-//! // Mine frequent episodes on the CPU.
-//! let miner = Miner::new(MinerConfig { alpha: 0.0005, max_level: Some(2), ..Default::default() });
-//! let cpu = miner.mine(&db, &mut ActiveSetBackend::default());
+//! // Plan once: a MiningSession owns the compiled candidate layout, the
+//! // database shard bounds, and a persistent worker pool across levels.
+//! let mut session = MiningSession::builder(&db)
+//!     .config(MinerConfig { alpha: 0.0005, max_level: Some(2), ..Default::default() })
+//!     .build();
 //!
-//! // Count the same candidates with the simulated GPU kernel of the paper's
-//! // Algorithm 3 on a GeForce GTX 280 — identical results, plus a time model.
+//! // Execute many times: every backend is an Executor over the same
+//! // borrowed CountRequest — here the CPU active-set counter…
+//! let cpu = session.mine(&mut ActiveSetBackend::default()).unwrap();
+//!
+//! // …and the simulated GPU kernel of the paper's Algorithm 3 on a GeForce
+//! // GTX 280 — identical results, plus a time model. Each run compiles once
+//! // per level, in place, into the session's reused buffers; backends never
+//! // recompile or clone anything themselves.
 //! let mut gpu = GpuBackend::new(Algorithm::BlockTexture, 64, DeviceConfig::geforce_gtx_280());
-//! let gpu_result = miner.mine(&db, &mut gpu);
+//! let gpu_result = session.mine(&mut gpu).unwrap();
 //! assert_eq!(cpu, gpu_result);
 //! assert!(gpu.simulated_ms > 0.0);
 //! ```
@@ -54,9 +62,13 @@ pub mod prelude {
     pub use tdm_baselines::{
         ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend,
     };
+    #[allow(deprecated)]
+    pub use tdm_core::CountingBackend;
     pub use tdm_core::{
-        Alphabet, CompiledCandidates, CountScratch, CountSemantics, CountingBackend, Episode,
-        EventDb, Miner, MinerConfig, MiningResult, Symbol,
+        Alphabet, BackendError, CompiledCandidates, CountRequest, CountScratch, CountSemantics,
+        Counts, Episode, EventDb, Executor, MineError, Miner, MinerConfig, MiningResult,
+        MiningSession, Symbol,
     };
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
+    pub use tdm_mapreduce::pool::Pool;
 }

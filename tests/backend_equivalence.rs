@@ -1,7 +1,8 @@
 //! Integration test: every counting backend in the workspace — the serial
 //! GMiner-class scan, the compiled active-set counter, the database-sharded
-//! engine, the MapReduce pool, and all four simulated GPU kernels — returns
-//! bit-identical counts on a slice of the paper's database.
+//! engine, the MapReduce-style chunk executor, and all four simulated GPU
+//! kernels — returns bit-identical counts on a slice of the paper's database,
+//! all driven through one `MiningSession` (one compile per candidate set).
 
 use temporal_mining::core::candidate::permutations;
 use temporal_mining::core::count::count_episodes_naive;
@@ -12,47 +13,42 @@ use temporal_mining::workloads::paper_database_scaled;
 fn all_backends_bit_identical_on_paper_db_slice() {
     // ~19,651 letters: large enough to shard, small enough for the serial scan.
     let db = paper_database_scaled(0.05);
+    let mut session = MiningSession::builder(&db).workers(4).build();
     for level in [1usize, 2] {
         let episodes = permutations(db.alphabet(), level);
         let reference = count_episodes_naive(&db, &episodes);
 
-        let mut results: Vec<(String, Vec<u64>)> = vec![
-            (
-                "cpu-serial-scan".into(),
-                SerialScanBackend.count(&db, &episodes),
-            ),
+        let mut executors: Vec<(String, Box<dyn Executor>)> = vec![
+            ("cpu-serial-scan".into(), Box::new(SerialScanBackend)),
             (
                 "cpu-active-set".into(),
-                ActiveSetBackend::default().count(&db, &episodes),
+                Box::new(ActiveSetBackend::default()),
             ),
+            ("cpu-mapreduce".into(), Box::new(MapReduceBackend::new(3))),
             (
-                "cpu-mapreduce".into(),
-                MapReduceBackend::new(3).count(&db, &episodes),
+                "cpu-sharded-auto".into(),
+                Box::new(ShardedScanBackend::auto()),
             ),
         ];
         for workers in [1usize, 2, 4, 8] {
-            results.push((
+            executors.push((
                 format!("cpu-sharded-scan-w{workers}"),
-                ShardedScanBackend::new(workers).count(&db, &episodes),
+                Box::new(ShardedScanBackend::new(workers)),
             ));
         }
-        let problem = MiningProblem::new(&db, &episodes);
         for algo in Algorithm::ALL {
-            let run = problem
-                .run(
-                    algo,
-                    128,
-                    &DeviceConfig::geforce_gtx_280(),
-                    &CostModel::default(),
-                    &SimOptions::default(),
-                )
-                .unwrap_or_else(|e| panic!("{algo} failed to launch: {e}"));
-            results.push((format!("{algo}"), run.counts));
+            executors.push((
+                format!("{algo}"),
+                Box::new(GpuBackend::new(algo, 128, DeviceConfig::geforce_gtx_280())),
+            ));
         }
 
-        for (name, counts) in &results {
+        for (name, ex) in &mut executors {
+            let counts = session
+                .count_candidates(&episodes, ex.as_mut())
+                .unwrap_or_else(|e| panic!("level {level}: {name} failed: {e}"));
             assert_eq!(
-                counts, &reference,
+                counts, reference,
                 "level {level}: {name} disagrees with the naive reference"
             );
         }
@@ -67,9 +63,43 @@ fn mining_results_identical_across_cpu_backends() {
         max_level: Some(3),
         ..Default::default()
     });
-    let reference = miner.mine(&db, &mut SerialScanBackend);
+    let reference = miner.mine(&db, &mut SerialScanBackend).unwrap();
     assert!(reference.total_frequent() > 0);
-    assert_eq!(reference, miner.mine(&db, &mut ActiveSetBackend::default()));
-    assert_eq!(reference, miner.mine(&db, &mut ShardedScanBackend::new(4)));
-    assert_eq!(reference, miner.mine(&db, &mut MapReduceBackend::new(2)));
+    assert_eq!(
+        reference,
+        miner.mine(&db, &mut ActiveSetBackend::default()).unwrap()
+    );
+    assert_eq!(
+        reference,
+        miner.mine(&db, &mut ShardedScanBackend::new(4)).unwrap()
+    );
+    assert_eq!(
+        reference,
+        miner.mine(&db, &mut MapReduceBackend::new(2)).unwrap()
+    );
+}
+
+/// The deprecated `CountingBackend` trait still works through the blanket
+/// shim for any `Executor` — the migration path for old call sites.
+#[test]
+#[allow(deprecated)]
+fn legacy_counting_backend_shim_matches_new_api() {
+    let db = paper_database_scaled(0.02);
+    let episodes = permutations(db.alphabet(), 1);
+    let reference = count_episodes_naive(&db, &episodes);
+    fn legacy_count<B: CountingBackend>(
+        db: &temporal_mining::core::EventDb,
+        eps: &[Episode],
+        b: &mut B,
+    ) -> Vec<u64> {
+        b.count(db, eps)
+    }
+    assert_eq!(
+        legacy_count(&db, &episodes, &mut ActiveSetBackend::default()),
+        reference
+    );
+    assert_eq!(
+        legacy_count(&db, &episodes, &mut ShardedScanBackend::new(2)),
+        reference
+    );
 }

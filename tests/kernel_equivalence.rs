@@ -131,7 +131,10 @@ fn full_grid_matches_serial_scan_backend() {
     let card = DeviceConfig::geforce_gtx_280();
     for (workload, db) in [("paper-scaled", &paper), ("spike-train", &spikes)] {
         let episodes = permutations(db.alphabet(), 2);
-        let reference = SerialScanBackend.count(db, &episodes);
+        let reference = MiningSession::builder(db)
+            .build()
+            .count_candidates(&episodes, &mut SerialScanBackend)
+            .unwrap();
         for algo in Algorithm::ALL {
             for tpb in [64u32, 256] {
                 let problem = MiningProblem::new(db, &episodes);

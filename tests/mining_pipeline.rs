@@ -18,18 +18,18 @@ fn all_backends_mine_identically() {
         max_level: Some(3),
         ..Default::default()
     });
-    let reference = miner.mine(&db, &mut SerialScanBackend);
+    let reference = miner.mine(&db, &mut SerialScanBackend).unwrap();
     assert!(reference.total_frequent() > 0);
 
     let mut active = ActiveSetBackend::default();
-    assert_eq!(miner.mine(&db, &mut active), reference);
+    assert_eq!(miner.mine(&db, &mut active).unwrap(), reference);
 
     let mut mapreduce = MapReduceBackend::new(2);
-    assert_eq!(miner.mine(&db, &mut mapreduce), reference);
+    assert_eq!(miner.mine(&db, &mut mapreduce).unwrap(), reference);
 
     for algo in Algorithm::ALL {
         let mut gpu = GpuBackend::new(algo, 128, DeviceConfig::geforce_gtx_280());
-        let result = miner.mine(&db, &mut gpu);
+        let result = miner.mine(&db, &mut gpu).unwrap();
         assert_eq!(result, reference, "{algo}");
         assert!(gpu.simulated_ms > 0.0, "{algo} reported no simulated time");
     }
@@ -43,7 +43,8 @@ fn mining_respects_support_threshold() {
         alpha: 0.05,
         ..Default::default()
     })
-    .mine(&db, &mut ActiveSetBackend::default());
+    .mine(&db, &mut ActiveSetBackend::default())
+    .unwrap();
     assert_eq!(strict.total_frequent(), 0);
 
     let lax = Miner::new(MinerConfig {
@@ -51,7 +52,8 @@ fn mining_respects_support_threshold() {
         max_level: Some(1),
         ..Default::default()
     })
-    .mine(&db, &mut ActiveSetBackend::default());
+    .mine(&db, &mut ActiveSetBackend::default())
+    .unwrap();
     assert_eq!(lax.levels[0].len(), 26);
     for (_, count, support) in lax.iter() {
         assert!(support > 0.03);
@@ -102,7 +104,7 @@ fn basket_round_trips_through_serialization_and_mines_the_motif() {
         max_level: Some(3),
         ..Default::default()
     });
-    let result = miner.mine(&db2, &mut ActiveSetBackend::default());
+    let result = miner.mine(&db2, &mut ActiveSetBackend::default()).unwrap();
     let motif = Episode::new(vec![0, 1, 2]).unwrap(); // peanut-butter, bread, jelly
     assert!(
         result.count_of(&motif).is_some(),
@@ -124,9 +126,9 @@ fn gpu_backend_accumulates_time_across_levels() {
         max_level: Some(2),
         ..Default::default()
     });
-    let _ = miner.mine(&db, &mut gpu);
+    let _ = miner.mine(&db, &mut gpu).unwrap();
     let after_first = gpu.simulated_ms;
-    let _ = miner.mine(&db, &mut gpu);
+    let _ = miner.mine(&db, &mut gpu).unwrap();
     assert!(
         gpu.simulated_ms > after_first * 1.5,
         "time should accumulate"
@@ -142,11 +144,11 @@ fn facade_prelude_covers_the_doctest_workflow() {
         max_level: Some(2),
         ..Default::default()
     });
-    let cpu = miner.mine(&db, &mut ActiveSetBackend::default());
+    let cpu = miner.mine(&db, &mut ActiveSetBackend::default()).unwrap();
     let mut gpu = GpuBackend::new(
         Algorithm::ThreadBuffered,
         96,
         DeviceConfig::geforce_8800_gts_512(),
     );
-    assert_eq!(miner.mine(&db, &mut gpu), cpu);
+    assert_eq!(miner.mine(&db, &mut gpu).unwrap(), cpu);
 }

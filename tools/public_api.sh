@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# A cargo-public-api-style surface check without external tooling.
+#
+# The public API surface is fingerprinted from rustdoc's generated item
+# pages: every `kind.Name.html` under target/doc maps 1:1 to one public item
+# (structs, enums, traits, fns, macros, constants, type aliases), so the
+# sorted path list is a stable, reviewable snapshot of the workspace surface.
+#
+# Usage:
+#   tools/public_api.sh          # verify surface matches results/PUBLIC_API.txt
+#   tools/public_api.sh --bless  # regenerate the snapshot after an intended change
+#
+# CI runs the verify mode so public-surface changes must land with a blessed
+# snapshot in the same commit — keeping the API intentional.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# rustdoc never deletes pages for removed/renamed items, so a stale
+# target/doc would poison both verify and --bless (CI caches target/ too):
+# start from a clean doc tree every time.
+rm -rf target/doc
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+snapshot=results/PUBLIC_API.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+find target/doc -name '*.html' \
+  | grep -E '/(struct|enum|trait|fn|macro|constant|type|union)\.[A-Za-z0-9_]+\.html$' \
+  | sed 's|^target/doc/||' \
+  | LC_ALL=C sort >"$current"
+
+if [ "${1:-}" = "--bless" ]; then
+  cp "$current" "$snapshot"
+  echo "blessed $snapshot ($(wc -l <"$snapshot") public items)"
+else
+  if ! diff -u "$snapshot" "$current"; then
+    echo
+    echo "public API surface changed. If intended, run: tools/public_api.sh --bless"
+    exit 1
+  fi
+  echo "public API surface unchanged ($(wc -l <"$snapshot") items)"
+fi
