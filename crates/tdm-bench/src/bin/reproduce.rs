@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [TARGETS..] [--out DIR] [--scale S] [--exact] [--quiet]
-//!           [--bench-json PATH]
+//!           [--bench-json PATH] [--serve-bench-json PATH]
 //!
 //! TARGETS: table1 table2 fig6 fig7 fig8 fig9 best characterizations grid ext
 //!          all (default: all; `ext` also runs the paper's future-work
@@ -14,6 +14,10 @@
 //! --bench-json PATH  run the real-CPU counting-backend benchmark at --scale and
 //!                    write the JSON report (e.g. BENCH_counting.json) to PATH;
 //!                    with no TARGETS, only the benchmark runs
+//! --serve-bench-json PATH  run the multi-tenant serving benchmark (QPS +
+//!                    latency at 1/4/16 concurrent clients) at --scale and
+//!                    write the JSON report (e.g. BENCH_serve.json) to PATH;
+//!                    with no TARGETS, only the benchmark(s) run
 //! ```
 
 use std::collections::BTreeSet;
@@ -38,6 +42,7 @@ fn main() {
     let mut exact = false;
     let mut quiet = false;
     let mut bench_json: Option<PathBuf> = None;
+    let mut serve_bench_json: Option<PathBuf> = None;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -57,12 +62,19 @@ fn main() {
             "--bench-json" => {
                 bench_json = Some(PathBuf::from(it.next().expect("--bench-json needs a path")));
             }
+            "--serve-bench-json" => {
+                serve_bench_json = Some(PathBuf::from(
+                    it.next().expect("--serve-bench-json needs a path"),
+                ));
+            }
             t => {
                 targets.insert(t.to_string());
             }
         }
     }
-    if (targets.is_empty() && bench_json.is_none()) || targets.contains("all") {
+    if (targets.is_empty() && bench_json.is_none() && serve_bench_json.is_none())
+        || targets.contains("all")
+    {
         targets = [
             "table1",
             "table2",
@@ -190,6 +202,19 @@ fn main() {
     if let Some(path) = bench_json {
         eprintln!("benchmarking counting backends (scale {scale})...");
         let bench = tdm_bench::counting_bench::run(&tdm_bench::counting_bench::BenchConfig {
+            scale,
+            ..Default::default()
+        });
+        std::fs::write(&path, bench.to_json()).expect("write failed");
+        written.push(path.display().to_string());
+        if !quiet {
+            println!("\n{}", bench.summary());
+        }
+    }
+
+    if let Some(path) = serve_bench_json {
+        eprintln!("benchmarking the serving layer (scale {scale}, 1/4/16 clients)...");
+        let bench = tdm_bench::serve_bench::run(&tdm_bench::serve_bench::ServeBenchConfig {
             scale,
             ..Default::default()
         });

@@ -8,6 +8,15 @@
 //! active-set counter. The seed counter is reimplemented here verbatim (per-call
 //! `Vec<Vec<u32>>` anchor index, no compiled layout) so the ratio keeps meaning
 //! as the engine evolves.
+//!
+//! Row semantics worth knowing when comparing artifacts across versions: the
+//! `engine-sharded-w*` rows time the standalone convenience path
+//! (`count_sharded`), which since the shared-pool rewrite includes its
+//! per-call `Arc` snapshot of the compiled set and stream (the price of
+//! `'static` pool jobs with borrowed inputs — it no longer spawns threads
+//! per call). The `session-sharded-pooled` row is the zero-copy session path
+//! a mining service actually runs (Arc-shared buffers, persistent pool) and
+//! is the row to read for engine-capability trends.
 
 use std::time::Instant;
 use tdm_baselines::{MapReduceBackend, SerialScanBackend, ShardedScanBackend};

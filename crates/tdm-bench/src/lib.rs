@@ -15,7 +15,9 @@
 //! `reproduce` binary writes CSVs plus ASCII previews, and the criterion benches
 //! measure representative cells. [`counting_bench`] additionally measures the
 //! *real* CPU throughput of every counting backend (the engine's perf
-//! trajectory, `BENCH_counting.json`).
+//! trajectory, `BENCH_counting.json`), and [`serve_bench`] measures the
+//! multi-tenant serving layer — QPS and latency percentiles at 1/4/16
+//! concurrent clients over one shared pool (`BENCH_serve.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +28,7 @@ pub mod counting_bench;
 pub mod extensions;
 pub mod figures;
 pub mod grid;
+pub mod serve_bench;
 pub mod tables;
 
 pub use grid::{Grid, GridCell, GridConfig};

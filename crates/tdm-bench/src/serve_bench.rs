@@ -1,0 +1,370 @@
+//! Real-CPU throughput benchmark of the serving layer (`tdm-serve`): QPS and
+//! latency percentiles under concurrent clients.
+//!
+//! The counting benchmark ([`crate::counting_bench`]) measures one scan at a
+//! time; this one measures the *service* shape the ROADMAP's north star asks
+//! for: many clients submitting full mining requests against one
+//! [`MiningService`] — one shared pool, fair admission, the session cache in
+//! the loop. Each client-count rung (1, 4, 16 by default) runs a mixed
+//! workload (Markov letters, spike trains, market baskets) and reports QPS
+//! plus p50/p95 per-request latency; the headline
+//! `qps_16_clients_vs_1` ratio — how much total throughput grows when 16
+//! tenants share the machine instead of 1 — goes top-level in the JSON
+//! artifact (`BENCH_serve.json`). Every response is checked bit-identical to
+//! a serial `Miner::mine` of the same request before it counts.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use tdm_core::miner::{Miner, MinerConfig, SequentialBackend};
+use tdm_core::stats::MiningResult;
+use tdm_core::EventDb;
+use tdm_mapreduce::pool::default_workers;
+use tdm_serve::{BackendChoice, MiningRequest, MiningService, ServiceConfig};
+use tdm_workloads::{
+    basket::{market_basket, BasketConfig},
+    markov_letters,
+    spikes::{spike_trains, SpikeTrainConfig},
+};
+
+/// Benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct ServeBenchConfig {
+    /// Workload scale in (0, 1]: scales every stream length relative to the
+    /// full-size mixed workload (≈100k symbols across the three streams).
+    pub scale: f64,
+    /// Concurrent-client rungs to measure (paper-style sweep: 1, 4, 16).
+    pub client_counts: Vec<usize>,
+    /// Mining requests each client submits per rung.
+    pub requests_per_client: usize,
+    /// Shared-pool workers (0 = the machine's available parallelism).
+    pub workers: usize,
+    /// Mining configuration every request uses.
+    pub mining: MinerConfig,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig {
+            scale: 1.0,
+            client_counts: vec![1, 4, 16],
+            requests_per_client: 6,
+            workers: 0,
+            mining: MinerConfig {
+                alpha: 0.001,
+                max_level: Some(2),
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One client-count rung's measurements.
+#[derive(Debug, Clone)]
+pub struct LoadPoint {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Total requests completed.
+    pub requests: usize,
+    /// Wall time of the whole rung, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second of wall time.
+    pub qps: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-request latency, milliseconds.
+    pub p95_ms: f64,
+    /// Session-cache hits across the rung.
+    pub cache_hits: u64,
+    /// Session-cache misses across the rung.
+    pub cache_misses: u64,
+}
+
+/// The full serving benchmark report.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// `std::thread::available_parallelism` of the measuring host.
+    pub available_parallelism: usize,
+    /// Shared-pool workers the service ran with.
+    pub workers: usize,
+    /// The mixed workloads: (name, stream length).
+    pub workloads: Vec<(String, usize)>,
+    /// The acceptance headline: QPS at 16 clients over QPS at 1 client
+    /// (0.0 when either rung was not measured).
+    pub qps_16_clients_vs_1: f64,
+    /// Per-rung results.
+    pub points: Vec<LoadPoint>,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0.0 for empty).
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn build_workloads(scale: f64) -> Vec<(String, Arc<EventDb>)> {
+    let scale = scale.clamp(1e-3, 1.0);
+    let markov = markov_letters((40_000.0 * scale) as usize, 11, 0.7);
+    let spikes = spike_trains(&SpikeTrainConfig {
+        neurons: 26,
+        duration_ms: 30_000.0 * scale,
+        base_rate_hz: 8.0,
+        ..Default::default()
+    });
+    let basket = market_basket(&BasketConfig {
+        events: (25_000.0 * scale) as usize,
+        ..Default::default()
+    });
+    vec![
+        ("markov".to_string(), Arc::new(markov)),
+        ("spike-train".to_string(), Arc::new(spikes)),
+        ("market-basket".to_string(), Arc::new(basket)),
+    ]
+}
+
+/// Runs the benchmark: for each client rung, a fresh service (cold cache) is
+/// hammered by `clients` threads submitting mixed-workload requests; every
+/// response is verified against serial ground truth.
+pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
+    let workloads = build_workloads(cfg.scale);
+    let serial: Vec<MiningResult> = workloads
+        .iter()
+        .map(|(_, db)| {
+            Miner::new(cfg.mining)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .expect("serial reference mining failed")
+        })
+        .collect();
+    // Mixed backends, mirroring heterogeneous tenants.
+    let backends = [
+        BackendChoice::Sharded,
+        BackendChoice::MapReduce,
+        BackendChoice::ActiveSet,
+    ];
+    // Build (and key-hash) every request value once, outside the timed
+    // region: steady-state clients hold their request values across
+    // submissions, so the measured latency should not include the one-time
+    // content hash.
+    let requests: Vec<Vec<MiningRequest>> = workloads
+        .iter()
+        .map(|(_, db)| {
+            backends
+                .iter()
+                .map(|&b| {
+                    let req = MiningRequest::new(Arc::clone(db), cfg.mining).backend(b);
+                    req.key(); // warm the memoized session key
+                    req
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    for &clients in &cfg.client_counts {
+        let clients = clients.max(1);
+        let service = Arc::new(MiningService::new(ServiceConfig {
+            workers: cfg.workers,
+            max_in_flight: clients.max(default_workers()),
+            ..Default::default()
+        }));
+        let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for client in 0..clients {
+                let service = Arc::clone(&service);
+                let latencies = Arc::clone(&latencies);
+                let workloads = &workloads;
+                let requests = &requests;
+                let serial = &serial;
+                let per_client = cfg.requests_per_client;
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(per_client);
+                    for round in 0..per_client {
+                        let which = (client + round) % workloads.len();
+                        // Decorrelated from `which` (offset advances by round),
+                        // so every workload meets every backend over a
+                        // client's rounds instead of a fixed pairing.
+                        let req = &requests[which][(client + 2 * round) % backends.len()];
+                        let t = Instant::now();
+                        let resp = service.submit(req).expect("serve request failed");
+                        local.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(
+                            resp.result, serial[which],
+                            "served result diverged from serial mining ({})",
+                            workloads[which].0
+                        );
+                    }
+                    latencies.lock().expect("latencies").extend(local);
+                });
+            }
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+        let mut lat = Arc::try_unwrap(latencies)
+            .expect("latency collector still shared")
+            .into_inner()
+            .expect("latencies");
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let requests = lat.len();
+        let stats = service.stats();
+        points.push(LoadPoint {
+            clients,
+            requests,
+            wall_s,
+            qps: requests as f64 / wall_s.max(1e-9),
+            p50_ms: percentile(&lat, 0.50),
+            p95_ms: percentile(&lat, 0.95),
+            cache_hits: stats.cache.hits,
+            cache_misses: stats.cache.misses,
+        });
+    }
+
+    let qps_of = |n: usize| {
+        points
+            .iter()
+            .find(|p| p.clients == n)
+            .map(|p| p.qps)
+            .unwrap_or(0.0)
+    };
+    let qps_16_clients_vs_1 = if qps_of(1) > 0.0 && qps_of(16) > 0.0 {
+        qps_of(16) / qps_of(1)
+    } else {
+        0.0
+    };
+    ServeBench {
+        available_parallelism: default_workers(),
+        workers: if cfg.workers == 0 {
+            default_workers()
+        } else {
+            cfg.workers
+        },
+        workloads: workloads
+            .iter()
+            .map(|(name, db)| (name.clone(), db.len()))
+            .collect(),
+        qps_16_clients_vs_1,
+        points,
+    }
+}
+
+impl ServeBench {
+    /// Serializes the report as pretty JSON (hand-rolled; the workspace
+    /// builds offline without a JSON crate).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"available_parallelism\": {},\n",
+            self.available_parallelism
+        ));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!(
+            "  \"qps_16_clients_vs_1\": {:.4},\n",
+            self.qps_16_clients_vs_1
+        ));
+        s.push_str("  \"workloads\": [\n");
+        for (i, (name, len)) in self.workloads.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"symbols\": {len}}}{}\n",
+                if i + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \"qps\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"cache_hits\": {}, \"cache_misses\": {}}}{}\n",
+                p.clients,
+                p.requests,
+                p.wall_s,
+                p.qps,
+                p.p50_ms,
+                p.p95_ms,
+                p.cache_hits,
+                p.cache_misses,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// One-line-per-rung terminal summary.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "serving throughput ({} host threads, {} pool workers):\n",
+            self.available_parallelism, self.workers
+        );
+        for p in &self.points {
+            s.push_str(&format!(
+                "  {:>2} clients: {:>7.2} qps  p50 {:>8.2} ms  p95 {:>8.2} ms  \
+                 ({} reqs, {} hits / {} misses)\n",
+                p.clients, p.qps, p.p50_ms, p.p95_ms, p.requests, p.cache_hits, p.cache_misses
+            ));
+        }
+        s.push_str(&format!(
+            "  qps 16-vs-1: {:.2}x\n",
+            self.qps_16_clients_vs_1
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ServeBench {
+        run(&ServeBenchConfig {
+            scale: 0.05,
+            client_counts: vec![1, 2],
+            requests_per_client: 2,
+            workers: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn bench_runs_all_rungs_and_verifies_results() {
+        let b = tiny();
+        assert_eq!(b.points.len(), 2);
+        for p in &b.points {
+            assert_eq!(p.requests, p.clients * 2);
+            assert!(p.qps > 0.0);
+            assert!(p.p50_ms >= 0.0 && p.p95_ms >= p.p50_ms);
+            assert_eq!(p.cache_hits + p.cache_misses, p.requests as u64);
+        }
+        assert_eq!(b.workloads.len(), 3);
+        // No 16-client rung configured: the ratio degrades to 0, not NaN.
+        assert_eq!(b.qps_16_clients_vs_1, 0.0);
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let b = tiny();
+        let j = b.to_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.trim_end().ends_with('}'));
+        assert!(j.contains("\"qps_16_clients_vs_1\""));
+        assert!(j.contains("\"p95_ms\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(!j.contains("NaN"));
+        assert!(!b.summary().is_empty());
+    }
+
+    #[test]
+    fn percentiles_interpolate_sanely() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.95), 3.0);
+        let v: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+    }
+}

@@ -40,10 +40,29 @@
 //! characters long, paper Fig. 5). This mirrors the paper's Characterizations
 //! 5–6: block-level (database-parallel) kernels dominate at low levels,
 //! thread-level (candidate-parallel) kernels at high levels.
+//!
+//! ```
+//! use tdm_core::engine::{CompiledCandidates, CountScratch};
+//! use tdm_core::{Alphabet, Episode};
+//!
+//! let ab = Alphabet::latin26();
+//! let eps = vec![
+//!     Episode::from_str(&ab, "AB").unwrap(),
+//!     Episode::from_str(&ab, "BA").unwrap(),
+//! ];
+//! // Compile once; scan as often as you like without re-indexing.
+//! let compiled = CompiledCandidates::compile(ab.len(), &eps);
+//! let stream: Vec<u8> = b"ABABAB".iter().map(|c| c - b'A').collect();
+//! let mut scratch = CountScratch::new();
+//! assert_eq!(compiled.count(&stream, &mut scratch), vec![3, 2]);
+//! // The sharded path is bit-identical for any worker count.
+//! assert_eq!(compiled.count_sharded(&stream, 4), vec![3, 2]);
+//! ```
 
 use crate::episode::Episode;
 use crate::segment::{continuation_count_items, count_segmented_exact_items};
-use tdm_mapreduce::pool::{default_workers, map_items};
+use std::sync::Arc;
+use tdm_mapreduce::pool::{default_workers, shared};
 
 /// Streams shorter than this are counted sequentially even when more workers
 /// are requested — dispatch costs more than the scan.
@@ -349,9 +368,21 @@ impl CompiledCandidates {
     /// partial counts are reduced by summation — the paper's map → span-check
     /// → reduce pipeline (Algorithms 3/4) on host threads.
     ///
+    /// The map step runs on the **process-wide shared pool**
+    /// ([`tdm_mapreduce::pool::shared`]): no thread is spawned per call, and
+    /// the pool workers' thread-local scan scratch stays warm across calls.
+    /// Because pool jobs are `'static`, the borrowed inputs are snapshotted
+    /// into `Arc`s once per call (a clone of the compiled buffers plus one
+    /// stream copy) — callers that already hold `Arc`'d inputs and a session
+    /// pool (the `MiningSession` executors) use the zero-copy
+    /// [`shard_scan`] / [`merge_shard_counts`] path instead.
+    ///
     /// Bit-identical to the sequential count for every episode set (distinct
     /// items via the continuation scheme, repeated items via exact
     /// state-composition) and every worker count.
+    ///
+    /// [`shard_scan`]: CompiledCandidates::shard_scan
+    /// [`merge_shard_counts`]: CompiledCandidates::merge_shard_counts
     pub fn count_sharded(&self, stream: &[u8], workers: usize) -> Vec<u64> {
         let n = stream.len();
         let workers = workers.max(1);
@@ -362,13 +393,12 @@ impl CompiledCandidates {
         let bounds = crate::segment::even_bounds(n, workers);
         let ranges = crate::segment::segment_ranges(n, &bounds);
 
-        // Map: each worker scans its segment with a private scratch.
-        let shards: Vec<(Vec<u64>, Vec<u8>)> = map_items(&ranges, workers, |r| {
-            let mut scratch = CountScratch::new();
-            let mut counts = vec![0u64; self.len()];
-            self.scan_range(stream, r.clone(), &mut scratch, &mut counts);
-            (counts, scratch.state.clone())
-        });
+        // Map: each shared-pool worker scans its segment with its persistent
+        // thread-local scratch.
+        let this: Arc<CompiledCandidates> = Arc::new(self.clone());
+        let shared_stream: Arc<[u8]> = Arc::from(stream);
+        let shards: Vec<(Vec<u64>, Vec<u8>)> =
+            shared().map_move(ranges, move |r| this.shard_scan(&shared_stream, r));
 
         self.merge_shard_counts(stream, &bounds, &shards)
     }

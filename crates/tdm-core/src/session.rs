@@ -24,6 +24,16 @@
 //! session; long-lived services can hold a session directly and stream
 //! per-level results via [`MiningSession::mine_with`].
 //!
+//! Sessions come in two ownership shapes. [`MiningSession::builder`] borrows
+//! the database (`MiningSession<'db>`), right for scoped use. A **serving**
+//! layer instead wants sessions that outlive any one request and share one
+//! machine-sized worker pool across tenants: [`MiningSession::builder_shared`]
+//! takes `Arc<EventDb>` and yields a `MiningSession<'static>` that can live in
+//! a cache, and [`MiningSessionBuilder::with_pool`] attaches an externally
+//! owned `Arc<Pool>` instead of spawning a private one — any number of
+//! concurrent sessions multiplex their scan jobs over the same threads (see
+//! the `tdm-serve` crate).
+//!
 //! ```
 //! use tdm_core::session::MiningSession;
 //! use tdm_core::miner::{MinerConfig, SequentialBackend};
@@ -49,10 +59,51 @@ use crate::segment::even_bounds;
 use crate::sequence::EventDb;
 use crate::stats::{support, LevelResult, MiningResult};
 use std::sync::OnceLock;
-use tdm_mapreduce::pool::{default_workers, Pool};
+use tdm_mapreduce::pool::{default_workers, Pool, Priority};
 
 /// Appearance counts, one per candidate episode in compiled order.
 pub type Counts = Vec<u64>;
+
+/// How a session holds its database: borrowed for scoped use, or shared
+/// behind an `Arc` so the session has no borrowed lifetime and can sit in a
+/// cache between requests (the serving configuration).
+#[derive(Debug, Clone)]
+enum DbHandle<'db> {
+    Borrowed(&'db EventDb),
+    Shared(Arc<EventDb>),
+}
+
+impl DbHandle<'_> {
+    #[inline]
+    fn get(&self) -> &EventDb {
+        match self {
+            DbHandle::Borrowed(db) => db,
+            DbHandle::Shared(db) => db,
+        }
+    }
+}
+
+/// The session's worker pool: spawned lazily and owned by the session, or
+/// shared with other sessions through an `Arc` (the multi-tenant serving
+/// configuration — one machine-sized pool, many concurrent sessions).
+#[derive(Debug)]
+enum PoolSlot {
+    Owned {
+        workers: usize,
+        cell: OnceLock<Pool>,
+    },
+    Shared(Arc<Pool>),
+}
+
+impl PoolSlot {
+    #[inline]
+    fn get(&self) -> &Pool {
+        match self {
+            PoolSlot::Owned { workers, cell } => cell.get_or_init(|| Pool::with_workers(*workers)),
+            PoolSlot::Shared(pool) => pool,
+        }
+    }
+}
 
 /// An error raised by a counting backend's execute phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,8 +175,9 @@ pub struct CountRequest<'a> {
     stream: &'a Arc<[u8]>,
     compiled: &'a Arc<CompiledCandidates>,
     shard_bounds: &'a [usize],
-    pool: &'a OnceLock<Pool>,
+    pool: &'a PoolSlot,
     workers: usize,
+    priority: Priority,
     level: usize,
 }
 
@@ -176,11 +228,12 @@ impl<'a> CountRequest<'a> {
         self.shard_bounds
     }
 
-    /// The session's persistent worker pool, spawned lazily on first use —
-    /// sequential executors never pay for idle threads.
+    /// The session's persistent worker pool — the session-owned one (spawned
+    /// lazily on first use, so sequential executors never pay for idle
+    /// threads), or the externally shared pool the session was built with.
     #[inline]
     pub fn pool(&self) -> &'a Pool {
-        self.pool.get_or_init(|| Pool::with_workers(self.workers))
+        self.pool.get()
     }
 
     /// The session's planned worker count, without spawning the pool.
@@ -192,6 +245,15 @@ impl<'a> CountRequest<'a> {
     #[inline]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The scheduling class this request's pool jobs should run at
+    /// ([`MiningSession::set_job_priority`]). Parallel executors pass it to
+    /// [`Pool::map_move_prio`] so high-priority requests overtake queued
+    /// normal-priority scans on a shared pool.
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        self.priority
     }
 
     /// Episode level (item count) of this request's candidates.
@@ -220,6 +282,33 @@ impl<'a> CountRequest<'a> {
 /// stream, shard bounds, pool — and return one count per candidate. They must
 /// not recompile or clone the candidate set; everything needed is in the
 /// request.
+///
+/// A minimal custom executor is a dozen lines:
+///
+/// ```
+/// use tdm_core::engine::CountScratch;
+/// use tdm_core::session::{BackendError, CountRequest, Counts, Executor, MiningSession};
+/// use tdm_core::{Alphabet, EventDb};
+///
+/// struct MyBackend(CountScratch);
+///
+/// impl Executor for MyBackend {
+///     fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+///         // One active-set pass over the session-compiled layout; the
+///         // request also offers req.pool() / req.shard_bounds() /
+///         // req.chunk_ranges(n) for parallel decompositions.
+///         Ok(req.compiled().count(req.stream(), &mut self.0))
+///     }
+///     fn name(&self) -> &str {
+///         "my-backend"
+///     }
+/// }
+///
+/// let db = EventDb::from_str_symbols(&Alphabet::latin26(), &"AB".repeat(40)).unwrap();
+/// let mut session = MiningSession::builder(&db).build();
+/// let result = session.mine(&mut MyBackend(CountScratch::new())).unwrap();
+/// assert!(result.total_frequent() > 0);
+/// ```
 pub trait Executor {
     /// Counts every candidate of the request.
     ///
@@ -237,9 +326,10 @@ pub trait Executor {
 /// Builder for a [`MiningSession`].
 #[derive(Debug)]
 pub struct MiningSessionBuilder<'db> {
-    db: &'db EventDb,
+    db: DbHandle<'db>,
     config: MinerConfig,
     workers: usize,
+    pool: Option<Arc<Pool>>,
 }
 
 impl<'db> MiningSessionBuilder<'db> {
@@ -249,35 +339,86 @@ impl<'db> MiningSessionBuilder<'db> {
         self
     }
 
-    /// Sets the worker-pool size (0 = the machine's available parallelism).
+    /// Sets the worker-pool size (0 = the machine's available parallelism, or
+    /// the shared pool's size when [`with_pool`] was given).
+    ///
+    /// With a shared pool this only tunes the session's *decomposition* —
+    /// shard bounds and default chunk counts — not how many threads exist.
+    ///
+    /// [`with_pool`]: MiningSessionBuilder::with_pool
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
     }
 
+    /// Attaches an externally owned, shared worker pool instead of letting the
+    /// session spawn a private one. Every counting call of this session
+    /// dispatches to `pool`; any number of concurrent sessions can share the
+    /// same `Arc<Pool>` — the multi-tenant serving configuration, where one
+    /// machine-sized pool serves every client.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use tdm_core::miner::{MinerConfig, SequentialBackend};
+    /// use tdm_core::session::MiningSession;
+    /// use tdm_core::{Alphabet, EventDb};
+    /// use tdm_mapreduce::pool::Pool;
+    ///
+    /// let pool = Arc::new(Pool::with_workers(2));
+    /// let db = Arc::new(EventDb::from_str_symbols(&Alphabet::latin26(), &"ABC".repeat(30)).unwrap());
+    ///
+    /// // An owned session (no borrowed lifetime) over a shared pool: what a
+    /// // serving layer caches between requests.
+    /// let mut session = MiningSession::builder_shared(Arc::clone(&db))
+    ///     .config(MinerConfig { alpha: 0.1, ..Default::default() })
+    ///     .with_pool(Arc::clone(&pool))
+    ///     .build();
+    /// let result = session.mine(&mut SequentialBackend::default()).unwrap();
+    /// assert!(result.total_frequent() > 0);
+    /// assert_eq!(session.pool().workers(), 2);
+    /// ```
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Builds the session: snapshots the stream into a shareable buffer and
-    /// fixes the database shard bounds. The persistent pool is spawned lazily
-    /// the first time an executor (or [`MiningSession::pool`]) asks for it.
+    /// fixes the database shard bounds. Without [`with_pool`], the persistent
+    /// pool is spawned lazily the first time an executor (or
+    /// [`MiningSession::pool`]) asks for it.
+    ///
+    /// [`with_pool`]: MiningSessionBuilder::with_pool
     pub fn build(self) -> MiningSession<'db> {
-        let workers = if self.workers == 0 {
-            default_workers()
-        } else {
+        let workers = if self.workers != 0 {
             self.workers
+        } else if let Some(pool) = &self.pool {
+            pool.workers()
+        } else {
+            default_workers()
         };
-        let n = self.db.len();
+        let n = self.db.get().len();
         let shard_bounds = if workers > 1 && n >= MIN_SHARD_STREAM {
             even_bounds(n, workers)
         } else {
             Vec::new()
         };
+        let stream = Arc::from(self.db.get().symbols());
+        let pool = match self.pool {
+            Some(pool) => PoolSlot::Shared(pool),
+            None => PoolSlot::Owned {
+                workers,
+                cell: OnceLock::new(),
+            },
+        };
         MiningSession {
             db: self.db,
-            stream: Arc::from(self.db.symbols()),
+            stream,
             config: self.config,
             compiled: Arc::new(CompiledCandidates::default()),
             shard_bounds,
             workers,
-            pool: OnceLock::new(),
+            pool,
+            priority: Priority::Normal,
             compiles: 0,
         }
     }
@@ -292,20 +433,21 @@ impl<'db> MiningSessionBuilder<'db> {
 /// drop their handles at the end of each execute, so the steady state never
 /// copies). See the [module docs](self) for the full picture.
 pub struct MiningSession<'db> {
-    db: &'db EventDb,
+    db: DbHandle<'db>,
     stream: Arc<[u8]>,
     config: MinerConfig,
     compiled: Arc<CompiledCandidates>,
     shard_bounds: Vec<usize>,
     workers: usize,
-    pool: OnceLock<Pool>,
+    pool: PoolSlot,
+    priority: Priority,
     compiles: usize,
 }
 
 impl std::fmt::Debug for MiningSession<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MiningSession")
-            .field("db_len", &self.db.len())
+            .field("db_len", &self.db.get().len())
             .field("workers", &self.workers)
             .field("compiles", &self.compiles)
             .finish()
@@ -313,18 +455,42 @@ impl std::fmt::Debug for MiningSession<'_> {
 }
 
 impl<'db> MiningSession<'db> {
-    /// Starts building a session over `db` (default config, auto workers).
+    /// Starts building a session over a borrowed `db` (default config, auto
+    /// workers). For a session with no borrowed lifetime — one a cache or
+    /// another thread can own — see [`MiningSession::builder_shared`].
     pub fn builder(db: &'db EventDb) -> MiningSessionBuilder<'db> {
         MiningSessionBuilder {
-            db,
+            db: DbHandle::Borrowed(db),
             config: MinerConfig::default(),
             workers: 0,
+            pool: None,
+        }
+    }
+
+    /// Starts building a `MiningSession<'static>` that *shares ownership* of
+    /// the database. Because nothing is borrowed, the built session can be
+    /// stored, sent to another thread, or parked in a session cache between
+    /// requests — the serving configuration (`tdm-serve`). Combine with
+    /// [`MiningSessionBuilder::with_pool`] to run many such sessions over one
+    /// machine-sized pool.
+    pub fn builder_shared(db: Arc<EventDb>) -> MiningSessionBuilder<'static> {
+        MiningSessionBuilder {
+            db: DbHandle::Shared(db),
+            config: MinerConfig::default(),
+            workers: 0,
+            pool: None,
         }
     }
 
     /// The database this session mines.
-    pub fn db(&self) -> &'db EventDb {
-        self.db
+    pub fn db(&self) -> &EventDb {
+        self.db.get()
+    }
+
+    /// The session's persistent worker pool (the owned one, spawned on first
+    /// call, or the shared pool the session was built with).
+    pub fn pool(&self) -> &Pool {
+        self.pool.get()
     }
 
     /// The mining configuration.
@@ -332,9 +498,25 @@ impl<'db> MiningSession<'db> {
         &self.config
     }
 
-    /// The session's persistent worker pool (spawned on first call).
-    pub fn pool(&self) -> &Pool {
-        self.pool.get_or_init(|| Pool::with_workers(self.workers))
+    /// The session's planned worker count (decomposition width: shard bounds
+    /// and default chunk counts are sized to this).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Sets the scheduling class for this session's pool jobs: subsequent
+    /// counting calls stamp their [`CountRequest`] with `priority`, and the
+    /// parallel executors submit their scans on that lane
+    /// ([`Pool::map_move_prio`]). On a *shared* pool this is how one
+    /// session's request overtakes queued scans of other sessions; on a
+    /// session-owned pool it is a no-op in effect (no competing jobs).
+    pub fn set_job_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// The scheduling class new counting calls run at.
+    pub fn job_priority(&self) -> Priority {
+        self.priority
     }
 
     /// How many candidate sets this session has compiled — exactly one per
@@ -351,15 +533,17 @@ impl<'db> MiningSession<'db> {
     /// Compiles `candidates` into the session's reusable buffers (the plan
     /// step) and returns the request for the given level.
     fn plan(&mut self, level: usize, candidates: &[Episode]) -> CountRequest<'_> {
-        Arc::make_mut(&mut self.compiled).recompile(self.db.alphabet().len(), candidates);
+        let alphabet_len = self.db.get().alphabet().len();
+        Arc::make_mut(&mut self.compiled).recompile(alphabet_len, candidates);
         self.compiles += 1;
         CountRequest {
-            db: self.db,
+            db: self.db.get(),
             stream: &self.stream,
             compiled: &self.compiled,
             shard_bounds: &self.shard_bounds,
             pool: &self.pool,
             workers: self.workers,
+            priority: self.priority,
             level,
         }
     }
@@ -439,12 +623,12 @@ impl<'db> MiningSession<'db> {
         executor: &mut E,
         mut on_level: impl FnMut(&LevelResult),
     ) -> Result<MiningResult, MineError> {
-        let n = self.db.len();
+        let n = self.db.get().len();
         let mut result = MiningResult {
             levels: Vec::new(),
             db_len: n,
         };
-        let mut candidates = level1(self.db.alphabet());
+        let mut candidates = level1(self.db.get().alphabet());
         let mut level = 1usize;
         while !candidates.is_empty() {
             if let Some(maxl) = self.config.max_level {

@@ -12,6 +12,11 @@
 //! pairs → reduce workers). The CPU mining baselines in `tdm-baselines` are built
 //! on it.
 //!
+//! The [`pool`] module holds the execution substrate underneath: scoped
+//! parallel-for helpers for one-shot jobs, and the persistent, shareable,
+//! priority-aware [`pool::Pool`] that mining sessions — and the whole
+//! `tdm-serve` multi-tenant service — dispatch their counting scans to.
+//!
 //! ```
 //! use tdm_mapreduce::{Mapper, Reducer, run_parallel};
 //!

@@ -9,17 +9,54 @@
 //!   threads serve every counting call of a mining session's level loop — no
 //!   per-call spawn cost, and per-worker thread-local scratch stays warm
 //!   across calls. This is the pool a `MiningSession` owns for its lifetime.
+//!
+//! A `Pool` is `Sync`: every method takes `&self`, so one pool wrapped in an
+//! [`Arc`] can be shared by any number of concurrent sessions (the
+//! `tdm-serve` service runs all of its clients over a single machine-sized
+//! pool this way). Jobs carry a [`Priority`] tag — [`Priority::High`] jobs
+//! overtake queued [`Priority::Normal`] ones, letting latency-sensitive
+//! requests cut ahead of bulk work sharing the same threads. [`shared`]
+//! exposes one lazily spawned process-wide pool for convenience paths that
+//! have no session to borrow a pool from.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tdm_mapreduce::pool::Pool;
+//!
+//! // Spawn once, share everywhere: Pool is Sync, so clones of the Arc can
+//! // dispatch from any thread.
+//! let pool = Arc::new(Pool::with_workers(4));
+//! let doubled = pool.map_move(vec![1u32, 2, 3], |x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//!
+//! // The same threads serve the next call — nothing is respawned.
+//! let sums = pool.map_move(vec![0..10u32, 10..20], |r| r.sum::<u32>());
+//! assert_eq!(sums, vec![45, 145]);
+//! ```
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// A queued unit of work for a [`Pool`] worker.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Scheduling class of a pool job: [`Priority::High`] jobs are popped before
+/// any queued [`Priority::Normal`] job; within a class the queue is FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Priority {
+    /// Latency-sensitive work: overtakes every queued normal job.
+    High,
+    /// Bulk work (the default for [`Pool::execute`] / [`Pool::map_move`]).
+    #[default]
+    Normal,
+}
+
 struct PoolState {
-    queue: VecDeque<Job>,
+    /// Two FIFO lanes; workers drain `high` before touching `normal`.
+    high: VecDeque<Job>,
+    normal: VecDeque<Job>,
     shutdown: bool,
 }
 
@@ -56,7 +93,8 @@ impl Pool {
         let n = n.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
-                queue: VecDeque::new(),
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
                 shutdown: false,
             }),
             available: Condvar::new(),
@@ -70,7 +108,9 @@ impl Pool {
                         let job = {
                             let mut st = shared.state.lock().expect("pool state");
                             loop {
-                                if let Some(job) = st.queue.pop_front() {
+                                if let Some(job) =
+                                    st.high.pop_front().or_else(|| st.normal.pop_front())
+                                {
                                     break job;
                                 }
                                 if st.shutdown {
@@ -102,10 +142,20 @@ impl Pool {
         self.handles.len()
     }
 
-    /// Enqueues one job; returns immediately.
+    /// Enqueues one [`Priority::Normal`] job; returns immediately.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute_prio(Priority::Normal, job);
+    }
+
+    /// Enqueues one job with an explicit [`Priority`] tag; returns
+    /// immediately. High-priority jobs overtake every queued normal job but
+    /// never preempt one already running.
+    pub fn execute_prio(&self, priority: Priority, job: impl FnOnce() + Send + 'static) {
         let mut st = self.shared.state.lock().expect("pool state");
-        st.queue.push_back(Box::new(job));
+        match priority {
+            Priority::High => st.high.push_back(Box::new(job)),
+            Priority::Normal => st.normal.push_back(Box::new(job)),
+        }
         drop(st);
         self.shared.available.notify_one();
     }
@@ -117,6 +167,18 @@ impl Pool {
     /// A single input is run inline on the caller's thread (no queue round
     /// trip).
     pub fn map_move<T, R, F>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(T) -> R + Send + Sync + 'static,
+    {
+        self.map_move_prio(Priority::Normal, inputs, f)
+    }
+
+    /// [`map_move`](Pool::map_move) with an explicit [`Priority`] tag for
+    /// every job of the map — how a serving layer lets an interactive
+    /// request's scans overtake queued bulk scans on a shared pool.
+    pub fn map_move_prio<T, R, F>(&self, priority: Priority, inputs: Vec<T>, f: F) -> Vec<R>
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -135,7 +197,7 @@ impl Pool {
         for (i, input) in inputs.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let tx = tx.clone();
-            self.execute(move || {
+            self.execute_prio(priority, move || {
                 let r = f(input);
                 // Release this job's handle on `f` (and any Arc data it
                 // captured) *before* signalling completion, so that once the
@@ -227,6 +289,20 @@ pub fn default_workers() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// The process-wide shared pool: one machine-sized [`Pool`], spawned lazily on
+/// first use and reused by every caller for the rest of the process.
+///
+/// This is what the engine-level convenience paths
+/// (`CompiledCandidates::count_sharded` / `count_auto`) dispatch to when no
+/// session pool is in scope — a shared-threads replacement for the scoped
+/// spawn-per-call they used before. Code that owns a lifecycle (a
+/// `MiningSession`, a `tdm-serve` service) should size and own its own pool
+/// instead.
+pub fn shared() -> &'static Pool {
+    static SHARED: OnceLock<Pool> = OnceLock::new();
+    SHARED.get_or_init(Pool::auto)
 }
 
 #[cfg(test)]
@@ -327,6 +403,68 @@ mod tests {
         assert_eq!(pool.workers(), 1);
         assert!(pool.map_move(Vec::<u32>::new(), |x| x).is_empty());
         assert_eq!(pool.map_move(vec![7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn high_priority_jobs_overtake_queued_normal_jobs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let pool = Pool::with_workers(1);
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Block the single worker so subsequent submissions queue up.
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        let submitted = Arc::new(AtomicBool::new(false));
+        for _ in 0..3 {
+            let order = Arc::clone(&order);
+            pool.execute(move || order.lock().unwrap().push("normal"));
+        }
+        {
+            let order = Arc::clone(&order);
+            let submitted = Arc::clone(&submitted);
+            pool.execute_prio(Priority::High, move || {
+                order.lock().unwrap().push("high");
+                submitted.store(true, Ordering::SeqCst);
+            });
+        }
+        // Open the gate and drain.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        drop(pool); // joins the worker: everything queued has run
+        let order = order.lock().unwrap();
+        assert_eq!(
+            order.as_slice(),
+            ["high", "normal", "normal", "normal"],
+            "the high job must run before every queued normal job"
+        );
+        assert!(submitted.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn prioritized_map_returns_in_input_order() {
+        let pool = Pool::with_workers(3);
+        let out = pool.map_move_prio(Priority::High, (0..40u32).collect(), |x| x + 1);
+        assert_eq!(out, (1..=40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_pool_is_one_instance_and_usable() {
+        let a = shared() as *const Pool;
+        let b = shared() as *const Pool;
+        assert_eq!(a, b, "shared() must hand out one process-wide pool");
+        assert!(shared().workers() >= 1);
+        assert_eq!(shared().map_move(vec![1u32, 2, 3], |x| x * x), [1, 4, 9]);
     }
 
     #[test]

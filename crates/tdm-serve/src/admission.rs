@@ -1,0 +1,279 @@
+//! Fair FIFO admission with an in-flight limit and two priority classes.
+//!
+//! A mining request costs a level loop of pool-wide scans, so admitting every
+//! arriving client at once just convoys them on the shared worker pool and
+//! inflates everyone's latency. The service instead bounds how many requests
+//! *mine* concurrently: arrivals take a ticket and block until admitted.
+//! Admission order is strict FIFO within a priority class, and
+//! [`Priority::High`] tickets are always admitted before waiting
+//! [`Priority::Normal`] ones (matching the pool's own high/normal job lanes),
+//! so interactive traffic overtakes bulk traffic at both layers. A bounded
+//! waiting room ([`AdmissionQueue::new`]'s `max_pending`) converts overload
+//! into an immediate, explicit rejection instead of an unbounded queue.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use tdm_mapreduce::pool::Priority;
+
+/// The admission queue refused to enqueue a request: the waiting room is
+/// already at `max_pending`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Requests waiting when the rejection happened.
+    pub pending: usize,
+    /// The configured waiting-room bound.
+    pub limit: usize,
+}
+
+struct AdmitState {
+    next_ticket: u64,
+    in_flight: usize,
+    high: VecDeque<u64>,
+    normal: VecDeque<u64>,
+}
+
+impl AdmitState {
+    fn pending(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// The one ticket eligible to be admitted next: the head of the high
+    /// lane, or — only when the high lane is empty — the head of the normal
+    /// lane.
+    fn next_eligible(&self) -> Option<u64> {
+        self.high.front().or_else(|| self.normal.front()).copied()
+    }
+}
+
+/// A blocking, priority-aware, fair-FIFO admission gate. See the
+/// [module docs](self).
+pub struct AdmissionQueue {
+    max_in_flight: usize,
+    max_pending: usize,
+    state: Mutex<AdmitState>,
+    admitted: Condvar,
+}
+
+impl std::fmt::Debug for AdmissionQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock().expect("admission state");
+        f.debug_struct("AdmissionQueue")
+            .field("max_in_flight", &self.max_in_flight)
+            .field("in_flight", &st.in_flight)
+            .field("pending", &st.pending())
+            .finish()
+    }
+}
+
+/// Proof of admission: holds one in-flight slot, released on drop.
+#[must_use = "dropping the permit immediately releases the in-flight slot"]
+#[derive(Debug)]
+pub struct Permit<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut st = self.queue.state.lock().expect("admission state");
+        st.in_flight -= 1;
+        drop(st);
+        self.queue.admitted.notify_all();
+    }
+}
+
+impl AdmissionQueue {
+    /// A gate admitting at most `max_in_flight` requests concurrently
+    /// (clamped to ≥ 1) with at most `max_pending` more waiting (0 =
+    /// unbounded waiting room).
+    pub fn new(max_in_flight: usize, max_pending: usize) -> Self {
+        AdmissionQueue {
+            max_in_flight: max_in_flight.max(1),
+            max_pending,
+            state: Mutex::new(AdmitState {
+                next_ticket: 0,
+                in_flight: 0,
+                high: VecDeque::new(),
+                normal: VecDeque::new(),
+            }),
+            admitted: Condvar::new(),
+        }
+    }
+
+    /// Takes a ticket and blocks until it is this request's turn and an
+    /// in-flight slot is free.
+    ///
+    /// # Errors
+    /// [`Overloaded`] immediately when the waiting room is full.
+    pub fn acquire(&self, priority: Priority) -> Result<Permit<'_>, Overloaded> {
+        let mut st = self.state.lock().expect("admission state");
+        if self.max_pending != 0 && st.pending() >= self.max_pending {
+            return Err(Overloaded {
+                pending: st.pending(),
+                limit: self.max_pending,
+            });
+        }
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        match priority {
+            Priority::High => st.high.push_back(ticket),
+            Priority::Normal => st.normal.push_back(ticket),
+        }
+        loop {
+            if st.in_flight < self.max_in_flight && st.next_eligible() == Some(ticket) {
+                match priority {
+                    Priority::High => st.high.pop_front(),
+                    Priority::Normal => st.normal.pop_front(),
+                };
+                st.in_flight += 1;
+                let slots_left = st.in_flight < self.max_in_flight;
+                drop(st);
+                if slots_left {
+                    // The next waiter may be admissible right away.
+                    self.admitted.notify_all();
+                }
+                return Ok(Permit { queue: self });
+            }
+            st = self.admitted.wait(st).expect("admission state");
+        }
+    }
+
+    /// Requests currently waiting for admission.
+    pub fn pending(&self) -> usize {
+        self.state.lock().expect("admission state").pending()
+    }
+
+    /// Requests currently admitted (holding a [`Permit`]).
+    pub fn in_flight(&self) -> usize {
+        self.state.lock().expect("admission state").in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn in_flight_never_exceeds_the_limit() {
+        let q = Arc::new(AdmissionQueue::new(2, 0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let live = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let q = Arc::clone(&q);
+                let peak = Arc::clone(&peak);
+                let live = Arc::clone(&live);
+                s.spawn(move || {
+                    let permit = q.acquire(Priority::Normal).unwrap();
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    drop(permit);
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission limit breached");
+        assert_eq!(q.in_flight(), 0);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn fifo_within_a_priority_class() {
+        // One slot; a holder blocks it while three tickets queue up. They
+        // must be admitted in arrival order.
+        let q = Arc::new(AdmissionQueue::new(1, 0));
+        let order = Arc::new(Mutex::new(Vec::<usize>::new()));
+        let first = q.acquire(Priority::Normal).unwrap();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..3 {
+                let qc = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                handles.push(s.spawn(move || {
+                    let p = qc.acquire(Priority::Normal).unwrap();
+                    order.lock().unwrap().push(i);
+                    drop(p);
+                }));
+                // Serialize arrivals so ticket order matches i.
+                while q.pending() < i + 1 {
+                    std::thread::yield_now();
+                }
+            }
+            drop(first);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn high_priority_overtakes_waiting_normal() {
+        let q = Arc::new(AdmissionQueue::new(1, 0));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let holder = q.acquire(Priority::Normal).unwrap();
+        std::thread::scope(|s| {
+            {
+                let q = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let p = q.acquire(Priority::Normal).unwrap();
+                    order.lock().unwrap().push("normal");
+                    drop(p);
+                });
+            }
+            while q.pending() < 1 {
+                std::thread::yield_now();
+            }
+            {
+                let q = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let p = q.acquire(Priority::High).unwrap();
+                    order.lock().unwrap().push("high");
+                    drop(p);
+                });
+            }
+            while q.pending() < 2 {
+                std::thread::yield_now();
+            }
+            drop(holder);
+        });
+        assert_eq!(*order.lock().unwrap(), vec!["high", "normal"]);
+    }
+
+    #[test]
+    fn bounded_waiting_room_rejects_overload() {
+        let q = Arc::new(AdmissionQueue::new(1, 1));
+        let holder = q.acquire(Priority::Normal).unwrap();
+        std::thread::scope(|s| {
+            {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    let p = q.acquire(Priority::Normal).unwrap();
+                    drop(p);
+                });
+            }
+            while q.pending() < 1 {
+                std::thread::yield_now();
+            }
+            let err = q.acquire(Priority::Normal).unwrap_err();
+            assert_eq!(
+                err,
+                Overloaded {
+                    pending: 1,
+                    limit: 1
+                }
+            );
+            drop(holder);
+        });
+    }
+
+    #[test]
+    fn zero_in_flight_clamps_to_one() {
+        let q = AdmissionQueue::new(0, 0);
+        let p = q.acquire(Priority::Normal).unwrap();
+        assert_eq!(q.in_flight(), 1);
+        drop(p);
+        assert_eq!(q.in_flight(), 0);
+    }
+}

@@ -1,0 +1,564 @@
+//! The multi-tenant mining service: request/response types, the error
+//! taxonomy, and [`MiningService`] itself.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend};
+use tdm_core::miner::SequentialBackend;
+use tdm_core::session::{Executor, MineError};
+use tdm_core::stats::MiningResult;
+use tdm_core::{EventDb, MinerConfig};
+use tdm_mapreduce::pool::{default_workers, Pool, Priority};
+
+use crate::admission::AdmissionQueue;
+use crate::cache::{session_key, CacheStats, CachedSession, SessionCache, SessionKey};
+
+/// Which counting executor serves a request. All choices produce bit-identical
+/// counts; they differ only in how the scan is decomposed over the shared
+/// pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Database-sharded parallel scan over the shared pool (the paper's
+    /// block-level shape; fastest at low levels). The default.
+    #[default]
+    Sharded,
+    /// Candidate-sharded parallel scan over the shared pool (the paper's
+    /// thread-level shape; catches up at high levels).
+    MapReduce,
+    /// Single-pass active-set scan on the calling thread (no pool jobs).
+    ActiveSet,
+    /// The built-in sequential executor of `tdm-core` (no pool jobs).
+    Sequential,
+    /// One full scan per episode on the calling thread — the GMiner-class
+    /// baseline; useful for calibration, quadratically slow on big sets.
+    SerialScan,
+}
+
+impl BackendChoice {
+    fn instantiate(&self) -> Box<dyn Executor> {
+        match self {
+            BackendChoice::Sharded => Box::new(ShardedScanBackend::auto()),
+            BackendChoice::MapReduce => Box::new(MapReduceBackend::auto()),
+            BackendChoice::ActiveSet => Box::new(ActiveSetBackend::default()),
+            BackendChoice::Sequential => Box::new(SequentialBackend::default()),
+            BackendChoice::SerialScan => Box::new(SerialScanBackend),
+        }
+    }
+}
+
+/// One client request: a shared database handle, the mining configuration,
+/// the backend choice, and a scheduling priority.
+///
+/// Reuse one `MiningRequest` value (or clones of it) across submissions: the
+/// database content hash of the session key is computed once per request
+/// value and memoized, so steady-state resubmission costs no re-hash of the
+/// stream — and same-handle cache verification is pointer equality.
+#[derive(Debug, Clone)]
+pub struct MiningRequest {
+    db: Arc<EventDb>,
+    config: MinerConfig,
+    backend: BackendChoice,
+    priority: Priority,
+    /// Memoized [`SessionKey`] (hash of the full db content + config);
+    /// computable once because the fields above are immutable after build.
+    /// `OnceLock`'s `Clone` carries a computed key over to clones.
+    key: std::sync::OnceLock<SessionKey>,
+}
+
+impl MiningRequest {
+    /// A request with the default backend (database-sharded) and normal
+    /// priority.
+    pub fn new(db: Arc<EventDb>, config: MinerConfig) -> Self {
+        MiningRequest {
+            db,
+            config,
+            backend: BackendChoice::default(),
+            priority: Priority::Normal,
+            key: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Sets the backend choice.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the admission priority: [`Priority::High`] requests overtake
+    /// waiting normal ones at the admission gate, and their counting scans
+    /// are submitted on the shared pool's high-priority job lane (overtaking
+    /// queued scans of already-admitted normal requests).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The database this request mines.
+    pub fn db(&self) -> &Arc<EventDb> {
+        &self.db
+    }
+
+    /// The mining configuration.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// The [`SessionKey`] this request is served under (computed on first
+    /// call, memoized for the request's lifetime).
+    pub fn key(&self) -> SessionKey {
+        *self.key.get_or_init(|| session_key(&self.db, &self.config))
+    }
+}
+
+/// Whether a request's session came from the cache or was planned fresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A parked session was verified and reused: no session planning (no
+    /// stream snapshot, shard-bound computation, or buffer allocation);
+    /// levels recompile in place into the warm buffers.
+    Hit,
+    /// No (verifiable) entry existed; the request planned a fresh session.
+    Miss,
+}
+
+/// Per-request measurements returned alongside the mining result.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseStats {
+    /// Cache hit or miss for this request's session.
+    pub cache: CacheOutcome,
+    /// Time spent waiting at the admission gate.
+    pub queue_wait: Duration,
+    /// Time spent planning + mining (the level loop), excluding queueing.
+    pub mine_time: Duration,
+    /// The session key the request was served under.
+    pub key: SessionKey,
+}
+
+/// A completed request: the full mining result plus serving measurements.
+#[derive(Debug, Clone)]
+pub struct MiningResponse {
+    /// The level-by-level mining result (identical to a serial
+    /// `Miner::mine` run of the same request).
+    pub result: MiningResult,
+    /// Serving measurements (cache outcome, queue wait, mine time).
+    pub stats: ResponseStats,
+}
+
+/// Why a request failed. The taxonomy separates *load* problems (retryable
+/// after backoff) from *execution* problems (a bug or malformed backend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The waiting room was full; retry after backoff. Carries the observed
+    /// queue depth and the configured bound.
+    Overloaded {
+        /// Requests already waiting when this one was rejected.
+        pending: usize,
+        /// The configured `max_pending` bound.
+        limit: usize,
+    },
+    /// The counting backend failed inside the mining loop (level, backend
+    /// name, and cause inside).
+    Mine(MineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { pending, limit } => {
+                write!(
+                    f,
+                    "service overloaded: {pending} requests pending (limit {limit})"
+                )
+            }
+            ServeError::Mine(e) => write!(f, "mining failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Mine(e) => Some(e),
+            ServeError::Overloaded { .. } => None,
+        }
+    }
+}
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads in the one shared pool (0 = the machine's available
+    /// parallelism).
+    pub workers: usize,
+    /// How many requests may mine concurrently (0 = one per pool worker).
+    /// More than this wait at the admission gate in fair FIFO order.
+    pub max_in_flight: usize,
+    /// How many requests may wait at the gate before new arrivals are
+    /// rejected with [`ServeError::Overloaded`] (0 = unbounded).
+    pub max_pending: usize,
+    /// Parked sessions kept in the LRU cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            max_in_flight: 0,
+            max_pending: 0,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// Aggregate service counters since start (a [`MiningService::stats`]
+/// snapshot; the cache counters live in the session cache itself).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests that failed in the mining loop.
+    pub failed: u64,
+    /// Requests rejected at the admission gate.
+    pub rejected: u64,
+    /// Session-cache counters (hits, misses, evictions, collisions).
+    pub cache: CacheStats,
+}
+
+/// The request counters the service actually stores (the cache keeps its own
+/// counters; [`MiningService::stats`] joins the two into a [`ServiceStats`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct RequestCounters {
+    completed: u64,
+    failed: u64,
+    rejected: u64,
+}
+
+/// A multi-tenant mining service: many concurrent clients, one shared worker
+/// pool, an LRU session cache, and fair admission.
+///
+/// Clients call [`MiningService::submit`] from their own threads; the call
+/// blocks through admission and the mining loop and returns the full result.
+/// All concurrent requests multiplex their counting scans over the **single**
+/// machine-sized [`Pool`] owned by the service — no per-request thread
+/// spawning anywhere — and repeated (database, config) requests reuse parked
+/// sessions from the cache: no stream snapshot, shard-bound computation, or
+/// buffer allocation on a hit (levels recompile in place into the parked
+/// session's warm buffers, at a stable address).
+///
+/// ```
+/// use std::sync::Arc;
+/// use tdm_core::{Alphabet, EventDb, MinerConfig};
+/// use tdm_serve::{MiningRequest, MiningService, ServiceConfig};
+///
+/// let service = MiningService::new(ServiceConfig { workers: 2, ..Default::default() });
+/// let db = Arc::new(EventDb::from_str_symbols(&Alphabet::latin26(), &"ABC".repeat(50)).unwrap());
+/// let request = MiningRequest::new(db, MinerConfig { alpha: 0.1, ..Default::default() });
+///
+/// let first = service.submit(&request).unwrap();
+/// let second = service.submit(&request).unwrap(); // session-cache hit
+/// assert_eq!(first.result, second.result);
+/// assert!(first.result.total_frequent() > 0);
+/// assert_eq!(service.stats().cache.hits, 1);
+/// ```
+pub struct MiningService {
+    pool: Arc<Pool>,
+    admission: AdmissionQueue,
+    cache: Mutex<SessionCache>,
+    counters: Mutex<RequestCounters>,
+}
+
+impl std::fmt::Debug for MiningService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MiningService")
+            .field("pool_workers", &self.pool.workers())
+            .field("admission", &self.admission)
+            .finish()
+    }
+}
+
+impl MiningService {
+    /// Builds a service: spawns the shared pool and sizes the admission gate
+    /// and cache per `config`.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            default_workers()
+        } else {
+            config.workers
+        };
+        let max_in_flight = if config.max_in_flight == 0 {
+            workers
+        } else {
+            config.max_in_flight
+        };
+        MiningService {
+            pool: Arc::new(Pool::with_workers(workers)),
+            admission: AdmissionQueue::new(max_in_flight, config.max_pending),
+            cache: Mutex::new(SessionCache::new(config.cache_capacity)),
+            counters: Mutex::new(RequestCounters::default()),
+        }
+    }
+
+    /// A service with default sizing (machine-sized pool, one in-flight
+    /// request per worker, 32 cached sessions).
+    pub fn with_defaults() -> Self {
+        MiningService::new(ServiceConfig::default())
+    }
+
+    /// The shared worker pool (e.g. to build coordinated sessions outside the
+    /// service).
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Serves one request with its configured [`BackendChoice`]; blocks
+    /// through admission and the mining loop.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] when the waiting room is full,
+    /// [`ServeError::Mine`] when the backend fails.
+    pub fn submit(&self, request: &MiningRequest) -> Result<MiningResponse, ServeError> {
+        let mut backend = request.backend.instantiate();
+        self.submit_with(request, backend.as_mut())
+    }
+
+    /// Serves one request with a caller-supplied executor (any
+    /// [`Executor`] — custom kernels, instrumented spies, simulated GPUs).
+    /// The request's `backend` field is ignored.
+    ///
+    /// # Errors
+    /// Same taxonomy as [`MiningService::submit`].
+    pub fn submit_with(
+        &self,
+        request: &MiningRequest,
+        executor: &mut dyn Executor,
+    ) -> Result<MiningResponse, ServeError> {
+        let arrived = Instant::now();
+        let permit = match self.admission.acquire(request.priority) {
+            Ok(p) => p,
+            Err(over) => {
+                self.counters.lock().expect("service counters").rejected += 1;
+                return Err(ServeError::Overloaded {
+                    pending: over.pending,
+                    limit: over.limit,
+                });
+            }
+        };
+        let queue_wait = arrived.elapsed();
+
+        let key = request.key();
+        let cached =
+            self.cache
+                .lock()
+                .expect("session cache")
+                .take(key, &request.db, &request.config);
+        let (mut entry, outcome) = match cached {
+            Some(entry) => (entry, CacheOutcome::Hit),
+            None => (
+                CachedSession::build(
+                    Arc::clone(&request.db),
+                    request.config,
+                    Arc::clone(&self.pool),
+                ),
+                CacheOutcome::Miss,
+            ),
+        };
+
+        let mining = Instant::now();
+        // The request's class rides through to the pool's job lanes: the
+        // parallel executors submit this session's scans at this priority.
+        entry.session_mut().set_job_priority(request.priority);
+        let outcome_result = entry.session_mut().mine(executor);
+        let mine_time = mining.elapsed();
+
+        // Park the session again even after a backend error: the plan state
+        // stays consistent, and the next (possibly healthy) request reuses it.
+        self.cache.lock().expect("session cache").put(key, entry);
+        drop(permit);
+
+        let mut counters = self.counters.lock().expect("service counters");
+        match outcome_result {
+            Ok(result) => {
+                counters.completed += 1;
+                drop(counters);
+                Ok(MiningResponse {
+                    result,
+                    stats: ResponseStats {
+                        cache: outcome,
+                        queue_wait,
+                        mine_time,
+                        key,
+                    },
+                })
+            }
+            Err(e) => {
+                counters.failed += 1;
+                drop(counters);
+                Err(ServeError::Mine(e))
+            }
+        }
+    }
+
+    /// Aggregate counters since service start.
+    pub fn stats(&self) -> ServiceStats {
+        let counters = *self.counters.lock().expect("service counters");
+        ServiceStats {
+            completed: counters.completed,
+            failed: counters.failed,
+            rejected: counters.rejected,
+            cache: self.cache.lock().expect("session cache").stats(),
+        }
+    }
+
+    /// Parked sessions currently in the cache.
+    pub fn cached_sessions(&self) -> usize {
+        self.cache.lock().expect("session cache").len()
+    }
+
+    /// Requests currently waiting at the admission gate.
+    pub fn pending(&self) -> usize {
+        self.admission.pending()
+    }
+
+    /// Requests currently mining.
+    pub fn in_flight(&self) -> usize {
+        self.admission.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::miner::Miner;
+    use tdm_core::Alphabet;
+
+    fn db_of(s: &str) -> Arc<EventDb> {
+        Arc::new(EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap())
+    }
+
+    fn cfg() -> MinerConfig {
+        MinerConfig {
+            alpha: 0.05,
+            max_level: Some(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serves_and_matches_the_serial_miner() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        });
+        let db = db_of(&"ABCXYZ".repeat(40));
+        let serial = Miner::new(cfg())
+            .mine(&db, &mut SequentialBackend::default())
+            .unwrap();
+        for backend in [
+            BackendChoice::Sharded,
+            BackendChoice::MapReduce,
+            BackendChoice::ActiveSet,
+            BackendChoice::Sequential,
+            BackendChoice::SerialScan,
+        ] {
+            let resp = service
+                .submit(&MiningRequest::new(Arc::clone(&db), cfg()).backend(backend))
+                .unwrap();
+            assert_eq!(resp.result, serial, "{backend:?}");
+        }
+        assert_eq!(service.stats().completed, 5);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let db = db_of(&"AB".repeat(60));
+        let req = MiningRequest::new(Arc::clone(&db), cfg());
+        let first = service.submit(&req).unwrap();
+        assert_eq!(first.stats.cache, CacheOutcome::Miss);
+        let second = service.submit(&req).unwrap();
+        assert_eq!(second.stats.cache, CacheOutcome::Hit);
+        assert_eq!(first.result, second.result);
+        assert_eq!(service.cached_sessions(), 1);
+
+        // Same content under a different Arc handle still hits (content
+        // verification, not pointer identity).
+        let clone = db_of(&"AB".repeat(60));
+        let third = service.submit(&MiningRequest::new(clone, cfg())).unwrap();
+        assert_eq!(third.stats.cache, CacheOutcome::Hit);
+
+        // A different config misses.
+        let other = MinerConfig {
+            alpha: 0.2,
+            ..cfg()
+        };
+        let fourth = service.submit(&MiningRequest::new(db, other)).unwrap();
+        assert_eq!(fourth.stats.cache, CacheOutcome::Miss);
+        assert_eq!(service.cached_sessions(), 2);
+    }
+
+    #[test]
+    fn mine_errors_carry_the_taxonomy_and_do_not_poison_the_service() {
+        struct Broken;
+        impl Executor for Broken {
+            fn execute(
+                &mut self,
+                req: &tdm_core::session::CountRequest<'_>,
+            ) -> Result<tdm_core::session::Counts, tdm_core::session::BackendError> {
+                Ok(vec![0; req.candidates() + 1])
+            }
+            fn name(&self) -> &str {
+                "broken"
+            }
+        }
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let db = db_of(&"ABC".repeat(30));
+        let req = MiningRequest::new(Arc::clone(&db), cfg());
+        let err = service.submit_with(&req, &mut Broken).unwrap_err();
+        match &err {
+            ServeError::Mine(m) => assert_eq!(m.backend, "broken"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert!(!err.to_string().is_empty());
+        assert_eq!(service.stats().failed, 1);
+        // The parked session still serves healthy requests afterwards.
+        let ok = service.submit(&req).unwrap();
+        assert_eq!(ok.stats.cache, CacheOutcome::Hit);
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn overload_rejection_is_immediate_and_counted() {
+        // One slot, zero-size waiting room: a second concurrent request is
+        // rejected while the first blocks the slot.
+        let service = Arc::new(MiningService::new(ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            max_pending: 1,
+            ..Default::default()
+        }));
+        // Fill the slot from another thread with a long-ish request, then
+        // saturate the waiting room.
+        let db = db_of(&"ABCDEFGH".repeat(400));
+        let req = MiningRequest::new(Arc::clone(&db), MinerConfig::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let service = Arc::clone(&service);
+                let req = req.clone();
+                s.spawn(move || {
+                    // Outcomes race between Ok and Overloaded; both are legal.
+                    let _ = service.submit(&req);
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.completed + stats.rejected, 4);
+    }
+}

@@ -16,7 +16,10 @@
 //! * [`baselines`] (`tdm-baselines`) — GMiner-class serial and parallel CPU
 //!   counting backends;
 //! * [`workloads`] (`tdm-workloads`) — the paper's 393,019-letter database plus
-//!   spike-train and market-basket generators.
+//!   spike-train and market-basket generators;
+//! * [`serve`] (`tdm-serve`) — the multi-tenant serving layer: concurrent
+//!   mining sessions over one shared worker pool, with an LRU session cache
+//!   and fair admission.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use tdm_baselines as baselines;
 pub use tdm_core as core;
 pub use tdm_gpu as gpu;
 pub use tdm_mapreduce as mapreduce;
+pub use tdm_serve as serve;
 pub use tdm_workloads as workloads;
 
 /// The most common imports, for `use temporal_mining::prelude::*;`.
@@ -70,5 +74,8 @@ pub mod prelude {
         MiningSession, Symbol,
     };
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
-    pub use tdm_mapreduce::pool::Pool;
+    pub use tdm_mapreduce::pool::{Pool, Priority};
+    pub use tdm_serve::{
+        BackendChoice, MiningRequest, MiningResponse, MiningService, ServeError, ServiceConfig,
+    };
 }

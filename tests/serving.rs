@@ -1,0 +1,268 @@
+//! Serving-layer conformance: the multi-tenant `MiningService` must be
+//! *observationally identical* to serial mining under any concurrency.
+//!
+//! * 16 concurrent clients over one shared pool, mixed workloads (Markov,
+//!   spike-train, market-basket) and mixed backends — every response
+//!   bit-identical to a serial `Miner::mine` of the same request;
+//! * session-cache hits skip session planning (snapshot, shard bounds, buffer
+//!   allocation): the compiled candidate buffers keep the **same address**
+//!   across requests (asserted with a spy executor);
+//! * cache hit/miss/eviction semantics and db-hash collision safety — two
+//!   databases with an equal hash-relevant prefix but different content never
+//!   share a session;
+//! * priority + admission-limit plumbing end to end.
+
+use std::sync::Arc;
+use temporal_mining::core::engine::CompiledCandidates;
+use temporal_mining::core::miner::SequentialBackend;
+use temporal_mining::prelude::*;
+use temporal_mining::serve::CacheOutcome;
+use temporal_mining::workloads::{
+    basket::{market_basket, BasketConfig},
+    markov_letters,
+    spikes::{spike_trains, SpikeTrainConfig},
+};
+
+fn mixed_workloads() -> Vec<Arc<EventDb>> {
+    vec![
+        Arc::new(markov_letters(30_000, 11, 0.7)),
+        Arc::new(spike_trains(&SpikeTrainConfig {
+            neurons: 26,
+            duration_ms: 20_000.0,
+            base_rate_hz: 8.0,
+            ..Default::default()
+        })),
+        Arc::new(market_basket(&BasketConfig::default())),
+    ]
+}
+
+fn serve_config(workers: usize) -> ServiceConfig {
+    ServiceConfig {
+        workers,
+        ..Default::default()
+    }
+}
+
+fn mine_config() -> MinerConfig {
+    MinerConfig {
+        alpha: 0.001,
+        max_level: Some(2),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn sixteen_concurrent_clients_match_serial_mining_bit_for_bit() {
+    let dbs = mixed_workloads();
+    let config = mine_config();
+    // Serial ground truth, one per workload, computed without the service.
+    let serial: Vec<MiningResult> = dbs
+        .iter()
+        .map(|db| {
+            Miner::new(config)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .unwrap()
+        })
+        .collect();
+
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: 4,
+        max_in_flight: 16,
+        ..Default::default()
+    }));
+    let backends = [
+        BackendChoice::Sharded,
+        BackendChoice::MapReduce,
+        BackendChoice::ActiveSet,
+        BackendChoice::Sequential,
+    ];
+    std::thread::scope(|s| {
+        for client in 0..16usize {
+            let service = Arc::clone(&service);
+            let dbs = dbs.clone();
+            let serial = &serial;
+            s.spawn(move || {
+                for round in 0..3usize {
+                    let which = (client + round) % dbs.len();
+                    let req = MiningRequest::new(Arc::clone(&dbs[which]), config)
+                        .backend(backends[(client + round) % backends.len()]);
+                    let resp = service.submit(&req).expect("request failed");
+                    assert_eq!(
+                        resp.result, serial[which],
+                        "client {client} round {round} diverged from serial mining"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.completed, 48);
+    assert_eq!(stats.failed + stats.rejected, 0);
+    // 3 workloads, one planned session each; every other request could hit.
+    assert!(stats.cache.misses as usize >= dbs.len());
+    assert!(
+        stats.cache.hits > 0,
+        "expected warm-session reuse: {stats:?}"
+    );
+    assert_eq!(stats.cache.collisions, 0);
+}
+
+/// Records the address of every compiled candidate set it executes against.
+#[derive(Default)]
+struct AddressSpy {
+    inner: temporal_mining::baselines::ActiveSetBackend,
+    addrs: Vec<usize>,
+}
+
+impl Executor for AddressSpy {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        self.addrs
+            .push(req.compiled() as *const CompiledCandidates as usize);
+        self.inner.execute(req)
+    }
+
+    fn name(&self) -> &str {
+        "address-spy"
+    }
+}
+
+#[test]
+fn cache_hits_reuse_the_same_compiled_buffers() {
+    let service = MiningService::new(serve_config(2));
+    let db = Arc::new(markov_letters(20_000, 5, 0.6));
+    let req = MiningRequest::new(Arc::clone(&db), mine_config());
+
+    let mut spy = AddressSpy::default();
+    let cold = service.submit_with(&req, &mut spy).unwrap();
+    assert_eq!(cold.stats.cache, CacheOutcome::Miss);
+    assert!(!spy.addrs.is_empty());
+    let cold_addrs = std::mem::take(&mut spy.addrs);
+
+    // Second, third request: cache hits recompile in place into the parked
+    // session's buffers — every level executes against the very same
+    // compiled allocation the first request planned.
+    for round in 0..2 {
+        let warm = service.submit_with(&req, &mut spy).unwrap();
+        assert_eq!(warm.stats.cache, CacheOutcome::Hit, "round {round}");
+        assert_eq!(
+            spy.addrs, cold_addrs,
+            "round {round}: compiled buffers moved across cached requests"
+        );
+        assert_eq!(warm.result, cold.result);
+        spy.addrs.clear();
+    }
+}
+
+#[test]
+fn equal_prefix_different_content_never_shares_a_session() {
+    // Two databases identical in their first 20k symbols, diverging after:
+    // any prefix-only or lazy hashing would assign them one key. They must
+    // mine to different results and occupy distinct cache entries.
+    let service = MiningService::new(serve_config(2));
+    let prefix = "ABCD".repeat(5_000);
+    let a = Arc::new(
+        EventDb::from_str_symbols(&Alphabet::latin26(), &(prefix.clone() + &"XY".repeat(500)))
+            .unwrap(),
+    );
+    let b = Arc::new(
+        EventDb::from_str_symbols(&Alphabet::latin26(), &(prefix + &"YX".repeat(500))).unwrap(),
+    );
+    let cfg = mine_config();
+
+    let ra = service
+        .submit(&MiningRequest::new(Arc::clone(&a), cfg))
+        .unwrap();
+    let rb = service
+        .submit(&MiningRequest::new(Arc::clone(&b), cfg))
+        .unwrap();
+    assert_eq!(rb.stats.cache, CacheOutcome::Miss);
+    assert_ne!(
+        ra.result, rb.result,
+        "different content must mine differently"
+    );
+    assert_ne!(ra.stats.key, rb.stats.key, "content hash ignored the tail");
+    assert_eq!(service.cached_sessions(), 2);
+
+    // Each db re-hits its own session, and the results replay exactly.
+    let ra2 = service.submit(&MiningRequest::new(a, cfg)).unwrap();
+    let rb2 = service.submit(&MiningRequest::new(b, cfg)).unwrap();
+    assert_eq!(ra2.stats.cache, CacheOutcome::Hit);
+    assert_eq!(rb2.stats.cache, CacheOutcome::Hit);
+    assert_eq!(ra.result, ra2.result);
+    assert_eq!(rb.result, rb2.result);
+    assert_eq!(service.stats().cache.collisions, 0);
+}
+
+#[test]
+fn eviction_makes_room_and_evicted_requests_miss_again() {
+    let service = MiningService::new(ServiceConfig {
+        workers: 1,
+        cache_capacity: 2,
+        ..Default::default()
+    });
+    let cfg = mine_config();
+    let dbs = mixed_workloads();
+    for db in &dbs {
+        service
+            .submit(&MiningRequest::new(Arc::clone(db), cfg))
+            .unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(service.cached_sessions(), 2);
+    assert_eq!(stats.cache.evictions, 1);
+    // The first workload was evicted (LRU): resubmitting misses, re-plans,
+    // and still produces the right result.
+    let again = service
+        .submit(&MiningRequest::new(Arc::clone(&dbs[0]), cfg))
+        .unwrap();
+    assert_eq!(again.stats.cache, CacheOutcome::Miss);
+    // The most-recent workload is still parked.
+    let warm = service
+        .submit(&MiningRequest::new(Arc::clone(&dbs[2]), cfg))
+        .unwrap();
+    assert_eq!(warm.stats.cache, CacheOutcome::Hit);
+}
+
+/// Asserts the request's scheduling class reaches every `CountRequest` (the
+/// lane the parallel executors submit their pool jobs on).
+struct PrioritySpy {
+    expected: Priority,
+    inner: ShardedScanBackend,
+    calls: usize,
+}
+
+impl Executor for PrioritySpy {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        assert_eq!(req.priority(), self.expected, "job-lane priority lost");
+        self.calls += 1;
+        self.inner.execute(req)
+    }
+
+    fn name(&self) -> &str {
+        "priority-spy"
+    }
+}
+
+#[test]
+fn priorities_and_admission_are_wired_through() {
+    let service = MiningService::new(ServiceConfig {
+        workers: 2,
+        max_in_flight: 1,
+        ..Default::default()
+    });
+    let db = Arc::new(markov_letters(8_000, 3, 0.5));
+    for priority in [Priority::High, Priority::Normal] {
+        let req = MiningRequest::new(Arc::clone(&db), mine_config()).priority(priority);
+        let mut spy = PrioritySpy {
+            expected: priority,
+            inner: ShardedScanBackend::auto(),
+            calls: 0,
+        };
+        let resp = service.submit_with(&req, &mut spy).unwrap();
+        assert!(resp.result.total_frequent() > 0);
+        assert!(spy.calls > 0);
+    }
+    assert_eq!(service.in_flight(), 0);
+    assert_eq!(service.pending(), 0);
+}
