@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [TARGETS..] [--out DIR] [--scale S] [--exact] [--quiet]
-//!           [--bench-json PATH] [--serve-bench-json PATH]
+//!           [--bench-json PATH] [--serve-bench-json PATH] [--serve-open-loop]
 //!
 //! TARGETS: table1 table2 fig6 fig7 fig8 fig9 best characterizations grid ext
 //!          all (default: all; `ext` also runs the paper's future-work
@@ -15,9 +15,14 @@
 //!                    write the JSON report (e.g. BENCH_counting.json) to PATH;
 //!                    with no TARGETS, only the benchmark runs
 //! --serve-bench-json PATH  run the multi-tenant serving benchmark (QPS +
-//!                    latency at 1/4/16 concurrent clients) at --scale and
+//!                    latency at 1/4/16 concurrent clients, plus the
+//!                    co-mining solo-vs-fused scenario) at --scale and
 //!                    write the JSON report (e.g. BENCH_serve.json) to PATH;
 //!                    with no TARGETS, only the benchmark(s) run
+//! --serve-open-loop  also run the open-loop serving benchmark (deterministic
+//!                    Poisson-ish arrivals at a target rate; reports queueing
+//!                    delay separately from service time). Folded into the
+//!                    --serve-bench-json report when given, printed otherwise
 //! ```
 
 use std::collections::BTreeSet;
@@ -43,6 +48,7 @@ fn main() {
     let mut quiet = false;
     let mut bench_json: Option<PathBuf> = None;
     let mut serve_bench_json: Option<PathBuf> = None;
+    let mut serve_open_loop = false;
 
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
@@ -67,12 +73,16 @@ fn main() {
                     it.next().expect("--serve-bench-json needs a path"),
                 ));
             }
+            "--serve-open-loop" => serve_open_loop = true,
             t => {
                 targets.insert(t.to_string());
             }
         }
     }
-    if (targets.is_empty() && bench_json.is_none() && serve_bench_json.is_none())
+    if (targets.is_empty()
+        && bench_json.is_none()
+        && serve_bench_json.is_none()
+        && !serve_open_loop)
         || targets.contains("all")
     {
         targets = [
@@ -213,16 +223,45 @@ fn main() {
     }
 
     if let Some(path) = serve_bench_json {
-        eprintln!("benchmarking the serving layer (scale {scale}, 1/4/16 clients)...");
-        let bench = tdm_bench::serve_bench::run(&tdm_bench::serve_bench::ServeBenchConfig {
+        eprintln!("benchmarking the serving layer (scale {scale}, 1/4/16 clients + co-mining)...");
+        let mut bench = tdm_bench::serve_bench::run(&tdm_bench::serve_bench::ServeBenchConfig {
             scale,
             ..Default::default()
         });
+        if serve_open_loop {
+            eprintln!("open-loop serving benchmark (deterministic arrival schedule)...");
+            bench.open_loop = Some(tdm_bench::serve_bench::run_open_loop(
+                &tdm_bench::serve_bench::OpenLoopConfig {
+                    scale,
+                    ..Default::default()
+                },
+            ));
+        }
         std::fs::write(&path, bench.to_json()).expect("write failed");
         written.push(path.display().to_string());
         if !quiet {
             println!("\n{}", bench.summary());
         }
+    } else if serve_open_loop {
+        eprintln!("open-loop serving benchmark (scale {scale}, deterministic arrival schedule)...");
+        let report =
+            tdm_bench::serve_bench::run_open_loop(&tdm_bench::serve_bench::OpenLoopConfig {
+                scale,
+                ..Default::default()
+            });
+        println!(
+            "open loop @ {:.1} req/s: {} requests in {:.2}s ({:.1} req/s achieved)\n  \
+             queueing delay: mean {:.2} ms, p95 {:.2} ms\n  \
+             service time:   mean {:.2} ms, p95 {:.2} ms",
+            report.rate_hz,
+            report.requests,
+            report.wall_s,
+            report.achieved_rate_hz,
+            report.mean_queue_ms,
+            report.p95_queue_ms,
+            report.mean_service_ms,
+            report.p95_service_ms
+        );
     }
 
     eprintln!("\nwrote {} files:", written.len());

@@ -12,9 +12,21 @@
 //! tenants share the machine instead of 1 — goes top-level in the JSON
 //! artifact (`BENCH_serve.json`). Every response is checked bit-identical to
 //! a serial `Miner::mine` of the same request before it counts.
+//!
+//! Two further scenarios ride along:
+//!
+//! * **co-mining** ([`CoMinePoint`]) — K clients with distinct configs burst
+//!   against *one* database, once with cross-request co-mining disabled and
+//!   once fused into a single batch; the `comine_vs_solo_scan_ratio`
+//!   headline (solo wall / fused wall) goes top-level in the JSON.
+//! * **open loop** ([`run_open_loop`], `reproduce --serve-open-loop`) —
+//!   arrivals follow a deterministic Poisson-like schedule at a target rate,
+//!   so admission-gate queueing delay is reported separately from service
+//!   time (the closed-loop rungs hide queueing by construction: a client
+//!   only submits again after its previous request completes).
 
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tdm_core::miner::{Miner, MinerConfig, SequentialBackend};
 use tdm_core::stats::MiningResult;
@@ -41,6 +53,9 @@ pub struct ServeBenchConfig {
     pub workers: usize,
     /// Mining configuration every request uses.
     pub mining: MinerConfig,
+    /// Concurrent same-database clients in the co-mining scenario (each gets
+    /// a distinct support threshold, so no two can share a cached session).
+    pub comine_clients: usize,
 }
 
 impl Default for ServeBenchConfig {
@@ -55,6 +70,7 @@ impl Default for ServeBenchConfig {
                 max_level: Some(2),
                 ..Default::default()
             },
+            comine_clients: 6,
         }
     }
 }
@@ -80,6 +96,51 @@ pub struct LoadPoint {
     pub cache_misses: u64,
 }
 
+/// The cross-request co-mining scenario: the same K-config, one-database
+/// burst served twice — solo (co-mining disabled, K independent scans per
+/// level) and fused (one union scan per level) — on otherwise identical
+/// services.
+#[derive(Debug, Clone)]
+pub struct CoMinePoint {
+    /// Concurrent same-database clients (each with a distinct config).
+    pub clients: usize,
+    /// Wall time of the solo burst, seconds.
+    pub solo_wall_s: f64,
+    /// Wall time of the fused burst, seconds.
+    pub fused_wall_s: f64,
+    /// The headline: solo wall time over fused wall time (> 1 = co-mining
+    /// paid off; ~K is the ideal on a scan-bound workload).
+    pub ratio: f64,
+    /// Fused batches the co-mining service formed.
+    pub batches: u64,
+    /// Requests served from a fused scan.
+    pub fused_requests: u64,
+}
+
+/// One open-loop run: requests arrive on a deterministic Poisson-like
+/// schedule at a target rate (instead of closed-loop resubmission), so
+/// queueing delay at the admission gate is visible separately from service
+/// time.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Target arrival rate, requests/second.
+    pub rate_hz: f64,
+    /// Arrivals generated.
+    pub requests: usize,
+    /// Wall time from first arrival to last completion, seconds.
+    pub wall_s: f64,
+    /// Completions per second of wall time.
+    pub achieved_rate_hz: f64,
+    /// Mean admission-gate queueing delay, milliseconds.
+    pub mean_queue_ms: f64,
+    /// 95th-percentile queueing delay, milliseconds.
+    pub p95_queue_ms: f64,
+    /// Mean service (mining) time, milliseconds.
+    pub mean_service_ms: f64,
+    /// 95th-percentile service time, milliseconds.
+    pub p95_service_ms: f64,
+}
+
 /// The full serving benchmark report.
 #[derive(Debug, Clone)]
 pub struct ServeBench {
@@ -92,8 +153,16 @@ pub struct ServeBench {
     /// The acceptance headline: QPS at 16 clients over QPS at 1 client
     /// (0.0 when either rung was not measured).
     pub qps_16_clients_vs_1: f64,
+    /// The co-mining headline: solo wall time over fused wall time for the
+    /// same-database burst ([`CoMinePoint::ratio`]).
+    pub comine_vs_solo_scan_ratio: f64,
     /// Per-rung results.
     pub points: Vec<LoadPoint>,
+    /// The co-mining scenario measurements.
+    pub comine: CoMinePoint,
+    /// Open-loop measurements, when requested (`reproduce
+    /// --serve-open-loop`).
+    pub open_loop: Option<OpenLoopReport>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample (0.0 for empty).
@@ -125,9 +194,256 @@ fn build_workloads(scale: f64) -> Vec<(String, Arc<EventDb>)> {
     ]
 }
 
+/// One timed burst of the co-mining scenario: `requests` submitted
+/// concurrently against `service`, every response verified against its
+/// request's serial ground truth. When `stage_leader` is set, the first
+/// request is submitted alone and the rest wait for its batch window to open,
+/// so the whole burst lands in one batch.
+fn comine_burst(
+    service: &Arc<MiningService>,
+    requests: &[MiningRequest],
+    serial: &[MiningResult],
+    stage_leader: bool,
+) -> f64 {
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        let mut rest = requests.iter().zip(serial).enumerate();
+        if stage_leader {
+            let (i, (req, want)) = rest.next().expect("at least one co-mining client");
+            {
+                let service = Arc::clone(service);
+                s.spawn(move || {
+                    let resp = service.submit(req).expect("co-mining leader failed");
+                    assert_eq!(resp.result, *want, "co-mining client {i} diverged");
+                });
+            }
+            while service.open_batches() == 0 {
+                std::thread::yield_now();
+            }
+        }
+        for (i, (req, want)) in rest {
+            let service = Arc::clone(service);
+            s.spawn(move || {
+                let resp = service.submit(req).expect("co-mining client failed");
+                assert_eq!(resp.result, *want, "co-mining client {i} diverged");
+            });
+        }
+    });
+    started.elapsed().as_secs_f64()
+}
+
+/// The cross-request co-mining scenario: K clients with K *distinct* configs
+/// (stepped support thresholds — no session sharing possible) burst against
+/// one database, once on a co-mining-disabled service and once on a fused
+/// one. Both services are otherwise identical; both bursts verify every
+/// response bit-identical to serial mining.
+fn run_comine(cfg: &ServeBenchConfig, db: &Arc<EventDb>) -> CoMinePoint {
+    let clients = cfg.comine_clients.max(2);
+    let configs: Vec<MinerConfig> = (0..clients)
+        .map(|i| MinerConfig {
+            // Stepped thresholds: overlapping but distinct candidate
+            // survivor sets per level — the partial-overlap regime co-mining
+            // targets.
+            alpha: cfg.mining.alpha * (1.0 + i as f64 * 0.5),
+            ..cfg.mining
+        })
+        .collect();
+    let serial: Vec<MiningResult> = configs
+        .iter()
+        .map(|c| {
+            Miner::new(*c)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .expect("serial reference mining failed")
+        })
+        .collect();
+    let requests: Vec<MiningRequest> = configs
+        .iter()
+        .map(|c| {
+            let req = MiningRequest::new(Arc::clone(db), *c);
+            req.key();
+            req
+        })
+        .collect();
+
+    let service_of = |window: Duration| {
+        Arc::new(MiningService::new(ServiceConfig {
+            workers: cfg.workers,
+            max_in_flight: clients.max(default_workers()),
+            comine_window: window,
+            comine_max_batch: clients,
+            ..Default::default()
+        }))
+    };
+
+    // Solo: co-mining disabled — K independent sessions, K scans per level.
+    let solo = service_of(Duration::ZERO);
+    let solo_wall_s = comine_burst(&solo, &requests, &serial, false);
+
+    // Fused: one batch, one union scan per level (closed by max_batch, so
+    // the window itself never shows up in the wall time).
+    let fused = service_of(Duration::from_secs(2));
+    let fused_wall_s = comine_burst(&fused, &requests, &serial, true);
+    let stats = fused.stats();
+
+    CoMinePoint {
+        clients,
+        solo_wall_s,
+        fused_wall_s,
+        ratio: solo_wall_s / fused_wall_s.max(1e-9),
+        batches: stats.comining.batches,
+        fused_requests: stats.comining.fused_requests,
+    }
+}
+
+/// Open-loop benchmark parameters.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Workload scale in (0, 1] (see [`ServeBenchConfig::scale`]).
+    pub scale: f64,
+    /// Target arrival rate, requests/second.
+    pub rate_hz: f64,
+    /// Total arrivals to generate.
+    pub requests: usize,
+    /// Shared-pool workers (0 = available parallelism).
+    pub workers: usize,
+    /// Concurrency cap at the admission gate — keep it low so an open loop
+    /// actually queues (0 = one per worker).
+    pub max_in_flight: usize,
+    /// Mining configuration every request uses.
+    pub mining: MinerConfig,
+    /// Seed of the deterministic arrival schedule.
+    pub seed: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        OpenLoopConfig {
+            scale: 1.0,
+            rate_hz: 25.0,
+            requests: 50,
+            workers: 0,
+            max_in_flight: 2,
+            mining: MinerConfig {
+                alpha: 0.001,
+                max_level: Some(2),
+                ..Default::default()
+            },
+            seed: 0x5EED_CAFE,
+        }
+    }
+}
+
+/// Deterministic uniform in (0, 1): one LCG step (so the arrival schedule is
+/// reproducible across runs and hosts — "Poisson-ish", not sampled).
+fn lcg_uniform(state: &mut u64) -> f64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (((*state >> 11) as f64) + 1.0) / ((1u64 << 53) as f64 + 2.0)
+}
+
+/// Runs the open-loop benchmark: arrivals follow a deterministic
+/// exponential-gap schedule at `rate_hz` (requests fire whether or not
+/// earlier ones finished — unlike the closed-loop rungs, which resubmit on
+/// completion), and the report separates **queueing delay** (admission-gate
+/// wait) from **service time** (the mining loop). Every response is verified
+/// against serial ground truth.
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopReport {
+    let workloads = build_workloads(cfg.scale);
+    let serial: Vec<MiningResult> = workloads
+        .iter()
+        .map(|(_, db)| {
+            Miner::new(cfg.mining)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .expect("serial reference mining failed")
+        })
+        .collect();
+    let requests: Vec<MiningRequest> = workloads
+        .iter()
+        .map(|(_, db)| {
+            let req = MiningRequest::new(Arc::clone(db), cfg.mining);
+            req.key();
+            req
+        })
+        .collect();
+
+    // The deterministic arrival schedule: exponential gaps, inverse-CDF over
+    // an LCG stream.
+    let mut state = cfg.seed;
+    let mut at = 0.0f64;
+    let arrivals: Vec<f64> = (0..cfg.requests.max(1))
+        .map(|_| {
+            let u = lcg_uniform(&mut state);
+            at += -(1.0 - u).ln() / cfg.rate_hz.max(1e-6);
+            at
+        })
+        .collect();
+
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: cfg.workers,
+        max_in_flight: cfg.max_in_flight,
+        ..Default::default()
+    }));
+    let samples = Arc::new(Mutex::new(Vec::<(f64, f64)>::new())); // (queue_ms, service_ms)
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for (i, &arrive_at) in arrivals.iter().enumerate() {
+            let service = Arc::clone(&service);
+            let samples = Arc::clone(&samples);
+            let requests = &requests;
+            let serial = &serial;
+            s.spawn(move || {
+                let now = started.elapsed().as_secs_f64();
+                if arrive_at > now {
+                    std::thread::sleep(Duration::from_secs_f64(arrive_at - now));
+                }
+                let which = i % requests.len();
+                let resp = service
+                    .submit(&requests[which])
+                    .expect("open-loop request failed");
+                assert_eq!(
+                    resp.result, serial[which],
+                    "open-loop response diverged from serial mining"
+                );
+                samples.lock().expect("open-loop samples").push((
+                    resp.stats.queue_wait.as_secs_f64() * 1e3,
+                    resp.stats.mine_time.as_secs_f64() * 1e3,
+                ));
+            });
+        }
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+    let samples = Arc::try_unwrap(samples)
+        .expect("sample collector still shared")
+        .into_inner()
+        .expect("open-loop samples");
+    let mut queue: Vec<f64> = samples.iter().map(|(q, _)| *q).collect();
+    let mut service_ms: Vec<f64> = samples.iter().map(|(_, s)| *s).collect();
+    queue.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    service_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    OpenLoopReport {
+        rate_hz: cfg.rate_hz,
+        requests: samples.len(),
+        wall_s,
+        achieved_rate_hz: samples.len() as f64 / wall_s.max(1e-9),
+        mean_queue_ms: mean(&queue),
+        p95_queue_ms: percentile(&queue, 0.95),
+        mean_service_ms: mean(&service_ms),
+        p95_service_ms: percentile(&service_ms, 0.95),
+    }
+}
+
 /// Runs the benchmark: for each client rung, a fresh service (cold cache) is
 /// hammered by `clients` threads submitting mixed-workload requests; every
-/// response is verified against serial ground truth.
+/// response is verified against serial ground truth. The co-mining scenario
+/// ([`CoMinePoint`]) runs after the rungs, on the first (Markov) workload.
 pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
     let workloads = build_workloads(cfg.scale);
     let serial: Vec<MiningResult> = workloads
@@ -233,6 +549,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
     } else {
         0.0
     };
+    let comine = run_comine(cfg, &workloads[0].1);
     ServeBench {
         available_parallelism: default_workers(),
         workers: if cfg.workers == 0 {
@@ -245,7 +562,10 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
             .map(|(name, db)| (name.clone(), db.len()))
             .collect(),
         qps_16_clients_vs_1,
+        comine_vs_solo_scan_ratio: comine.ratio,
         points,
+        comine,
+        open_loop: None,
     }
 }
 
@@ -263,6 +583,35 @@ impl ServeBench {
             "  \"qps_16_clients_vs_1\": {:.4},\n",
             self.qps_16_clients_vs_1
         ));
+        s.push_str(&format!(
+            "  \"comine_vs_solo_scan_ratio\": {:.4},\n",
+            self.comine_vs_solo_scan_ratio
+        ));
+        s.push_str(&format!(
+            "  \"comine\": {{\"clients\": {}, \"solo_wall_s\": {:.4}, \"fused_wall_s\": {:.4}, \
+             \"ratio\": {:.4}, \"batches\": {}, \"fused_requests\": {}}},\n",
+            self.comine.clients,
+            self.comine.solo_wall_s,
+            self.comine.fused_wall_s,
+            self.comine.ratio,
+            self.comine.batches,
+            self.comine.fused_requests
+        ));
+        if let Some(ol) = &self.open_loop {
+            s.push_str(&format!(
+                "  \"open_loop\": {{\"rate_hz\": {:.3}, \"requests\": {}, \"wall_s\": {:.4}, \
+                 \"achieved_rate_hz\": {:.3}, \"mean_queue_ms\": {:.3}, \"p95_queue_ms\": {:.3}, \
+                 \"mean_service_ms\": {:.3}, \"p95_service_ms\": {:.3}}},\n",
+                ol.rate_hz,
+                ol.requests,
+                ol.wall_s,
+                ol.achieved_rate_hz,
+                ol.mean_queue_ms,
+                ol.p95_queue_ms,
+                ol.mean_service_ms,
+                ol.p95_service_ms
+            ));
+        }
         s.push_str("  \"workloads\": [\n");
         for (i, (name, len)) in self.workloads.iter().enumerate() {
             s.push_str(&format!(
@@ -312,6 +661,29 @@ impl ServeBench {
             "  qps 16-vs-1: {:.2}x\n",
             self.qps_16_clients_vs_1
         ));
+        s.push_str(&format!(
+            "  co-mining ({} same-db clients): solo {:.1} ms vs fused {:.1} ms = {:.2}x \
+             ({} batches, {} fused requests)\n",
+            self.comine.clients,
+            self.comine.solo_wall_s * 1e3,
+            self.comine.fused_wall_s * 1e3,
+            self.comine_vs_solo_scan_ratio,
+            self.comine.batches,
+            self.comine.fused_requests
+        ));
+        if let Some(ol) = &self.open_loop {
+            s.push_str(&format!(
+                "  open loop @ {:.1} req/s: queue mean {:.2} ms p95 {:.2} ms | \
+                 service mean {:.2} ms p95 {:.2} ms ({} reqs, {:.1} req/s achieved)\n",
+                ol.rate_hz,
+                ol.mean_queue_ms,
+                ol.p95_queue_ms,
+                ol.mean_service_ms,
+                ol.p95_service_ms,
+                ol.requests,
+                ol.achieved_rate_hz
+            ));
+        }
         s
     }
 }
@@ -326,6 +698,7 @@ mod tests {
             client_counts: vec![1, 2],
             requests_per_client: 2,
             workers: 2,
+            comine_clients: 3,
             ..Default::default()
         })
     }
@@ -343,20 +716,77 @@ mod tests {
         assert_eq!(b.workloads.len(), 3);
         // No 16-client rung configured: the ratio degrades to 0, not NaN.
         assert_eq!(b.qps_16_clients_vs_1, 0.0);
+        // The co-mining scenario fused every client into one batch (results
+        // were already verified bit-identical inside the burst).
+        assert_eq!(b.comine.clients, 3);
+        assert_eq!(b.comine.batches, 1);
+        assert_eq!(b.comine.fused_requests, 3);
+        assert!(b.comine_vs_solo_scan_ratio > 0.0);
+        assert!(b.comine_vs_solo_scan_ratio.is_finite());
     }
 
     #[test]
     fn json_shape_is_valid_enough() {
-        let b = tiny();
+        let mut b = tiny();
+        b.open_loop = Some(run_open_loop(&OpenLoopConfig {
+            scale: 0.05,
+            rate_hz: 200.0,
+            requests: 6,
+            workers: 2,
+            ..Default::default()
+        }));
         let j = b.to_json();
         assert!(j.starts_with("{\n"));
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\"qps_16_clients_vs_1\""));
+        assert!(j.contains("\"comine_vs_solo_scan_ratio\""));
+        assert!(j.contains("\"fused_requests\""));
+        assert!(j.contains("\"open_loop\""));
+        assert!(j.contains("\"mean_queue_ms\""));
         assert!(j.contains("\"p95_ms\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
         assert!(!j.contains("NaN"));
         assert!(!b.summary().is_empty());
+        assert!(b.summary().contains("open loop"));
+    }
+
+    #[test]
+    fn open_loop_reports_queue_and_service_separately() {
+        // A high arrival rate against a 1-wide admission gate must show
+        // queueing delay that closed-loop measurement cannot (the schedule
+        // fires arrivals regardless of completions).
+        let r = run_open_loop(&OpenLoopConfig {
+            scale: 0.05,
+            rate_hz: 500.0,
+            requests: 8,
+            workers: 1,
+            max_in_flight: 1,
+            ..Default::default()
+        });
+        assert_eq!(r.requests, 8);
+        assert!(r.wall_s > 0.0);
+        assert!(r.achieved_rate_hz > 0.0);
+        assert!(r.mean_service_ms > 0.0);
+        assert!(r.p95_queue_ms >= r.mean_queue_ms * 0.5);
+        // With max_in_flight 1 and near-simultaneous arrivals, someone
+        // queued behind someone else's full mining run.
+        assert!(
+            r.p95_queue_ms > 0.0,
+            "open loop at 500 req/s over a 1-slot gate must queue: {r:?}"
+        );
+    }
+
+    #[test]
+    fn arrival_schedule_is_deterministic() {
+        let mut a = 1u64;
+        let mut b = 1u64;
+        let xs: Vec<f64> = (0..5).map(|_| lcg_uniform(&mut a)).collect();
+        let ys: Vec<f64> = (0..5).map(|_| lcg_uniform(&mut b)).collect();
+        assert_eq!(xs, ys);
+        for x in xs {
+            assert!(x > 0.0 && x < 1.0);
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@
 
 use crate::episode::Episode;
 use crate::segment::{continuation_count_items, count_segmented_exact_items};
+use std::collections::HashMap;
 use std::sync::Arc;
 use tdm_mapreduce::pool::{default_workers, shared};
 
@@ -390,17 +391,47 @@ impl CompiledCandidates {
             let mut scratch = CountScratch::new();
             return self.count(stream, &mut scratch);
         }
+        // One snapshot of each borrowed input, then the Arc-native path.
+        let this: Arc<CompiledCandidates> = Arc::new(self.clone());
+        let shared_stream: Arc<[u8]> = Arc::from(stream);
+        CompiledCandidates::count_sharded_arc(&this, &shared_stream, workers)
+    }
+
+    /// The **Arc-native** database-sharded count: like [`count_sharded`], but
+    /// the compiled set and the stream arrive as shared handles, so dispatching
+    /// the map step to the process-wide pool costs refcount bumps — no clone of
+    /// the compiled buffers, no stream copy, per call. The borrowed
+    /// [`count_sharded`] pays one snapshot and then delegates here; callers
+    /// that already hold `Arc`'d inputs (e.g. a counting service outside the
+    /// session framing) skip the snapshot entirely. Session-driven executors
+    /// don't need this entry — their [`crate::session::CountRequest`] already
+    /// exposes shared handles for the equivalent [`shard_scan`] /
+    /// [`merge_shard_counts`] path.
+    ///
+    /// Bit-identical to the sequential count for every episode set and worker
+    /// count, exactly like [`count_sharded`].
+    ///
+    /// [`count_sharded`]: CompiledCandidates::count_sharded
+    /// [`shard_scan`]: CompiledCandidates::shard_scan
+    /// [`merge_shard_counts`]: CompiledCandidates::merge_shard_counts
+    pub fn count_sharded_arc(this: &Arc<Self>, stream: &Arc<[u8]>, workers: usize) -> Vec<u64> {
+        let n = stream.len();
+        let workers = workers.max(1);
+        if workers == 1 || n < MIN_SHARD_STREAM || this.is_empty() {
+            return with_thread_scratch(|scratch| this.count(stream, scratch));
+        }
         let bounds = crate::segment::even_bounds(n, workers);
         let ranges = crate::segment::segment_ranges(n, &bounds);
 
         // Map: each shared-pool worker scans its segment with its persistent
-        // thread-local scratch.
-        let this: Arc<CompiledCandidates> = Arc::new(self.clone());
-        let shared_stream: Arc<[u8]> = Arc::from(stream);
+        // thread-local scratch; the Arc clones below are the whole dispatch
+        // cost.
+        let compiled = Arc::clone(this);
+        let shared_stream = Arc::clone(stream);
         let shards: Vec<(Vec<u64>, Vec<u8>)> =
-            shared().map_move(ranges, move |r| this.shard_scan(&shared_stream, r));
+            shared().map_move(ranges, move |r| compiled.shard_scan(&shared_stream, r));
 
-        self.merge_shard_counts(stream, &bounds, &shards)
+        this.merge_shard_counts(stream, &bounds, &shards)
     }
 
     /// Convenience: sharded count with the machine's available parallelism.
@@ -564,6 +595,149 @@ impl CountScratch {
     }
 }
 
+/// The deduplicated union of several candidate sets, with per-source
+/// ownership maps — the compile side of **cross-request co-mining**.
+///
+/// When K concurrent mining requests share one database, their per-level
+/// candidate sets usually overlap heavily (identical configs overlap fully;
+/// different support thresholds still share the dense core of the space).
+/// Scanning each set separately pays K stream passes for work one pass could
+/// do. A `CandidateUnion` merges the sets:
+///
+/// * [`episodes`](CandidateUnion::episodes) — every distinct episode across
+///   the sources, in first-appearance order (source 0's candidates first, then
+///   the novel tail of source 1, …). Compile *this* set into a
+///   [`CompiledCandidates`] and scan it **once**.
+/// * [`map`](CandidateUnion::map) — for each source `s`, the offset map from
+///   source-local candidate index to union index: `map(s)[i]` is where source
+///   `s`'s candidate `i` landed in the union.
+/// * [`demux`](CandidateUnion::demux) — gathers a union count vector back
+///   into one source's own candidate ordering, so every request sees exactly
+///   the counts a solo scan of its set would have produced.
+///
+/// Because the engine's scan semantics are per-episode (an episode's count
+/// never depends on what else is compiled alongside it — property-tested in
+/// the workspace suite), demuxed union counts are **bit-identical** to
+/// per-source scans.
+///
+/// [`rebuild`](CandidateUnion::rebuild) reuses every buffer's capacity, so a
+/// co-mining session re-unions each level without steady-state allocation.
+///
+/// ```
+/// use tdm_core::engine::{CandidateUnion, CompiledCandidates, CountScratch};
+/// use tdm_core::{Alphabet, Episode};
+///
+/// let ab = Alphabet::latin26();
+/// let eps = |specs: &[&str]| -> Vec<Episode> {
+///     specs.iter().map(|s| Episode::from_str(&ab, s).unwrap()).collect()
+/// };
+/// let req_a = eps(&["AB", "BC", "CA"]);
+/// let req_b = eps(&["BC", "AB", "XY"]); // overlaps A on {AB, BC}
+///
+/// let union = CandidateUnion::build(&[&req_a, &req_b]);
+/// assert_eq!(union.len(), 4); // AB, BC, CA, XY — deduplicated
+///
+/// // One compile, one scan, two demuxed answers.
+/// let compiled = CompiledCandidates::compile(ab.len(), union.episodes());
+/// let stream: Vec<u8> = b"ABCABXY".iter().map(|c| c - b'A').collect();
+/// let counts = compiled.count(&stream, &mut CountScratch::new());
+/// let a = union.demux(0, &counts);
+/// let b = union.demux(1, &counts);
+/// assert_eq!(a, CompiledCandidates::compile(ab.len(), &req_a).count(&stream, &mut CountScratch::new()));
+/// assert_eq!(b, CompiledCandidates::compile(ab.len(), &req_b).count(&stream, &mut CountScratch::new()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CandidateUnion {
+    /// Distinct episodes across every source, first-appearance order.
+    episodes: Vec<Episode>,
+    /// Per-source offset maps into `episodes` (CSR: `map_items[map_offsets[s]
+    /// .. map_offsets[s+1]]` is source `s`'s map).
+    map_items: Vec<u32>,
+    map_offsets: Vec<u32>,
+    /// Dedup index, kept to reuse its table capacity across rebuilds.
+    index: HashMap<Episode, u32>,
+}
+
+impl CandidateUnion {
+    /// Builds the union of `sources` (each one request's candidate set).
+    pub fn build(sources: &[&[Episode]]) -> Self {
+        let mut u = CandidateUnion::default();
+        u.rebuild(sources);
+        u
+    }
+
+    /// Rebuilds the union in place, reusing every buffer's capacity — the
+    /// per-level step of a co-mining session.
+    pub fn rebuild(&mut self, sources: &[&[Episode]]) {
+        self.episodes.clear();
+        self.map_items.clear();
+        self.map_offsets.clear();
+        self.index.clear();
+        self.map_offsets.push(0);
+        for source in sources {
+            for ep in source.iter() {
+                // Probe before cloning: in the heavy-overlap regime co-mining
+                // targets, most candidates are duplicates, and the episode is
+                // only cloned on a genuine first appearance.
+                let slot = match self.index.get(ep) {
+                    Some(&slot) => slot,
+                    None => {
+                        let next = self.episodes.len() as u32;
+                        self.index.insert(ep.clone(), next);
+                        self.episodes.push(ep.clone());
+                        next
+                    }
+                };
+                self.map_items.push(slot);
+            }
+            self.map_offsets.push(self.map_items.len() as u32);
+        }
+    }
+
+    /// Number of distinct episodes in the union.
+    pub fn len(&self) -> usize {
+        self.episodes.len()
+    }
+
+    /// True when the union holds no episode.
+    pub fn is_empty(&self) -> bool {
+        self.episodes.is_empty()
+    }
+
+    /// Number of source sets the union was built from.
+    pub fn sources(&self) -> usize {
+        self.map_offsets.len().saturating_sub(1)
+    }
+
+    /// The deduplicated episode set — what a co-mining scan compiles.
+    pub fn episodes(&self) -> &[Episode] {
+        &self.episodes
+    }
+
+    /// Source `s`'s offset map: element `i` is the union index of source
+    /// `s`'s candidate `i`.
+    pub fn map(&self, s: usize) -> &[u32] {
+        &self.map_items[self.map_offsets[s] as usize..self.map_offsets[s + 1] as usize]
+    }
+
+    /// Gathers union-ordered `counts` back into source `s`'s own candidate
+    /// ordering — the demultiplex step after the single shared scan.
+    ///
+    /// # Panics
+    /// When `counts.len() != self.len()` — a malformed scan result would
+    /// otherwise demux silently wrong counts.
+    pub fn demux(&self, s: usize, counts: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            counts.len(),
+            self.len(),
+            "union scan returned {} counts for {} distinct episodes",
+            counts.len(),
+            self.len()
+        );
+        self.map(s).iter().map(|&u| counts[u as usize]).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,6 +892,99 @@ mod tests {
         }
         // Empty chunk touches nothing.
         assert!(c.chunk_scan(db.symbols(), 3..3).is_empty());
+    }
+
+    #[test]
+    fn arc_native_sharded_count_matches_borrowed() {
+        let text: String = (0..8192u32)
+            .map(|i| char::from(b'A' + ((i.wrapping_mul(2654435761) >> 5) % 26) as u8))
+            .collect();
+        let db = db_of(&text);
+        let eps = eps_of(&["AB", "BA", "A", "QXZ", "ABA"]);
+        let c = Arc::new(CompiledCandidates::compile(26, &eps));
+        let stream: Arc<[u8]> = Arc::from(db.symbols());
+        let expected = count_episodes_naive(&db, &eps);
+        for workers in [1usize, 2, 4, 8] {
+            assert_eq!(
+                CompiledCandidates::count_sharded_arc(&c, &stream, workers),
+                expected,
+                "workers={workers}"
+            );
+        }
+        // Short streams fall back to the sequential scan, same counts.
+        let short: Arc<[u8]> = Arc::from(&db.symbols()[..100]);
+        let short_db = EventDb::new(Alphabet::latin26(), short.to_vec()).unwrap();
+        assert_eq!(
+            CompiledCandidates::count_sharded_arc(&c, &short, 4),
+            count_episodes_naive(&short_db, &eps)
+        );
+    }
+
+    #[test]
+    fn union_dedups_and_maps_every_source() {
+        let a = eps_of(&["AB", "BC", "CA"]);
+        let b = eps_of(&["BC", "AB", "XY"]);
+        let c = eps_of(&["Q"]);
+        let u = CandidateUnion::build(&[&a, &b, &c]);
+        assert_eq!(u.sources(), 3);
+        assert_eq!(u.len(), 5); // AB BC CA XY Q
+        assert_eq!(u.map(0), &[0, 1, 2]);
+        assert_eq!(u.map(1), &[1, 0, 3]);
+        assert_eq!(u.map(2), &[4]);
+        // First-appearance order.
+        assert_eq!(u.episodes()[3], b[2]);
+        assert_eq!(u.episodes()[4], c[0]);
+    }
+
+    #[test]
+    fn union_handles_empty_and_duplicate_sources() {
+        let a = eps_of(&["AB", "AB"]); // repeated inside one source
+        let empty: Vec<Episode> = Vec::new();
+        let u = CandidateUnion::build(&[&a, &empty, &a]);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.map(0), &[0, 0]);
+        assert!(u.map(1).is_empty());
+        assert_eq!(u.map(2), &[0, 0]);
+        assert_eq!(u.demux(1, &[7]), Vec::<u64>::new());
+        assert_eq!(u.demux(2, &[7]), vec![7, 7]);
+        let none = CandidateUnion::build(&[]);
+        assert!(none.is_empty());
+        assert_eq!(none.sources(), 0);
+    }
+
+    #[test]
+    fn union_rebuild_reuses_buffers() {
+        let big: Vec<Episode> = permutations(&Alphabet::latin26(), 2);
+        let mut u = CandidateUnion::build(&[&big, &big]);
+        assert_eq!(u.len(), big.len());
+        let caps = (u.episodes.capacity(), u.map_items.capacity());
+        let small = eps_of(&["AB"]);
+        u.rebuild(&[&small]);
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.sources(), 1);
+        assert_eq!(caps, (u.episodes.capacity(), u.map_items.capacity()));
+    }
+
+    #[test]
+    fn union_demux_equals_solo_counts() {
+        let db = db_of(&"ABCABZQXABC".repeat(40));
+        let sets = [
+            eps_of(&["A", "AB", "ABC", "AA"]),
+            eps_of(&["AB", "ZQ", "QZ", "ABA"]),
+            eps_of(&["X", "ABC", "BCA"]),
+        ];
+        let refs: Vec<&[Episode]> = sets.iter().map(|s| s.as_slice()).collect();
+        let u = CandidateUnion::build(&refs);
+        let compiled = CompiledCandidates::compile(26, u.episodes());
+        let mut scratch = CountScratch::new();
+        let union_counts = compiled.count(db.symbols(), &mut scratch);
+        for (s, set) in sets.iter().enumerate() {
+            assert_eq!(
+                u.demux(s, &union_counts),
+                count_episodes_naive(&db, set),
+                "source {s}"
+            );
+        }
     }
 
     #[test]

@@ -28,6 +28,11 @@
 //!   each level once and owns the persistent worker pool, while counting
 //!   backends implement [`session::Executor`] over borrowed
 //!   [`session::CountRequest`] views ([`session`]);
+//! * **cross-request co-mining**: [`session::CoSession`] advances several
+//!   mining configurations over one database in lockstep, counting each
+//!   level's deduplicated [`engine::CandidateUnion`] with a single shared
+//!   scan and demultiplexing the counts back per member — bit-identical to
+//!   mining each configuration alone;
 //! * the level-wise mining loop of the paper's Algorithm 1, a thin driver
 //!   over a session ([`miner`]);
 //! * the episode-expiry extension sketched in the paper's future work ([`expiry`]).
@@ -61,7 +66,7 @@ pub mod session;
 pub mod stats;
 
 pub use alphabet::{Alphabet, Symbol};
-pub use engine::{CompiledCandidates, CountScratch};
+pub use engine::{CandidateUnion, CompiledCandidates, CountScratch};
 pub use episode::Episode;
 #[allow(deprecated)]
 pub use miner::CountingBackend;
@@ -69,7 +74,8 @@ pub use miner::{Miner, MinerConfig, SequentialBackend};
 pub use semantics::CountSemantics;
 pub use sequence::EventDb;
 pub use session::{
-    BackendError, CountRequest, Counts, Executor, MineError, MiningSession, MiningSessionBuilder,
+    BackendError, CoSession, CoSessionBuilder, CountRequest, Counts, Executor, MineError,
+    MiningSession, MiningSessionBuilder,
 };
 pub use stats::{LevelResult, MiningResult};
 

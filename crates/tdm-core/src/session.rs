@@ -52,7 +52,7 @@
 use std::sync::Arc;
 
 use crate::candidate::{apriori_join, level1};
-use crate::engine::{CompiledCandidates, MIN_SHARD_STREAM};
+use crate::engine::{CandidateUnion, CompiledCandidates, MIN_SHARD_STREAM};
 use crate::episode::Episode;
 use crate::miner::MinerConfig;
 use crate::segment::even_bounds;
@@ -610,9 +610,10 @@ impl<'db> MiningSession<'db> {
         self.mine_with(executor, |_| {})
     }
 
-    /// Like [`mine`], but invokes `on_level` with each level's result as soon
-    /// as that level's elimination step finishes — the streaming hook serving
-    /// use-cases want (emit level-1 frequent episodes while level 2 counts).
+    /// Like [`mine`], but invokes `on_level` with each level's result as
+    /// soon as that level's elimination step finishes — the streaming hook
+    /// serving use-cases want (emit level-1 frequent episodes while level 2
+    /// counts).
     ///
     /// # Errors
     /// [`MineError`] from the first failing level.
@@ -658,5 +659,330 @@ impl<'db> MiningSession<'db> {
             level += 1;
         }
         Ok(result)
+    }
+}
+
+/// Builder for a [`CoSession`]. Obtained from [`CoSession::builder`]; add one
+/// [`config`](CoSessionBuilder::config) per member request, then
+/// [`build`](CoSessionBuilder::build).
+#[derive(Debug)]
+pub struct CoSessionBuilder {
+    db: Arc<EventDb>,
+    configs: Vec<MinerConfig>,
+    workers: usize,
+    pool: Option<Arc<Pool>>,
+}
+
+impl CoSessionBuilder {
+    /// Adds one member: a mining configuration to co-mine alongside the
+    /// others. Member results come back in the order configs were added.
+    pub fn config(mut self, config: MinerConfig) -> Self {
+        self.configs.push(config);
+        self
+    }
+
+    /// Adds several members at once (see [`config`](CoSessionBuilder::config)).
+    pub fn configs(mut self, configs: impl IntoIterator<Item = MinerConfig>) -> Self {
+        self.configs.extend(configs);
+        self
+    }
+
+    /// Sets the decomposition width (0 = the machine's available parallelism,
+    /// or the shared pool's size when [`with_pool`] was given) — same
+    /// semantics as [`MiningSessionBuilder::workers`].
+    ///
+    /// [`with_pool`]: CoSessionBuilder::with_pool
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Attaches an externally owned shared worker pool — the serving
+    /// configuration, where every batch's union scans multiplex over the one
+    /// machine-sized pool (same semantics as
+    /// [`MiningSessionBuilder::with_pool`]).
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Builds the group session: snapshots the stream **once** for every
+    /// member and fixes the shard bounds, exactly like a solo session — K
+    /// members cost one snapshot, not K.
+    pub fn build(self) -> CoSession {
+        let workers = if self.workers != 0 {
+            self.workers
+        } else if let Some(pool) = &self.pool {
+            pool.workers()
+        } else {
+            default_workers()
+        };
+        let n = self.db.len();
+        let shard_bounds = if workers > 1 && n >= MIN_SHARD_STREAM {
+            even_bounds(n, workers)
+        } else {
+            Vec::new()
+        };
+        let stream = Arc::from(self.db.symbols());
+        let pool = match self.pool {
+            Some(pool) => PoolSlot::Shared(pool),
+            None => PoolSlot::Owned {
+                workers,
+                cell: OnceLock::new(),
+            },
+        };
+        CoSession {
+            db: self.db,
+            stream,
+            configs: self.configs,
+            union: CandidateUnion::default(),
+            compiled: Arc::new(CompiledCandidates::default()),
+            shard_bounds,
+            workers,
+            pool,
+            priority: Priority::Normal,
+            compiles: 0,
+        }
+    }
+}
+
+/// Per-member progress inside [`CoSession::co_mine`].
+struct CoMember {
+    candidates: Vec<Episode>,
+    result: MiningResult,
+    active: bool,
+}
+
+/// A **co-mining** session: the group-planning side of cross-request
+/// co-mining (Mayura-style). One database, one stream snapshot, one worker
+/// pool — and *K* mining configurations whose level loops advance in
+/// lockstep. At each level the members' candidate sets are merged into one
+/// deduplicated [`CandidateUnion`], compiled once into the session's reusable
+/// buffers, and counted with a **single** executor scan; the union counts are
+/// then demultiplexed back into each member's own candidate ordering for its
+/// elimination step. K concurrent requests over one database cost ~1 scan per
+/// level instead of K.
+///
+/// Results are **bit-identical** to mining each configuration serially with
+/// its own [`MiningSession`] (or [`crate::miner::Miner`]): the engine's count
+/// of an episode never depends on what else is compiled alongside it, so
+/// demuxed union counts equal solo counts — the workspace differential suite
+/// (`tests/comining.rs`) proves this under adversarial overlap.
+///
+/// ```
+/// use std::sync::Arc;
+/// use tdm_core::miner::{Miner, MinerConfig, SequentialBackend};
+/// use tdm_core::session::CoSession;
+/// use tdm_core::{Alphabet, EventDb};
+///
+/// let db = Arc::new(EventDb::from_str_symbols(&Alphabet::latin26(), &"ABCD".repeat(60)).unwrap());
+/// let fast = MinerConfig { alpha: 0.01, max_level: Some(2), ..Default::default() };
+/// let deep = MinerConfig { alpha: 0.001, max_level: Some(3), ..Default::default() };
+///
+/// // Two configurations, one shared scan per level.
+/// let mut group = CoSession::builder(Arc::clone(&db)).config(fast).config(deep).build();
+/// let results = group.co_mine(&mut SequentialBackend::default()).unwrap();
+///
+/// // Bit-identical to mining each request on its own.
+/// for (cfg, got) in [fast, deep].into_iter().zip(&results) {
+///     let solo = Miner::new(cfg).mine(&db, &mut SequentialBackend::default()).unwrap();
+///     assert_eq!(*got, solo);
+/// }
+/// // Three levels deep at most, and exactly one union compile+scan per level.
+/// assert_eq!(group.compiles(), results.iter().map(|r| r.levels.len()).max().unwrap());
+/// ```
+pub struct CoSession {
+    db: Arc<EventDb>,
+    stream: Arc<[u8]>,
+    configs: Vec<MinerConfig>,
+    union: CandidateUnion,
+    compiled: Arc<CompiledCandidates>,
+    shard_bounds: Vec<usize>,
+    workers: usize,
+    pool: PoolSlot,
+    priority: Priority,
+    compiles: usize,
+}
+
+impl std::fmt::Debug for CoSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoSession")
+            .field("db_len", &self.db.len())
+            .field("members", &self.configs.len())
+            .field("workers", &self.workers)
+            .field("compiles", &self.compiles)
+            .finish()
+    }
+}
+
+impl CoSession {
+    /// Starts building a co-mining session over a shared database handle.
+    /// Like [`MiningSession::builder_shared`], the built session owns no
+    /// borrow, so a serving layer can assemble one per batch and run it
+    /// anywhere.
+    pub fn builder(db: Arc<EventDb>) -> CoSessionBuilder {
+        CoSessionBuilder {
+            db,
+            configs: Vec::new(),
+            workers: 0,
+            pool: None,
+        }
+    }
+
+    /// The database this group mines.
+    pub fn db(&self) -> &EventDb {
+        &self.db
+    }
+
+    /// The member configurations, in result order.
+    pub fn configs(&self) -> &[MinerConfig] {
+        &self.configs
+    }
+
+    /// Number of member requests in the group.
+    pub fn members(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// The session's planned worker count (decomposition width).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The session's worker pool (owned-lazy or shared; see
+    /// [`MiningSession::pool`]).
+    pub fn pool(&self) -> &Pool {
+        self.pool.get()
+    }
+
+    /// Sets the scheduling class the union scans run at (see
+    /// [`MiningSession::set_job_priority`]). A batch typically runs at the
+    /// *highest* class among its members, so fusing never deprioritizes
+    /// anyone's work.
+    pub fn set_job_priority(&mut self, priority: Priority) {
+        self.priority = priority;
+    }
+
+    /// The scheduling class union scans run at.
+    pub fn job_priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// How many union candidate sets this session has compiled — exactly one
+    /// per counted level (the number of shared scans issued), regardless of
+    /// how many members rode each.
+    pub fn compiles(&self) -> usize {
+        self.compiles
+    }
+
+    /// Runs every member's level-wise mining loop in lockstep, issuing **one**
+    /// union scan per level. Returns one [`MiningResult`] per member, in the
+    /// order their configs were added — each bit-identical to a solo run of
+    /// that config.
+    ///
+    /// # Errors
+    /// [`MineError`] from the first failing union scan (the whole batch shares
+    /// the scan, so the whole batch shares the failure).
+    pub fn co_mine<E: Executor + ?Sized>(
+        &mut self,
+        executor: &mut E,
+    ) -> Result<Vec<MiningResult>, MineError> {
+        let n = self.db.len();
+        let alphabet_len = self.db.alphabet().len();
+        let mut members: Vec<CoMember> = self
+            .configs
+            .iter()
+            .map(|_| CoMember {
+                candidates: level1(self.db.alphabet()),
+                result: MiningResult {
+                    levels: Vec::new(),
+                    db_len: n,
+                },
+                active: true,
+            })
+            .collect();
+        let mut level = 1usize;
+        loop {
+            // Retire members that are out of candidates or past their level
+            // bound — the same exits the solo loop takes before counting.
+            for (m, cfg) in members.iter_mut().zip(&self.configs) {
+                if m.active
+                    && (m.candidates.is_empty() || cfg.max_level.is_some_and(|maxl| level > maxl))
+                {
+                    m.active = false;
+                }
+            }
+            let sets: Vec<&[Episode]> = members
+                .iter()
+                .filter(|m| m.active)
+                .map(|m| m.candidates.as_slice())
+                .collect();
+            if sets.is_empty() {
+                break;
+            }
+
+            // Plan: one union, one in-place compile — however many members.
+            self.union.rebuild(&sets);
+            Arc::make_mut(&mut self.compiled).recompile(alphabet_len, self.union.episodes());
+            self.compiles += 1;
+            let req = CountRequest {
+                db: &self.db,
+                stream: &self.stream,
+                compiled: &self.compiled,
+                shard_bounds: &self.shard_bounds,
+                pool: &self.pool,
+                workers: self.workers,
+                priority: self.priority,
+                level,
+            };
+
+            // Execute: the single shared scan of this level.
+            let union_counts = executor.execute(&req).map_err(|source| MineError {
+                level,
+                backend: executor.name().to_string(),
+                source,
+            })?;
+            if union_counts.len() != self.union.len() {
+                return Err(MineError {
+                    level,
+                    backend: executor.name().to_string(),
+                    source: BackendError::CountLength {
+                        expected: self.union.len(),
+                        got: union_counts.len(),
+                    },
+                });
+            }
+
+            // Demux + per-member elimination and generation.
+            let mut slot = 0usize;
+            for (m, cfg) in members.iter_mut().zip(&self.configs) {
+                if !m.active {
+                    continue;
+                }
+                let counts = self.union.demux(slot, &union_counts);
+                slot += 1;
+                let frequent: Vec<(Episode, u64)> = m
+                    .candidates
+                    .iter()
+                    .cloned()
+                    .zip(counts.iter().copied())
+                    .filter(|(_, c)| support(*c, n) > cfg.alpha)
+                    .collect();
+                let next_seed: Vec<Episode> = frequent.iter().map(|(e, _)| e.clone()).collect();
+                m.result.levels.push(LevelResult {
+                    level,
+                    candidates: m.candidates.len(),
+                    frequent,
+                });
+                if next_seed.is_empty() {
+                    m.active = false;
+                    m.candidates.clear();
+                } else {
+                    m.candidates = apriori_join(&next_seed, cfg.distinct_items_only);
+                }
+            }
+            level += 1;
+        }
+        Ok(members.into_iter().map(|m| m.result).collect())
     }
 }

@@ -5,11 +5,23 @@
 //! inflates everyone's latency. The service instead bounds how many requests
 //! *mine* concurrently: arrivals take a ticket and block until admitted.
 //! Admission order is strict FIFO within a priority class, and
-//! [`Priority::High`] tickets are always admitted before waiting
+//! [`Priority::High`] tickets are admitted before waiting
 //! [`Priority::Normal`] ones (matching the pool's own high/normal job lanes),
 //! so interactive traffic overtakes bulk traffic at both layers. A bounded
 //! waiting room ([`AdmissionQueue::new`]'s `max_pending`) converts overload
 //! into an immediate, explicit rejection instead of an unbounded queue.
+//!
+//! ## Aging (starvation control)
+//!
+//! Strict high-before-normal would let a continuous High stream starve a
+//! queued Normal request forever. The gate therefore **ages** the normal
+//! lane: after `aging_limit` consecutive High admissions while a Normal
+//! request was waiting, the next admission goes to the oldest Normal ticket
+//! (and the streak resets). High traffic still overtakes — it just can't
+//! monopolize: a waiting Normal request is admitted after at most
+//! `aging_limit` High admissions, however long the High stream runs.
+//! [`AdmissionQueue::with_aging`] tunes the bound; `0` disables aging
+//! (strict priority, the pre-aging behavior).
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -25,11 +37,17 @@ pub struct Overloaded {
     pub limit: usize,
 }
 
+/// Default aging bound: a waiting Normal request is admitted after at most
+/// this many consecutive High admissions.
+pub const DEFAULT_AGING_LIMIT: usize = 8;
+
 struct AdmitState {
     next_ticket: u64,
     in_flight: usize,
     high: VecDeque<u64>,
     normal: VecDeque<u64>,
+    /// Consecutive High admissions made while a Normal request waited.
+    high_streak: usize,
 }
 
 impl AdmitState {
@@ -38,18 +56,25 @@ impl AdmitState {
     }
 
     /// The one ticket eligible to be admitted next: the head of the high
-    /// lane, or — only when the high lane is empty — the head of the normal
-    /// lane.
-    fn next_eligible(&self) -> Option<u64> {
+    /// lane, or the head of the normal lane when the high lane is empty —
+    /// **or** when the normal lane has aged past `aging_limit` consecutive
+    /// High admissions (starvation control).
+    fn next_eligible(&self, aging_limit: usize) -> Option<u64> {
+        if aging_limit != 0 && self.high_streak >= aging_limit {
+            if let Some(&escalated) = self.normal.front() {
+                return Some(escalated);
+            }
+        }
         self.high.front().or_else(|| self.normal.front()).copied()
     }
 }
 
-/// A blocking, priority-aware, fair-FIFO admission gate. See the
-/// [module docs](self).
+/// A blocking, priority-aware, fair-FIFO admission gate with normal-lane
+/// aging. See the [module docs](self).
 pub struct AdmissionQueue {
     max_in_flight: usize,
     max_pending: usize,
+    aging_limit: usize,
     state: Mutex<AdmitState>,
     admitted: Condvar,
 }
@@ -84,19 +109,35 @@ impl Drop for Permit<'_> {
 impl AdmissionQueue {
     /// A gate admitting at most `max_in_flight` requests concurrently
     /// (clamped to ≥ 1) with at most `max_pending` more waiting (0 =
-    /// unbounded waiting room).
+    /// unbounded waiting room) and the default aging bound
+    /// ([`DEFAULT_AGING_LIMIT`]).
     pub fn new(max_in_flight: usize, max_pending: usize) -> Self {
+        AdmissionQueue::with_aging(max_in_flight, max_pending, DEFAULT_AGING_LIMIT)
+    }
+
+    /// Like [`new`](AdmissionQueue::new), with an explicit aging bound: a
+    /// waiting Normal request is admitted after at most `aging_limit`
+    /// consecutive High admissions. `0` disables aging (strict priority — a
+    /// continuous High stream can then starve the normal lane).
+    pub fn with_aging(max_in_flight: usize, max_pending: usize, aging_limit: usize) -> Self {
         AdmissionQueue {
             max_in_flight: max_in_flight.max(1),
             max_pending,
+            aging_limit,
             state: Mutex::new(AdmitState {
                 next_ticket: 0,
                 in_flight: 0,
                 high: VecDeque::new(),
                 normal: VecDeque::new(),
+                high_streak: 0,
             }),
             admitted: Condvar::new(),
         }
+    }
+
+    /// The aging bound this gate runs with (0 = aging disabled).
+    pub fn aging_limit(&self) -> usize {
+        self.aging_limit
     }
 
     /// Takes a ticket and blocks until it is this request's turn and an
@@ -119,11 +160,20 @@ impl AdmissionQueue {
             Priority::Normal => st.normal.push_back(ticket),
         }
         loop {
-            if st.in_flight < self.max_in_flight && st.next_eligible() == Some(ticket) {
+            if st.in_flight < self.max_in_flight
+                && st.next_eligible(self.aging_limit) == Some(ticket)
+            {
                 match priority {
                     Priority::High => st.high.pop_front(),
                     Priority::Normal => st.normal.pop_front(),
                 };
+                // Aging bookkeeping: High admissions made while Normal work
+                // waits build the streak; any Normal admission resets it.
+                match priority {
+                    Priority::High if !st.normal.is_empty() => st.high_streak += 1,
+                    Priority::High => st.high_streak = 0,
+                    Priority::Normal => st.high_streak = 0,
+                }
                 st.in_flight += 1;
                 let slots_left = st.in_flight < self.max_in_flight;
                 drop(st);
@@ -266,6 +316,101 @@ mod tests {
             );
             drop(holder);
         });
+    }
+
+    #[test]
+    fn aging_prevents_a_continuous_high_stream_from_starving_normal() {
+        // One slot, aging after 2 High admissions. A Normal request queues
+        // first, then a stream of High requests keeps the high lane non-empty
+        // for the rest of the test. Under strict priority the Normal ticket
+        // would be admitted dead last; with aging it must go after exactly 2
+        // High admissions.
+        let q = Arc::new(AdmissionQueue::with_aging(1, 0, 2));
+        assert_eq!(q.aging_limit(), 2);
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let holder = q.acquire(Priority::Normal).unwrap();
+        std::thread::scope(|s| {
+            {
+                let q = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let p = q.acquire(Priority::Normal).unwrap();
+                    order.lock().unwrap().push("normal");
+                    drop(p);
+                });
+            }
+            while q.pending() < 1 {
+                std::thread::yield_now();
+            }
+            for i in 0..5usize {
+                {
+                    let q = Arc::clone(&q);
+                    let order = Arc::clone(&order);
+                    s.spawn(move || {
+                        let p = q.acquire(Priority::High).unwrap();
+                        order.lock().unwrap().push("high");
+                        drop(p);
+                    });
+                }
+                // Serialize arrivals so the high lane's ticket order is fixed.
+                while q.pending() < i + 2 {
+                    std::thread::yield_now();
+                }
+            }
+            drop(holder);
+        });
+        let order = order.lock().unwrap();
+        assert_eq!(order.len(), 6);
+        let normal_pos = order
+            .iter()
+            .position(|s| *s == "normal")
+            .expect("normal request never admitted — starved");
+        assert_eq!(
+            normal_pos, 2,
+            "normal must be admitted after exactly aging_limit high admissions: {order:?}"
+        );
+    }
+
+    #[test]
+    fn aging_zero_keeps_strict_priority() {
+        // aging_limit 0 restores the pre-aging behavior: every queued High
+        // ticket is admitted before the waiting Normal one.
+        let q = Arc::new(AdmissionQueue::with_aging(1, 0, 0));
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let holder = q.acquire(Priority::Normal).unwrap();
+        std::thread::scope(|s| {
+            {
+                let q = Arc::clone(&q);
+                let order = Arc::clone(&order);
+                s.spawn(move || {
+                    let p = q.acquire(Priority::Normal).unwrap();
+                    order.lock().unwrap().push("normal");
+                    drop(p);
+                });
+            }
+            while q.pending() < 1 {
+                std::thread::yield_now();
+            }
+            for i in 0..3usize {
+                {
+                    let q = Arc::clone(&q);
+                    let order = Arc::clone(&order);
+                    s.spawn(move || {
+                        let p = q.acquire(Priority::High).unwrap();
+                        order.lock().unwrap().push("high");
+                        drop(p);
+                    });
+                }
+                while q.pending() < i + 2 {
+                    std::thread::yield_now();
+                }
+            }
+            drop(holder);
+        });
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["high", "high", "high", "normal"]
+        );
     }
 
     #[test]

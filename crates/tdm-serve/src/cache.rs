@@ -103,9 +103,10 @@ fn config_matches(a: &MinerConfig, b: &MinerConfig) -> bool {
         && a.distinct_items_only == b.distinct_items_only
 }
 
-fn db_matches(a: &Arc<EventDb>, b: &Arc<EventDb>) -> bool {
-    // Resubmitting the same handle is the fast path; otherwise compare the
-    // full content — a hash collision must never share a session.
+/// True when two database handles refer to the same content: pointer
+/// equality as the fast path, full symbol/timestamp comparison otherwise. A
+/// 64-bit hash collision must never share a session — or a co-mining batch.
+pub(crate) fn db_matches(a: &Arc<EventDb>, b: &Arc<EventDb>) -> bool {
     Arc::ptr_eq(a, b)
         || (a.alphabet().len() == b.alphabet().len()
             && a.symbols() == b.symbols()

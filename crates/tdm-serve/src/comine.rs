@@ -1,0 +1,429 @@
+//! Cross-request co-mining: the batch-formation board.
+//!
+//! Two concurrent requests over the *same* database but *different*
+//! configurations cannot share a cached session — yet their counting scans
+//! walk the same stream. Mayura-style co-mining fuses them: the first such
+//! request to pass admission becomes the batch **leader** and holds a
+//! formation window open on this board; same-database requests admitted
+//! inside the window **join** instead of mining alone. The leader then builds
+//! one [`tdm_core::session::CoSession`] over every member's configuration,
+//! runs the single shared union scan per level, and routes each member's
+//! demultiplexed result back through its parked waiter slot. N concurrent
+//! configs over one database cost ~1 scan per level instead of N.
+//!
+//! The board is keyed by the request's database content hash and — exactly
+//! like the session cache — verified against the *full* database content
+//! before a request may join: a 64-bit hash collision must never fuse two
+//! tenants' scans.
+//!
+//! The window is bounded two ways: a leader stops collecting after
+//! `window` elapses **or** as soon as the batch holds `max_batch` members
+//! (whichever comes first), so saturated services form full batches without
+//! paying the window latency.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tdm_core::session::MineError;
+use tdm_core::stats::MiningResult;
+use tdm_core::{EventDb, MinerConfig};
+use tdm_mapreduce::pool::Priority;
+
+use crate::cache::db_matches;
+
+/// Co-mining counters since service start (a [`crate::ServiceStats`] field).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoMiningStats {
+    /// Batches that closed with at least one joiner and ran a fused scan.
+    pub batches: u64,
+    /// Requests whose *successful* result came from a fused scan (leaders
+    /// and joiners both). A failed batch counts toward `batches` and the
+    /// service's `failed`, not here.
+    pub fused_requests: u64,
+    /// Leaders whose window elapsed with no joiner (they mined solo).
+    pub solo_fallbacks: u64,
+}
+
+/// A parked result slot: the joiner blocks on it; the leader delivers into it.
+pub(crate) struct Waiter {
+    /// The routed result plus the fused scan's wall time (so a joiner can
+    /// split its blocking wait into queueing — window + residual — and
+    /// service time).
+    result: Mutex<Option<(Result<MiningResult, MineError>, Duration)>>,
+    done: Condvar,
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Waiter {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn deliver(&self, r: Result<MiningResult, MineError>, mine_time: Duration) {
+        let mut slot = self.result.lock().expect("waiter slot");
+        *slot = Some((r, mine_time));
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Blocks for the routed result; returns it with the batch's mining wall
+    /// time (the member's share of service time).
+    pub(crate) fn wait(&self) -> (Result<MiningResult, MineError>, Duration) {
+        let mut slot = self.result.lock().expect("waiter slot");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.done.wait(slot).expect("waiter slot");
+        }
+    }
+}
+
+/// One request that joined a batch: its config, its scheduling class, and the
+/// slot its routed result goes to.
+pub(crate) struct JoinedMember {
+    pub(crate) config: MinerConfig,
+    pub(crate) priority: Priority,
+    waiter: Arc<Waiter>,
+}
+
+/// The joiners a leader collected, with drop-safe delivery: every member is
+/// guaranteed an answer even if the leader's executor panics mid-batch
+/// (undelivered members get a [`MineError`] instead of hanging forever).
+pub(crate) struct Deliveries {
+    members: Vec<JoinedMember>,
+}
+
+impl Deliveries {
+    pub(crate) fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member configurations, in join (= result) order.
+    pub(crate) fn configs(&self) -> impl Iterator<Item = MinerConfig> + '_ {
+        self.members.iter().map(|m| m.config)
+    }
+
+    /// The strongest scheduling class in the batch (fusing never
+    /// deprioritizes anyone's scans).
+    pub(crate) fn max_priority(&self, leader: Priority) -> Priority {
+        if leader == Priority::High || self.members.iter().any(|m| m.priority == Priority::High) {
+            Priority::High
+        } else {
+            Priority::Normal
+        }
+    }
+
+    /// Routes one demuxed result per member (in join order), stamped with
+    /// the fused scan's wall time.
+    pub(crate) fn deliver_ok(&mut self, results: Vec<MiningResult>, mine_time: Duration) {
+        debug_assert_eq!(results.len(), self.members.len());
+        // Drain only as many members as there are results: on a mismatch the
+        // leftover members stay in the vec, so the drop guard fails them
+        // explicitly instead of stranding their waiters forever.
+        let n = results.len().min(self.members.len());
+        for (member, result) in self.members.drain(..n).zip(results) {
+            member.waiter.deliver(Ok(result), mine_time);
+        }
+    }
+
+    /// The shared scan failed: every member shares the failure.
+    pub(crate) fn deliver_err(&mut self, e: &MineError, mine_time: Duration) {
+        for member in self.members.drain(..) {
+            member.waiter.deliver(Err(e.clone()), mine_time);
+        }
+    }
+}
+
+impl Drop for Deliveries {
+    fn drop(&mut self) {
+        // Leader unwound without delivering (a panicking executor): fail the
+        // members explicitly rather than leaving them blocked.
+        if !self.members.is_empty() {
+            let e = MineError {
+                level: 0,
+                backend: "co-mining-leader".to_string(),
+                source: tdm_core::session::BackendError::Failed(
+                    "batch leader aborted before delivering results".to_string(),
+                ),
+            };
+            self.deliver_err(&e, Duration::ZERO);
+        }
+    }
+}
+
+/// How a request enters the co-mining board.
+pub(crate) enum Entry {
+    /// Batching is disabled (zero window): mine solo, untouched by the board.
+    Solo,
+    /// This request opened a batch; call [`Batcher::collect`] with the token
+    /// to gather joiners (waits out the window / fills the batch).
+    Leader(u64),
+    /// This request joined an open batch; block on the waiter for the routed
+    /// result.
+    Joined(Arc<Waiter>),
+}
+
+struct OpenBatch {
+    id: u64,
+    db_hash: u64,
+    db: Arc<EventDb>,
+    joiners: Vec<JoinedMember>,
+}
+
+struct Board {
+    open: Vec<OpenBatch>,
+    next_id: u64,
+}
+
+/// The batch-formation board: open batches keyed by database content hash,
+/// a formation window, and a batch-size bound. See the [module docs](self).
+pub(crate) struct Batcher {
+    window: Duration,
+    max_batch: usize,
+    board: Mutex<Board>,
+    /// Signalled on every join so a leader waiting for a full batch wakes as
+    /// soon as the last member arrives.
+    changed: Condvar,
+}
+
+impl Batcher {
+    /// A board holding batches open for `window` (ZERO disables co-mining)
+    /// with at most `max_batch` members each, leader included (0 =
+    /// unbounded, window-only).
+    pub(crate) fn new(window: Duration, max_batch: usize) -> Self {
+        Batcher {
+            window,
+            max_batch,
+            board: Mutex::new(Board {
+                open: Vec::new(),
+                next_id: 0,
+            }),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// True when a formation window is configured.
+    pub(crate) fn enabled(&self) -> bool {
+        !self.window.is_zero()
+    }
+
+    /// Batches currently holding their window open.
+    pub(crate) fn open_batches(&self) -> usize {
+        self.board.lock().expect("co-mining board").open.len()
+    }
+
+    /// Routes one admitted request: join an open same-database batch with
+    /// room (content-verified), or open a new one and lead it.
+    pub(crate) fn enter(
+        &self,
+        db_hash: u64,
+        db: &Arc<EventDb>,
+        config: MinerConfig,
+        priority: Priority,
+    ) -> Entry {
+        if !self.enabled() {
+            return Entry::Solo;
+        }
+        let mut board = self.board.lock().expect("co-mining board");
+        if let Some(slot) = board.open.iter_mut().find(|s| {
+            s.db_hash == db_hash
+                && (self.max_batch == 0 || s.joiners.len() + 1 < self.max_batch)
+                && db_matches(&s.db, db)
+        }) {
+            let waiter = Arc::new(Waiter::new());
+            slot.joiners.push(JoinedMember {
+                config,
+                priority,
+                waiter: Arc::clone(&waiter),
+            });
+            drop(board);
+            self.changed.notify_all();
+            return Entry::Joined(waiter);
+        }
+        let id = board.next_id;
+        board.next_id += 1;
+        board.open.push(OpenBatch {
+            id,
+            db_hash,
+            db: Arc::clone(db),
+            joiners: Vec::new(),
+        });
+        Entry::Leader(id)
+    }
+
+    /// Leader side: holds the batch open until the window elapses or the
+    /// batch is full, then closes it and returns the joiners (possibly none).
+    pub(crate) fn collect(&self, token: u64) -> Deliveries {
+        let deadline = Instant::now() + self.window;
+        let mut board = self.board.lock().expect("co-mining board");
+        loop {
+            let idx = board
+                .open
+                .iter()
+                .position(|s| s.id == token)
+                .expect("leader's batch vanished from the board");
+            let full = self.max_batch != 0 && board.open[idx].joiners.len() + 1 >= self.max_batch;
+            let now = Instant::now();
+            if full || now >= deadline {
+                let slot = board.open.swap_remove(idx);
+                return Deliveries {
+                    members: slot.joiners,
+                };
+            }
+            let (reacquired, _) = self
+                .changed
+                .wait_timeout(board, deadline - now)
+                .expect("co-mining board");
+            board = reacquired;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdm_core::Alphabet;
+
+    fn db_of(s: &str) -> Arc<EventDb> {
+        Arc::new(EventDb::from_str_symbols(&Alphabet::latin26(), s).unwrap())
+    }
+
+    fn hash_of(db: &EventDb) -> u64 {
+        crate::cache::db_content_hash(db)
+    }
+
+    #[test]
+    fn zero_window_is_always_solo() {
+        let b = Batcher::new(Duration::ZERO, 0);
+        assert!(!b.enabled());
+        let db = db_of("ABAB");
+        match b.enter(hash_of(&db), &db, MinerConfig::default(), Priority::Normal) {
+            Entry::Solo => {}
+            _ => panic!("zero window must not open batches"),
+        }
+        assert_eq!(b.open_batches(), 0);
+    }
+
+    #[test]
+    fn leader_joiner_handshake_routes_results() {
+        let b = Arc::new(Batcher::new(Duration::from_secs(5), 2));
+        let db = db_of("ABCABC");
+        let h = hash_of(&db);
+        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+            panic!("first request must lead");
+        };
+        assert_eq!(b.open_batches(), 1);
+        let joiner = {
+            let b = Arc::clone(&b);
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let Entry::Joined(waiter) = b.enter(h, &db, MinerConfig::default(), Priority::High)
+                else {
+                    panic!("second same-db request must join");
+                };
+                waiter.wait()
+            })
+        };
+        // max_batch = 2: collect returns as soon as the joiner arrives — no
+        // window sleep.
+        let mut joiners = b.collect(token);
+        assert_eq!(joiners.len(), 1);
+        assert_eq!(joiners.max_priority(Priority::Normal), Priority::High);
+        assert_eq!(b.open_batches(), 0);
+        let result = MiningResult {
+            levels: Vec::new(),
+            db_len: db.len(),
+        };
+        joiners.deliver_ok(vec![result.clone()], Duration::from_millis(7));
+        let (routed, mine_time) = joiner.join().unwrap();
+        assert_eq!(routed.unwrap(), result);
+        assert_eq!(mine_time, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn different_content_with_forced_hash_never_joins() {
+        let b = Batcher::new(Duration::from_secs(5), 0);
+        let a = db_of("ABCABC");
+        let other = db_of("CBACBA"); // same length/alphabet, different content
+        let h = hash_of(&a);
+        let Entry::Leader(token) = b.enter(h, &a, MinerConfig::default(), Priority::Normal) else {
+            panic!("first request must lead");
+        };
+        // A forged/colliding key: the other database presented under A's
+        // hash must open its own batch, not fuse with A's.
+        match b.enter(h, &other, MinerConfig::default(), Priority::Normal) {
+            Entry::Leader(_) => {}
+            _ => panic!("content verification must reject the collision"),
+        }
+        assert_eq!(b.open_batches(), 2);
+        let joiners = b.collect(token);
+        assert!(joiners.is_empty());
+    }
+
+    #[test]
+    fn full_batches_spill_to_a_new_leader() {
+        let b = Batcher::new(Duration::from_secs(5), 2);
+        let db = db_of("XYXY");
+        let h = hash_of(&db);
+        let Entry::Leader(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+            panic!("lead");
+        };
+        let Entry::Joined(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+            panic!("join");
+        };
+        // Batch of 2 is full: the third same-db request leads a fresh batch.
+        match b.enter(h, &db, MinerConfig::default(), Priority::Normal) {
+            Entry::Leader(_) => {}
+            _ => panic!("full batch must spill"),
+        }
+        assert_eq!(b.open_batches(), 2);
+    }
+
+    #[test]
+    fn dropped_deliveries_fail_members_instead_of_hanging() {
+        let b = Arc::new(Batcher::new(Duration::from_secs(5), 2));
+        let db = db_of("ABAB");
+        let h = hash_of(&db);
+        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+            panic!("lead");
+        };
+        let joiner = {
+            let b = Arc::clone(&b);
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let Entry::Joined(waiter) =
+                    b.enter(h, &db, MinerConfig::default(), Priority::Normal)
+                else {
+                    panic!("join");
+                };
+                waiter.wait()
+            })
+        };
+        let joiners = b.collect(token);
+        assert_eq!(joiners.len(), 1);
+        drop(joiners); // leader "panicked": members must still get an answer
+        let err = joiner.join().unwrap().0.unwrap_err();
+        assert_eq!(err.backend, "co-mining-leader");
+    }
+
+    #[test]
+    fn window_expiry_closes_an_empty_batch() {
+        let b = Batcher::new(Duration::from_millis(10), 0);
+        let db = db_of("ABAB");
+        let Entry::Leader(token) =
+            b.enter(hash_of(&db), &db, MinerConfig::default(), Priority::Normal)
+        else {
+            panic!("lead");
+        };
+        let joiners = b.collect(token);
+        assert!(joiners.is_empty());
+        assert_eq!(b.open_batches(), 0);
+    }
+}

@@ -23,7 +23,16 @@
 //!   snapshot, shard bounds, buffer allocation) and re-enters the level loop
 //!   with the compiled candidate buffers already allocated and warm — levels
 //!   recompile in place, so the compiled storage keeps the same address
-//!   across requests.
+//!   across requests;
+//! * **cross-request co-mining** ([`comine`]) — with a formation window
+//!   configured ([`ServiceConfig::comine_window`]), concurrent requests that
+//!   share a database (same content hash, fully verified) but differ in
+//!   configuration are **fused**: the first one leads, later ones join, and
+//!   the whole batch is mined by one `tdm_core::session::CoSession` — a
+//!   single deduplicated union scan per level instead of one scan per
+//!   request, with counts demultiplexed back per member. Results stay
+//!   bit-identical to solo mining (the workspace `tests/comining.rs`
+//!   differential suite proves it under adversarial overlap).
 //!
 //! Results are **bit-identical** to a serial `Miner::mine` of the same
 //! request, for every backend choice and any concurrency level — the
@@ -50,10 +59,12 @@
 
 pub mod admission;
 pub mod cache;
+pub mod comine;
 pub mod service;
 
-pub use admission::{AdmissionQueue, Overloaded, Permit};
+pub use admission::{AdmissionQueue, Overloaded, Permit, DEFAULT_AGING_LIMIT};
 pub use cache::{session_key, CacheStats, CachedSession, SessionCache, SessionKey};
+pub use comine::CoMiningStats;
 pub use service::{
     BackendChoice, CacheOutcome, MiningRequest, MiningResponse, MiningService, ResponseStats,
     ServeError, ServiceConfig, ServiceStats,

@@ -6,13 +6,14 @@ use std::time::{Duration, Instant};
 
 use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend};
 use tdm_core::miner::SequentialBackend;
-use tdm_core::session::{Executor, MineError};
+use tdm_core::session::{CoSession, Executor, MineError};
 use tdm_core::stats::MiningResult;
 use tdm_core::{EventDb, MinerConfig};
 use tdm_mapreduce::pool::{default_workers, Pool, Priority};
 
-use crate::admission::AdmissionQueue;
+use crate::admission::{AdmissionQueue, DEFAULT_AGING_LIMIT};
 use crate::cache::{session_key, CacheStats, CachedSession, SessionCache, SessionKey};
+use crate::comine::{Batcher, CoMiningStats, Deliveries, Entry};
 
 /// Which counting executor serves a request. All choices produce bit-identical
 /// counts; they differ only in how the scan is decomposed over the shared
@@ -111,7 +112,8 @@ impl MiningRequest {
     }
 }
 
-/// Whether a request's session came from the cache or was planned fresh.
+/// Whether a request's session came from the cache, was planned fresh, or
+/// was fused into a cross-request co-mining batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
     /// A parked session was verified and reused: no session planning (no
@@ -120,6 +122,11 @@ pub enum CacheOutcome {
     Hit,
     /// No (verifiable) entry existed; the request planned a fresh session.
     Miss,
+    /// The request was served from a **fused** cross-request scan (it led or
+    /// joined a co-mining batch over its database). The per-(db, config)
+    /// session cache was not consulted — the batch's union scan has its own
+    /// compiled buffers, so parked sessions stay untouched.
+    CoMined,
 }
 
 /// Per-request measurements returned alongside the mining result.
@@ -127,9 +134,13 @@ pub enum CacheOutcome {
 pub struct ResponseStats {
     /// Cache hit or miss for this request's session.
     pub cache: CacheOutcome,
-    /// Time spent waiting at the admission gate.
+    /// Time spent waiting, not mining: the admission gate, plus — when
+    /// co-mining is enabled — the batch-formation window (a leader holding
+    /// it open, or a joiner's wait before the fused scan started).
     pub queue_wait: Duration,
     /// Time spent planning + mining (the level loop), excluding queueing.
+    /// For a fused request this is the batch's mining wall time — the shared
+    /// scans that produced this member's counts.
     pub mine_time: Duration,
     /// The session key the request was served under.
     pub key: SessionKey,
@@ -199,6 +210,21 @@ pub struct ServiceConfig {
     pub max_pending: usize,
     /// Parked sessions kept in the LRU cache (0 disables caching).
     pub cache_capacity: usize,
+    /// How long a co-mining batch leader holds its formation window open for
+    /// same-database joiners. `Duration::ZERO` (the default) disables
+    /// cross-request co-mining: every request mines solo. Joiners must pass
+    /// admission to reach the batch board, so size `max_in_flight` at least
+    /// as wide as the batches you want to form.
+    pub comine_window: Duration,
+    /// Maximum requests fused into one co-mining batch, leader included
+    /// (0 = unbounded — the window alone closes batches). When a batch fills,
+    /// the leader stops collecting immediately, so saturated services don't
+    /// pay the window latency.
+    pub comine_max_batch: usize,
+    /// Admission aging bound: a waiting Normal request is admitted after at
+    /// most this many consecutive High admissions (0 disables aging — strict
+    /// priority, which a continuous High stream can starve).
+    pub aging_limit: usize,
 }
 
 impl Default for ServiceConfig {
@@ -208,6 +234,9 @@ impl Default for ServiceConfig {
             max_in_flight: 0,
             max_pending: 0,
             cache_capacity: 32,
+            comine_window: Duration::ZERO,
+            comine_max_batch: 0,
+            aging_limit: DEFAULT_AGING_LIMIT,
         }
     }
 }
@@ -224,6 +253,9 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Session-cache counters (hits, misses, evictions, collisions).
     pub cache: CacheStats,
+    /// Cross-request co-mining counters (batches, fused requests, solo
+    /// fallbacks).
+    pub comining: CoMiningStats,
 }
 
 /// The request counters the service actually stores (the cache keeps its own
@@ -233,6 +265,7 @@ struct RequestCounters {
     completed: u64,
     failed: u64,
     rejected: u64,
+    comining: CoMiningStats,
 }
 
 /// A multi-tenant mining service: many concurrent clients, one shared worker
@@ -266,6 +299,7 @@ pub struct MiningService {
     pool: Arc<Pool>,
     admission: AdmissionQueue,
     cache: Mutex<SessionCache>,
+    batcher: Batcher,
     counters: Mutex<RequestCounters>,
 }
 
@@ -294,8 +328,13 @@ impl MiningService {
         };
         MiningService {
             pool: Arc::new(Pool::with_workers(workers)),
-            admission: AdmissionQueue::new(max_in_flight, config.max_pending),
+            admission: AdmissionQueue::with_aging(
+                max_in_flight,
+                config.max_pending,
+                config.aging_limit,
+            ),
             cache: Mutex::new(SessionCache::new(config.cache_capacity)),
+            batcher: Batcher::new(config.comine_window, config.comine_max_batch),
             counters: Mutex::new(RequestCounters::default()),
         }
     }
@@ -327,6 +366,12 @@ impl MiningService {
     /// [`Executor`] — custom kernels, instrumented spies, simulated GPUs).
     /// The request's `backend` field is ignored.
     ///
+    /// With a co-mining window configured ([`ServiceConfig::comine_window`]),
+    /// the request may be **fused** with concurrent same-database requests
+    /// into one shared union scan: the first such request to pass admission
+    /// leads the batch (its executor runs the fused scans), later ones join
+    /// and receive their demultiplexed — still bit-identical — results.
+    ///
     /// # Errors
     /// Same taxonomy as [`MiningService::submit`].
     pub fn submit_with(
@@ -345,36 +390,50 @@ impl MiningService {
                 });
             }
         };
-        let queue_wait = arrived.elapsed();
-
+        let gate_wait = arrived.elapsed();
         let key = request.key();
-        let cached =
-            self.cache
-                .lock()
-                .expect("session cache")
-                .take(key, &request.db, &request.config);
-        let (mut entry, outcome) = match cached {
-            Some(entry) => (entry, CacheOutcome::Hit),
-            None => (
-                CachedSession::build(
-                    Arc::clone(&request.db),
-                    request.config,
-                    Arc::clone(&self.pool),
-                ),
-                CacheOutcome::Miss,
-            ),
-        };
 
-        let mining = Instant::now();
-        // The request's class rides through to the pool's job lanes: the
-        // parallel executors submit this session's scans at this priority.
-        entry.session_mut().set_job_priority(request.priority);
-        let outcome_result = entry.session_mut().mine(executor);
-        let mine_time = mining.elapsed();
-
-        // Park the session again even after a backend error: the plan state
-        // stays consistent, and the next (possibly healthy) request reuses it.
-        self.cache.lock().expect("session cache").put(key, entry);
+        // Each arm separates *waiting* (batch formation, a joiner blocking on
+        // the leader) from *mining*, so queue_wait/mine_time keep their
+        // meaning with co-mining enabled.
+        let (outcome_result, outcome, batch_wait, mine_time) =
+            match self
+                .batcher
+                .enter(key.db_hash, &request.db, request.config, request.priority)
+            {
+                Entry::Solo => {
+                    let mining = Instant::now();
+                    let (result, outcome) = self.mine_solo(request, executor, key);
+                    (result, outcome, Duration::ZERO, mining.elapsed())
+                }
+                Entry::Joined(waiter) => {
+                    let parked = Instant::now();
+                    let (result, fused_mine_time) = waiter.wait();
+                    // Waiting on the leader minus the fused scan itself is
+                    // queueing (residual window + scheduling).
+                    let waited = parked.elapsed().saturating_sub(fused_mine_time);
+                    (result, CacheOutcome::CoMined, waited, fused_mine_time)
+                }
+                Entry::Leader(token) => {
+                    let window = Instant::now();
+                    let joiners = self.batcher.collect(token);
+                    let window_wait = window.elapsed();
+                    let mining = Instant::now();
+                    if joiners.is_empty() {
+                        self.counters
+                            .lock()
+                            .expect("service counters")
+                            .comining
+                            .solo_fallbacks += 1;
+                        let (result, outcome) = self.mine_solo(request, executor, key);
+                        (result, outcome, window_wait, mining.elapsed())
+                    } else {
+                        let result = self.mine_fused(request, executor, joiners);
+                        (result, CacheOutcome::CoMined, window_wait, mining.elapsed())
+                    }
+                }
+            };
+        let queue_wait = gate_wait + batch_wait;
         drop(permit);
 
         let mut counters = self.counters.lock().expect("service counters");
@@ -400,6 +459,85 @@ impl MiningService {
         }
     }
 
+    /// The solo path: take (or plan) the per-(db, config) cached session and
+    /// run the request's own mining loop on it.
+    fn mine_solo(
+        &self,
+        request: &MiningRequest,
+        executor: &mut dyn Executor,
+        key: SessionKey,
+    ) -> (Result<MiningResult, MineError>, CacheOutcome) {
+        let cached =
+            self.cache
+                .lock()
+                .expect("session cache")
+                .take(key, &request.db, &request.config);
+        let (mut entry, outcome) = match cached {
+            Some(entry) => (entry, CacheOutcome::Hit),
+            None => (
+                CachedSession::build(
+                    Arc::clone(&request.db),
+                    request.config,
+                    Arc::clone(&self.pool),
+                ),
+                CacheOutcome::Miss,
+            ),
+        };
+
+        // The request's class rides through to the pool's job lanes: the
+        // parallel executors submit this session's scans at this priority.
+        entry.session_mut().set_job_priority(request.priority);
+        let outcome_result = entry.session_mut().mine(executor);
+
+        // Park the session again even after a backend error: the plan state
+        // stays consistent, and the next (possibly healthy) request reuses it.
+        self.cache.lock().expect("session cache").put(key, entry);
+        (outcome_result, outcome)
+    }
+
+    /// The fused path (batch leader): build one [`CoSession`] over the
+    /// leader's config plus every joiner's, run the single union scan per
+    /// level with the leader's executor, route the demultiplexed results to
+    /// the joiners, and keep the leader's own. The per-(db, config) session
+    /// cache is bypassed — the union has its own compiled buffers, so parked
+    /// sessions stay untouched (and keep their addresses).
+    fn mine_fused(
+        &self,
+        request: &MiningRequest,
+        executor: &mut dyn Executor,
+        mut joiners: Deliveries,
+    ) -> Result<MiningResult, MineError> {
+        let mut group = CoSession::builder(Arc::clone(&request.db))
+            .config(request.config)
+            .configs(joiners.configs())
+            .with_pool(Arc::clone(&self.pool))
+            .build();
+        group.set_job_priority(joiners.max_priority(request.priority));
+        let mining = Instant::now();
+        let outcome = group.co_mine(executor);
+        let mine_time = mining.elapsed();
+        {
+            // Counted after the scan so the stats can't claim requests were
+            // served from a batch that then failed.
+            let mut counters = self.counters.lock().expect("service counters");
+            counters.comining.batches += 1;
+            if outcome.is_ok() {
+                counters.comining.fused_requests += 1 + joiners.len() as u64;
+            }
+        }
+        match outcome {
+            Ok(mut results) => {
+                let leader = results.remove(0);
+                joiners.deliver_ok(results, mine_time);
+                Ok(leader)
+            }
+            Err(e) => {
+                joiners.deliver_err(&e, mine_time);
+                Err(e)
+            }
+        }
+    }
+
     /// Aggregate counters since service start.
     pub fn stats(&self) -> ServiceStats {
         let counters = *self.counters.lock().expect("service counters");
@@ -408,7 +546,14 @@ impl MiningService {
             failed: counters.failed,
             rejected: counters.rejected,
             cache: self.cache.lock().expect("session cache").stats(),
+            comining: counters.comining,
         }
+    }
+
+    /// Co-mining batches currently holding their formation window open
+    /// (0 when co-mining is disabled or idle).
+    pub fn open_batches(&self) -> usize {
+        self.batcher.open_batches()
     }
 
     /// Parked sessions currently in the cache.
@@ -532,6 +677,174 @@ mod tests {
         let ok = service.submit(&req).unwrap();
         assert_eq!(ok.stats.cache, CacheOutcome::Hit);
         assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn fused_batch_matches_solo_results_and_counts_in_stats() {
+        let service = Arc::new(MiningService::new(ServiceConfig {
+            workers: 2,
+            // Joiners must *pass admission* to reach the batch board: keep
+            // the gate wide enough for the whole batch to be in flight.
+            max_in_flight: 8,
+            comine_window: Duration::from_secs(5),
+            comine_max_batch: 3,
+            ..Default::default()
+        }));
+        let db = db_of(&"ABCABD".repeat(50));
+        let configs = [
+            MinerConfig {
+                alpha: 0.05,
+                max_level: Some(3),
+                ..Default::default()
+            },
+            MinerConfig {
+                alpha: 0.1,
+                max_level: Some(2),
+                ..Default::default()
+            },
+            MinerConfig {
+                alpha: 0.01,
+                max_level: Some(3),
+                ..Default::default()
+            },
+        ];
+        let serial: Vec<MiningResult> = configs
+            .iter()
+            .map(|cfg| {
+                Miner::new(*cfg)
+                    .mine(&db, &mut SequentialBackend::default())
+                    .unwrap()
+            })
+            .collect();
+
+        // The leader registers first; wait for its open window before the
+        // joiners submit, so all three requests land in one batch (the batch
+        // closes on max_batch, not the window).
+        let mut responses: Vec<Option<MiningResponse>> = vec![None, None, None];
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), configs[0]);
+                handles.push(s.spawn(move || service.submit(&req).unwrap()));
+            }
+            while service.open_batches() == 0 {
+                std::thread::yield_now();
+            }
+            for cfg in &configs[1..] {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), *cfg);
+                handles.push(s.spawn(move || service.submit(&req).unwrap()));
+            }
+            for (slot, h) in responses.iter_mut().zip(handles) {
+                *slot = Some(h.join().unwrap());
+            }
+        });
+        for (i, (resp, want)) in responses.iter().zip(&serial).enumerate() {
+            let resp = resp.as_ref().unwrap();
+            assert_eq!(resp.result, *want, "member {i} diverged from solo mining");
+            assert_eq!(resp.stats.cache, CacheOutcome::CoMined, "member {i}");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.comining.batches, 1);
+        assert_eq!(stats.comining.fused_requests, 3);
+        // The batch bypassed the session cache entirely.
+        assert_eq!(stats.cache.hits + stats.cache.misses, 0);
+        assert_eq!(service.open_batches(), 0);
+    }
+
+    #[test]
+    fn lone_leader_falls_back_to_the_solo_cache_path() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            comine_window: Duration::from_millis(5),
+            ..Default::default()
+        });
+        let db = db_of(&"AB".repeat(60));
+        let req = MiningRequest::new(Arc::clone(&db), cfg());
+        let first = service.submit(&req).unwrap();
+        assert_eq!(first.stats.cache, CacheOutcome::Miss);
+        let second = service.submit(&req).unwrap();
+        assert_eq!(second.stats.cache, CacheOutcome::Hit);
+        assert_eq!(first.result, second.result);
+        let stats = service.stats();
+        assert_eq!(stats.comining.batches, 0);
+        assert_eq!(stats.comining.solo_fallbacks, 2);
+    }
+
+    #[test]
+    fn formation_window_counts_as_queueing_not_mining() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            comine_window: Duration::from_millis(200),
+            ..Default::default()
+        });
+        let db = db_of(&"AB".repeat(60));
+        let resp = service.submit(&MiningRequest::new(db, cfg())).unwrap();
+        // A lone leader waits out the whole window before mining solo: that
+        // wait must be reported as queueing, never as mining time.
+        assert!(
+            resp.stats.queue_wait >= Duration::from_millis(200),
+            "window wait missing from queue_wait: {:?}",
+            resp.stats.queue_wait
+        );
+        assert!(
+            resp.stats.mine_time < Duration::from_millis(200),
+            "window wait leaked into mine_time: {:?}",
+            resp.stats.mine_time
+        );
+    }
+
+    #[test]
+    fn failed_batches_count_batches_but_not_fused_requests() {
+        struct Broken;
+        impl Executor for Broken {
+            fn execute(
+                &mut self,
+                req: &tdm_core::session::CountRequest<'_>,
+            ) -> Result<tdm_core::session::Counts, tdm_core::session::BackendError> {
+                Ok(vec![0; req.candidates() + 1])
+            }
+            fn name(&self) -> &str {
+                "broken"
+            }
+        }
+        let service = Arc::new(MiningService::new(ServiceConfig {
+            workers: 1,
+            max_in_flight: 4,
+            comine_window: Duration::from_secs(5),
+            comine_max_batch: 2,
+            ..Default::default()
+        }));
+        let db = db_of(&"ABC".repeat(40));
+        std::thread::scope(|s| {
+            {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), cfg());
+                // The leader's broken executor fails the whole batch.
+                s.spawn(move || {
+                    let err = service.submit_with(&req, &mut Broken).unwrap_err();
+                    assert!(matches!(err, ServeError::Mine(_)));
+                });
+            }
+            while service.open_batches() == 0 {
+                std::thread::yield_now();
+            }
+            let other = MinerConfig {
+                alpha: 0.3,
+                ..cfg()
+            };
+            let err = service
+                .submit(&MiningRequest::new(Arc::clone(&db), other))
+                .unwrap_err();
+            assert!(matches!(err, ServeError::Mine(_)));
+        });
+        let stats = service.stats();
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.comining.batches, 1);
+        // No one was *served* from the failed scan.
+        assert_eq!(stats.comining.fused_requests, 0);
     }
 
     #[test]

@@ -70,8 +70,9 @@ fn main() {
                          cache {}, queued {:>6.2} ms, mined {:>6.2} ms",
                         resp.result.total_frequent(),
                         match resp.stats.cache {
-                            CacheOutcome::Hit => "hit ",
-                            CacheOutcome::Miss => "miss",
+                            CacheOutcome::Hit => "hit  ",
+                            CacheOutcome::Miss => "miss ",
+                            CacheOutcome::CoMined => "fused",
                         },
                         resp.stats.queue_wait.as_secs_f64() * 1e3,
                         resp.stats.mine_time.as_secs_f64() * 1e3,
@@ -104,5 +105,45 @@ fn main() {
     println!(
         "serial vs served on {name}: bit-identical ({} frequent)",
         serial.total_frequent()
+    );
+
+    // 6. Cross-request co-mining: a service with a formation window fuses
+    //    concurrent same-database requests (different configs!) into one
+    //    union scan per level. Four tenants, one batch, four bit-identical
+    //    answers.
+    let fused_service = Arc::new(MiningService::new(ServiceConfig {
+        // Joiners must be *admitted* to reach the batch board — keep the
+        // gate at least as wide as the batch.
+        max_in_flight: 4,
+        comine_window: std::time::Duration::from_millis(500),
+        comine_max_batch: 4,
+        ..Default::default()
+    }));
+    let (name, db) = &dbs[0];
+    let configs: Vec<MinerConfig> = (0..4)
+        .map(|i| MinerConfig {
+            alpha: 0.001 * (1.0 + i as f64),
+            ..config
+        })
+        .collect();
+    std::thread::scope(|s| {
+        {
+            let service = Arc::clone(&fused_service);
+            let req = MiningRequest::new(Arc::clone(db), configs[0]);
+            s.spawn(move || service.submit(&req).expect("leader failed"));
+        }
+        while fused_service.open_batches() == 0 {
+            std::thread::yield_now();
+        }
+        for cfg in &configs[1..] {
+            let service = Arc::clone(&fused_service);
+            let req = MiningRequest::new(Arc::clone(db), *cfg);
+            s.spawn(move || service.submit(&req).expect("joiner failed"));
+        }
+    });
+    let comining = fused_service.stats().comining;
+    println!(
+        "co-mining on {name}: {} configs fused into {} batch(es) — one union scan per level",
+        comining.fused_requests, comining.batches
     );
 }

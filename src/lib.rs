@@ -18,8 +18,9 @@
 //! * [`workloads`] (`tdm-workloads`) — the paper's 393,019-letter database plus
 //!   spike-train and market-basket generators;
 //! * [`serve`] (`tdm-serve`) — the multi-tenant serving layer: concurrent
-//!   mining sessions over one shared worker pool, with an LRU session cache
-//!   and fair admission.
+//!   mining sessions over one shared worker pool, with an LRU session cache,
+//!   fair (aging) admission, and cross-request co-mining — concurrent
+//!   same-database requests fused into one union scan per level.
 //!
 //! ## Quickstart
 //!
@@ -69,9 +70,9 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use tdm_core::CountingBackend;
     pub use tdm_core::{
-        Alphabet, BackendError, CompiledCandidates, CountRequest, CountScratch, CountSemantics,
-        Counts, Episode, EventDb, Executor, MineError, Miner, MinerConfig, MiningResult,
-        MiningSession, Symbol,
+        Alphabet, BackendError, CandidateUnion, CoSession, CompiledCandidates, CountRequest,
+        CountScratch, CountSemantics, Counts, Episode, EventDb, Executor, MineError, Miner,
+        MinerConfig, MiningResult, MiningSession, Symbol,
     };
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
     pub use tdm_mapreduce::pool::{Pool, Priority};

@@ -10,6 +10,11 @@
 //! * cache hit/miss/eviction semantics and db-hash collision safety — two
 //!   databases with an equal hash-relevant prefix but different content never
 //!   share a session;
+//! * session-cache × co-mining interaction: a request whose session is
+//!   parked may still join a fused batch, and the union scan never touches
+//!   parked sessions — their compiled buffers keep the same address across a
+//!   batch (the bit-identity of fused results themselves is proven in
+//!   `tests/comining.rs`);
 //! * priority + admission-limit plumbing end to end.
 
 use std::sync::Arc;
@@ -222,6 +227,80 @@ fn eviction_makes_room_and_evicted_requests_miss_again() {
         .submit(&MiningRequest::new(Arc::clone(&dbs[2]), cfg))
         .unwrap();
     assert_eq!(warm.stats.cache, CacheOutcome::Hit);
+}
+
+#[test]
+fn cache_hits_may_join_a_batch_and_parked_sessions_stay_stable_after_union_scans() {
+    // Window 300ms: lone requests pay the window then fall back to the solo
+    // cache path; concurrent same-db requests fuse. max_batch 2 closes the
+    // staged batch immediately.
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: 2,
+        max_in_flight: 4,
+        comine_window: std::time::Duration::from_millis(300),
+        comine_max_batch: 2,
+        ..Default::default()
+    }));
+    let db = Arc::new(markov_letters(15_000, 41, 0.6));
+    let cfg_a = mine_config();
+    let cfg_b = MinerConfig {
+        alpha: 0.01,
+        ..mine_config()
+    };
+    let req_a = MiningRequest::new(Arc::clone(&db), cfg_a);
+
+    // Park a session for (db, cfg_a) and record its compiled-buffer address.
+    let mut spy = AddressSpy::default();
+    let cold = service.submit_with(&req_a, &mut spy).unwrap();
+    assert_eq!(cold.stats.cache, CacheOutcome::Miss);
+    let parked_addrs = std::mem::take(&mut spy.addrs);
+    assert!(!parked_addrs.is_empty());
+
+    // A request whose session is parked (it *would* be a cache hit) can
+    // still join a batch: submit cfg_a and cfg_b concurrently. Both must be
+    // served from the fused scan, bit-identical to serial mining.
+    let serial_a = Miner::new(cfg_a)
+        .mine(db.as_ref(), &mut SequentialBackend::default())
+        .unwrap();
+    let serial_b = Miner::new(cfg_b)
+        .mine(db.as_ref(), &mut SequentialBackend::default())
+        .unwrap();
+    assert_eq!(cold.result, serial_a);
+    std::thread::scope(|s| {
+        let leader = {
+            let service = Arc::clone(&service);
+            let req = req_a.clone();
+            s.spawn(move || service.submit(&req).unwrap())
+        };
+        while service.open_batches() == 0 {
+            std::thread::yield_now();
+        }
+        let joiner = {
+            let service = Arc::clone(&service);
+            let req = MiningRequest::new(Arc::clone(&db), cfg_b);
+            s.spawn(move || service.submit(&req).unwrap())
+        };
+        let la = leader.join().unwrap();
+        let jb = joiner.join().unwrap();
+        assert_eq!(la.stats.cache, CacheOutcome::CoMined);
+        assert_eq!(jb.stats.cache, CacheOutcome::CoMined);
+        assert_eq!(la.result, serial_a);
+        assert_eq!(jb.result, serial_b);
+    });
+    let stats = service.stats();
+    assert_eq!(stats.comining.batches, 1);
+    assert_eq!(stats.comining.fused_requests, 2);
+
+    // The union scan had its own compiled buffers: the parked (db, cfg_a)
+    // session was never touched, so the next solo request hits the cache and
+    // executes against the *same* compiled allocation as before the batch.
+    let warm = service.submit_with(&req_a, &mut spy).unwrap();
+    assert_eq!(warm.stats.cache, CacheOutcome::Hit);
+    assert_eq!(warm.result, serial_a);
+    assert_eq!(
+        spy.addrs, parked_addrs,
+        "union scan moved a parked session's compiled buffers"
+    );
 }
 
 /// Asserts the request's scheduling class reaches every `CountRequest` (the
