@@ -114,10 +114,13 @@ impl Executor for ShardedScanBackend {
         let stream = req.stream();
         let n = stream.len();
         // Explicit worker counts cut their own bounds; auto follows the plan.
+        // Either way, never cut more shards than hardware threads exist to
+        // scan them — on a 1-core host the snapshot + dispatch + merge
+        // machinery is pure overhead and the plain sequential scan wins.
         let owned_bounds;
         let bounds: &[usize] = match self.workers {
-            Some(w) if w > 1 && n >= MIN_SHARD_STREAM => {
-                owned_bounds = even_bounds(n, w);
+            Some(w) if w.min(default_workers()) > 1 && n >= MIN_SHARD_STREAM => {
+                owned_bounds = even_bounds(n, w.min(default_workers()));
                 &owned_bounds
             }
             Some(_) => &[],

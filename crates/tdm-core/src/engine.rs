@@ -59,6 +59,12 @@
 //! assert_eq!(compiled.count_sharded(&stream, 4), vec![3, 2]);
 //! ```
 
+pub mod bitmask;
+pub mod vertical;
+
+pub use bitmask::BitmaskNfa;
+pub use vertical::OccurrenceIndex;
+
 use crate::episode::Episode;
 use crate::segment::{continuation_count_items, count_segmented_exact_items};
 use std::collections::HashMap;
@@ -68,6 +74,61 @@ use tdm_mapreduce::pool::{default_workers, shared};
 /// Streams shorter than this are counted sequentially even when more workers
 /// are requested — dispatch costs more than the scan.
 pub const MIN_SHARD_STREAM: usize = 4096;
+
+/// A candidate set that does not fit the engine's `u32`-indexed CSR layout.
+///
+/// The compiled buffers index items and episodes with `u32` (half the memory
+/// traffic of `usize` on the hot scan path); a set larger than that limit
+/// must be split by the caller instead of silently wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompileError {
+    /// The episodes' total item count exceeds the `u32` offset range.
+    TooManyItems {
+        /// Total items across all episodes.
+        total: usize,
+        /// The layout's limit.
+        max: u32,
+    },
+    /// The episode count exceeds the `u32` index range.
+    TooManyEpisodes {
+        /// Number of episodes in the set.
+        episodes: usize,
+        /// The layout's limit.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TooManyItems { total, max } => {
+                write!(f, "{total} total items exceed the compiled layout's {max}")
+            }
+            CompileError::TooManyEpisodes { episodes, max } => {
+                write!(f, "{episodes} episodes exceed the compiled layout's {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One of the engine's interchangeable counting strategies — all
+/// bit-identical, chosen per level by cost
+/// ([`CompiledCandidates::choose_strategy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CountStrategy {
+    /// The seed-style single-pass scan with a per-episode active set
+    /// ([`CompiledCandidates::count`]).
+    ActiveSet,
+    /// Occurrence-list probing via an [`OccurrenceIndex`]
+    /// ([`CompiledCandidates::count_vertical`]) — `O(min occurrences)` per
+    /// episode, no stream pass at all.
+    Vertical,
+    /// Word-packed Shift-And advancement of up to `⌊64 / level⌋` episodes per
+    /// machine word ([`BitmaskNfa`]).
+    Bitmask,
+}
 
 /// A candidate set compiled into flat, scan-friendly buffers.
 ///
@@ -102,14 +163,80 @@ pub struct CompiledCandidates {
 
 impl CompiledCandidates {
     /// Compiles a candidate set over an alphabet of `alphabet_len` symbols.
+    ///
+    /// # Panics
+    /// When the set exceeds the `u32`-indexed layout (see [`try_compile`]).
+    ///
+    /// [`try_compile`]: CompiledCandidates::try_compile
     pub fn compile(alphabet_len: usize, episodes: &[Episode]) -> Self {
         let mut c = CompiledCandidates::default();
         c.recompile(alphabet_len, episodes);
         c
     }
 
+    /// Checked form of [`compile`]: errors instead of panicking when the set
+    /// exceeds the `u32`-indexed layout.
+    ///
+    /// # Errors
+    /// [`CompileError`] when the episodes' total item count or the episode
+    /// count exceeds `u32::MAX`.
+    ///
+    /// [`compile`]: CompiledCandidates::compile
+    pub fn try_compile(alphabet_len: usize, episodes: &[Episode]) -> Result<Self, CompileError> {
+        let mut c = CompiledCandidates::default();
+        c.try_recompile(alphabet_len, episodes)?;
+        Ok(c)
+    }
+
     /// Rebuilds the compiled layout in place, reusing every buffer's capacity.
+    ///
+    /// # Panics
+    /// When the set exceeds the `u32`-indexed layout (see [`try_recompile`]).
+    ///
+    /// [`try_recompile`]: CompiledCandidates::try_recompile
     pub fn recompile(&mut self, alphabet_len: usize, episodes: &[Episode]) {
+        self.try_recompile(alphabet_len, episodes)
+            .unwrap_or_else(|e| panic!("candidate set exceeds the compiled layout: {e}"));
+    }
+
+    /// Checked form of [`recompile`]: errors instead of panicking when the
+    /// set exceeds the `u32`-indexed layout. The limits are checked **before**
+    /// any buffer is touched, so on error the previously compiled set is left
+    /// intact.
+    ///
+    /// # Errors
+    /// [`CompileError`] when the episodes' total item count or the episode
+    /// count exceeds `u32::MAX`.
+    ///
+    /// [`recompile`]: CompiledCandidates::recompile
+    pub fn try_recompile(
+        &mut self,
+        alphabet_len: usize,
+        episodes: &[Episode],
+    ) -> Result<(), CompileError> {
+        self.try_recompile_capped(alphabet_len, episodes, u32::MAX)
+    }
+
+    /// [`try_recompile`] against an artificial layout cap — the error paths
+    /// are testable without a 4 GiB allocation.
+    ///
+    /// [`try_recompile`]: CompiledCandidates::try_recompile
+    fn try_recompile_capped(
+        &mut self,
+        alphabet_len: usize,
+        episodes: &[Episode],
+        cap: u32,
+    ) -> Result<(), CompileError> {
+        if episodes.len() > cap as usize {
+            return Err(CompileError::TooManyEpisodes {
+                episodes: episodes.len(),
+                max: cap,
+            });
+        }
+        let total: usize = episodes.iter().map(|e| e.items().len()).sum();
+        if total > cap as usize {
+            return Err(CompileError::TooManyItems { total, max: cap });
+        }
         self.alphabet_len = alphabet_len;
         self.items.clear();
         self.offsets.clear();
@@ -148,6 +275,7 @@ impl CompiledCandidates {
             self.anchor_episodes[self.anchor_cursor[first] as usize] = i as u32;
             self.anchor_cursor[first] += 1;
         }
+        Ok(())
     }
 
     /// Number of compiled episodes.
@@ -386,7 +514,10 @@ impl CompiledCandidates {
     /// [`merge_shard_counts`]: CompiledCandidates::merge_shard_counts
     pub fn count_sharded(&self, stream: &[u8], workers: usize) -> Vec<u64> {
         let n = stream.len();
-        let workers = workers.max(1);
+        // More shards than hardware threads is pure overhead (snapshot, pool
+        // dispatch, merge) for zero parallelism — on a 1-core host every
+        // worker count collapses to the plain sequential scan.
+        let workers = workers.clamp(1, default_workers());
         if workers == 1 || n < MIN_SHARD_STREAM || self.is_empty() {
             let mut scratch = CountScratch::new();
             return self.count(stream, &mut scratch);
@@ -416,7 +547,9 @@ impl CompiledCandidates {
     /// [`merge_shard_counts`]: CompiledCandidates::merge_shard_counts
     pub fn count_sharded_arc(this: &Arc<Self>, stream: &Arc<[u8]>, workers: usize) -> Vec<u64> {
         let n = stream.len();
-        let workers = workers.max(1);
+        // Same single-worker clamp as `count_sharded`: never cut more shards
+        // than hardware threads exist to scan them.
+        let workers = workers.clamp(1, default_workers());
         if workers == 1 || n < MIN_SHARD_STREAM || this.is_empty() {
             return with_thread_scratch(|scratch| this.count(stream, scratch));
         }
@@ -437,6 +570,98 @@ impl CompiledCandidates {
     /// Convenience: sharded count with the machine's available parallelism.
     pub fn count_auto(&self, stream: &[u8]) -> Vec<u64> {
         self.count_sharded(stream, default_workers())
+    }
+
+    /// Picks the estimated-cheapest counting strategy for this set over the
+    /// indexed stream — the per-level dispatch rule of the engine-auto
+    /// executor ([`crate::miner::AutoBackend`]).
+    ///
+    /// The cost model (in comparable "simple op" units):
+    ///
+    /// * **vertical** — level-1 episodes are one list-length read; longer
+    ///   distinct episodes pay ~3 ops per occurrence of their *rarest* item;
+    ///   repeated-item episodes pay a full FSM scan of the stream.
+    /// * **bitmask** — ~2 ops of per-character overhead plus ~10 ops per
+    ///   stepped word: each symbol occurrence steps the words anchored at it
+    ///   (and roughly as many live words again); repeated-item episodes pay a
+    ///   full FSM scan of the stream.
+    ///
+    /// Sets whose level exceeds a 64-bit lane ([`BitmaskNfa::build`] returns
+    /// `None`) always choose vertical; empty sets report
+    /// [`CountStrategy::ActiveSet`] (nothing to scan either way).
+    pub fn choose_strategy(&self, index: &OccurrenceIndex) -> CountStrategy {
+        if self.is_empty() {
+            return CountStrategy::ActiveSet;
+        }
+        if self.max_level > 64 {
+            return CountStrategy::Vertical;
+        }
+        let n = index.stream_len() as f64;
+        let fallback_cost = 2.0 * n * self.repeated.len() as f64;
+
+        let mut vertical = fallback_cost;
+        for e in 0..self.len() {
+            if self.is_repeated(e) {
+                continue;
+            }
+            let items = self.items_of(e);
+            if items.len() == 1 {
+                vertical += 1.0;
+            } else {
+                let rarest = items.iter().map(|&c| index.occ_len(c)).min().unwrap_or(0);
+                vertical += 3.0 * rarest as f64;
+            }
+        }
+
+        let lanes = (64 / self.max_level.max(1)).max(1);
+        let mut bitmask = 2.0 * n + fallback_cost;
+        for c in 0..self.alphabet_len {
+            let anchored = self
+                .anchored_at(c as u8)
+                .iter()
+                .filter(|&&e| !self.is_repeated(e as usize))
+                .count();
+            let words = anchored.div_ceil(lanes) as f64;
+            bitmask += 10.0 * 2.0 * words * index.occ_len(c as u8) as f64;
+        }
+
+        if vertical <= bitmask {
+            CountStrategy::Vertical
+        } else {
+            CountStrategy::Bitmask
+        }
+    }
+
+    /// Counts with the estimated-best strategy ([`choose_strategy`]) on one
+    /// thread: the algorithmic fast path for callers without a session or a
+    /// pool (e.g. `tdm-gpu`'s reference counts). Builds the
+    /// [`OccurrenceIndex`] itself; callers that count several levels over one
+    /// stream should build the index once and use
+    /// [`count_best_with_index`] instead.
+    ///
+    /// Bit-identical to [`count`](CompiledCandidates::count) for every
+    /// episode set.
+    ///
+    /// [`choose_strategy`]: CompiledCandidates::choose_strategy
+    /// [`count_best_with_index`]: CompiledCandidates::count_best_with_index
+    pub fn count_best(&self, stream: &[u8]) -> Vec<u64> {
+        let index = OccurrenceIndex::build(self.alphabet_len.max(1), stream);
+        self.count_best_with_index(stream, &index)
+    }
+
+    /// [`count_best`] with a caller-provided (typically session-cached)
+    /// occurrence index.
+    ///
+    /// [`count_best`]: CompiledCandidates::count_best
+    pub fn count_best_with_index(&self, stream: &[u8], index: &OccurrenceIndex) -> Vec<u64> {
+        match self.choose_strategy(index) {
+            CountStrategy::Vertical => self.count_vertical(stream, index),
+            CountStrategy::Bitmask => match BitmaskNfa::build(self) {
+                Some(nfa) => nfa.count(stream),
+                None => self.count_vertical(stream, index),
+            },
+            CountStrategy::ActiveSet => with_thread_scratch(|s| self.count(stream, s)),
+        }
     }
 
     /// The reduce step of a database-sharded count: sums per-segment partial
@@ -775,6 +1000,92 @@ mod tests {
         assert_eq!(c.anchored_at(b'C' - b'A'), &[2]);
         assert_eq!(c.anchored_at(b'Z' - b'A'), &[] as &[u32]);
         assert!(c.all_distinct());
+    }
+
+    #[test]
+    fn capped_compile_surfaces_typed_errors() {
+        let mut c = CompiledCandidates::compile(26, &eps_of(&["AB", "BC"]));
+        let before = c.len();
+
+        // 5 single-item episodes against an episode cap of 4.
+        let five = eps_of(&["A", "B", "C", "D", "E"]);
+        assert_eq!(
+            c.try_recompile_capped(26, &five, 4),
+            Err(CompileError::TooManyEpisodes {
+                episodes: 5,
+                max: 4
+            })
+        );
+        // 2 episodes × 3 items = 6 total items against an item cap of 5.
+        let chunky = eps_of(&["ABC", "DEF"]);
+        assert_eq!(
+            c.try_recompile_capped(26, &chunky, 5),
+            Err(CompileError::TooManyItems { total: 6, max: 5 })
+        );
+        // Errors are raised before any buffer is touched.
+        assert_eq!(c.len(), before);
+        assert_eq!(c.items_of(0), eps_of(&["AB"])[0].items());
+
+        // At the cap exactly, compilation succeeds.
+        assert!(c.try_recompile_capped(26, &chunky, 6).is_ok());
+        assert_eq!(c.len(), 2);
+        // And the uncapped checked paths accept ordinary sets.
+        assert!(CompiledCandidates::try_compile(26, &five).is_ok());
+        let err = CompileError::TooManyItems { total: 6, max: 5 };
+        assert!(err.to_string().contains("6 total items"));
+    }
+
+    #[test]
+    fn strategy_dispatch_picks_a_probing_strategy_and_counts_identically() {
+        let db = db_of(&"ABCABZQXABC".repeat(60));
+        let idx = OccurrenceIndex::build(26, db.symbols());
+        let mut scratch = CountScratch::new();
+
+        // Empty set: trivially the active-set scan.
+        let none = CompiledCandidates::compile(26, &[]);
+        assert_eq!(none.choose_strategy(&idx), CountStrategy::ActiveSet);
+        assert!(none.count_best(db.symbols()).is_empty());
+
+        // Level-1 sets are free with occurrence lists.
+        let l1 = CompiledCandidates::compile(26, &permutations(&Alphabet::latin26(), 1));
+        assert_eq!(l1.choose_strategy(&idx), CountStrategy::Vertical);
+        assert_eq!(
+            l1.count_best(db.symbols()),
+            l1.count(db.symbols(), &mut scratch)
+        );
+
+        // Over a stream that uses the whole alphabet, the dense level-2
+        // universe has no rare symbol to probe, while the word-packed scan
+        // steps about one word per character: bitmask.
+        let full = db_of(&"ABCDEFGHIJKLMNOPQRSTUVWXYZ".repeat(30));
+        let idx_full = OccurrenceIndex::build(26, full.symbols());
+        let l2 = CompiledCandidates::compile(26, &permutations(&Alphabet::latin26(), 2));
+        assert_eq!(l2.choose_strategy(&idx_full), CountStrategy::Bitmask);
+        assert_eq!(
+            l2.count_best(full.symbols()),
+            l2.count(full.symbols(), &mut scratch)
+        );
+        // Against the sparse stream the same set probes its (many) empty
+        // occurrence lists instead.
+        assert_eq!(l2.choose_strategy(&idx), CountStrategy::Vertical);
+        assert_eq!(
+            l2.count_best(db.symbols()),
+            l2.count(db.symbols(), &mut scratch)
+        );
+
+        // Levels beyond a 64-bit lane cannot pack: vertical.
+        let long = Episode::new((0..70u8).collect::<Vec<_>>()).unwrap();
+        let l70 = CompiledCandidates::compile(80, &[long]);
+        let idx80 = OccurrenceIndex::build(80, &[0, 1, 2]);
+        assert_eq!(l70.choose_strategy(&idx80), CountStrategy::Vertical);
+        assert_eq!(l70.count_best_with_index(&[0, 1, 2], &idx80), vec![0]);
+
+        // Mixed sets with repeats stay bit-identical through dispatch.
+        let mixed = CompiledCandidates::compile(26, &eps_of(&["AB", "ABA", "AAB", "Q"]));
+        assert_eq!(
+            mixed.count_best(db.symbols()),
+            mixed.count(db.symbols(), &mut scratch)
+        );
     }
 
     #[test]

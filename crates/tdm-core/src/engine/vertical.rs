@@ -1,0 +1,339 @@
+//! Vertical occurrence-list counting — counting by list probes instead of
+//! stream scans.
+//!
+//! The active-set scan ([`CompiledCandidates::count`]) touches every stream
+//! character once per level; its cost is `O(stream)` even when the episodes
+//! are rare. Vertical mining (Kocheturov et al., arXiv:1804.10025) inverts
+//! the layout: build a per-symbol **occurrence index** once per database,
+//! then count an episode by probing the occurrence list of its *rarest*
+//! symbol — `O(min occurrences)` per episode, independent of the stream
+//! length.
+//!
+//! This is exact because of a structural fact about the paper's Fig. 3
+//! counting FSM: for a **distinct-item** episode (the paper's whole candidate
+//! universe), the greedy FSM count equals the number of *contiguous substring
+//! occurrences* of the episode's item word in the stream. Sketch: the FSM in
+//! state `j` has matched exactly the last `j` characters against the prefix
+//! of length `j`; a word with no repeated letters has no borders, so at most
+//! one non-zero prefix length can match at any position, and occurrences of a
+//! border-free word can never overlap — so the greedy scan can neither miss
+//! an occurrence nor double-count one. Repeated-item episodes break this
+//! (`"AAB"` over `"AAAB"`: the FSM counts 0, the substring occurs once), so
+//! they take the exact per-episode FSM fallback instead — the same division
+//! of labour as the sharded scan's exact-composition fallback.
+//!
+//! Because a vertical count never walks the stream sequentially, it needs no
+//! shard-boundary continuations at all: the occurrence list enumerates every
+//! match site directly, so splitting the *candidate set* across workers is an
+//! exact parallel decomposition with zero boundary work.
+
+use super::CompiledCandidates;
+use crate::segment::scan_segment_items;
+
+/// A per-symbol occurrence index over one symbol stream (CSR layout): the
+/// positions at which each alphabet symbol occurs, in ascending order.
+///
+/// Build once per [`EventDb`](crate::EventDb) snapshot (one `O(stream)`
+/// counting sort) and reuse it for every level's
+/// [`CompiledCandidates::count_vertical`] — the sessions cache one behind a
+/// `OnceLock` on their shared stream snapshot, so co-mined batches and cached
+/// serving sessions build it exactly once.
+///
+/// ```
+/// use tdm_core::engine::OccurrenceIndex;
+///
+/// // Stream "ABAB" over a 2-symbol alphabet.
+/// let index = OccurrenceIndex::build(2, &[0, 1, 0, 1]);
+/// assert_eq!(index.occurrences(0), &[0, 2]);
+/// assert_eq!(index.occurrences(1), &[1, 3]);
+/// assert_eq!(index.occ_len(1), 2);
+/// assert_eq!(index.stream_len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OccurrenceIndex {
+    /// CSR offsets, one slot per symbol plus the terminator.
+    offsets: Vec<u32>,
+    /// Stream positions grouped by symbol, ascending within each group.
+    positions: Vec<u32>,
+    stream_len: usize,
+}
+
+impl OccurrenceIndex {
+    /// Builds the index over `stream` for an alphabet of `alphabet_len`
+    /// symbols (one counting-sort pass).
+    ///
+    /// # Panics
+    /// When the stream is longer than `u32::MAX` symbols (positions are
+    /// stored as `u32`, matching the compiled candidate layout) or contains a
+    /// symbol `>= alphabet_len`.
+    pub fn build(alphabet_len: usize, stream: &[u8]) -> Self {
+        assert!(
+            u32::try_from(stream.len()).is_ok(),
+            "stream of {} symbols exceeds the u32-indexed occurrence layout",
+            stream.len()
+        );
+        let mut offsets = vec![0u32; alphabet_len + 1];
+        for &c in stream {
+            assert!(
+                (c as usize) < alphabet_len,
+                "symbol {c} out of range for alphabet of {alphabet_len}"
+            );
+            offsets[c as usize + 1] += 1;
+        }
+        for c in 0..alphabet_len {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut cursor: Vec<u32> = offsets[..alphabet_len].to_vec();
+        let mut positions = vec![0u32; stream.len()];
+        for (p, &c) in stream.iter().enumerate() {
+            positions[cursor[c as usize] as usize] = p as u32;
+            cursor[c as usize] += 1;
+        }
+        OccurrenceIndex {
+            offsets,
+            positions,
+            stream_len: stream.len(),
+        }
+    }
+
+    /// Alphabet size the index was built for.
+    #[inline]
+    pub fn alphabet_len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Length of the indexed stream.
+    #[inline]
+    pub fn stream_len(&self) -> usize {
+        self.stream_len
+    }
+
+    /// Ascending positions at which symbol `c` occurs.
+    #[inline]
+    pub fn occurrences(&self, c: u8) -> &[u32] {
+        let c = c as usize;
+        &self.positions[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Number of occurrences of symbol `c` (a level-1 count, for free).
+    #[inline]
+    pub fn occ_len(&self, c: u8) -> usize {
+        let c = c as usize;
+        (self.offsets[c + 1] - self.offsets[c]) as usize
+    }
+}
+
+impl CompiledCandidates {
+    /// True when episode `e` has a repeated item (needs the exact FSM
+    /// fallback in the occurrence-probing strategies).
+    #[inline]
+    pub(crate) fn is_repeated(&self, e: usize) -> bool {
+        self.repeated.binary_search(&(e as u32)).is_ok()
+    }
+
+    /// Counts every compiled episode with the **vertical occurrence-list
+    /// strategy**: level-1 episodes read their symbol's list length, longer
+    /// distinct-item episodes probe the occurrence list of their rarest
+    /// symbol and verify the surrounding window, and repeated-item episodes
+    /// fall back to their exact per-episode FSM scan. Bit-identical to
+    /// [`count`](CompiledCandidates::count) for every episode set.
+    ///
+    /// `index` must have been built over this `stream` (same content, same
+    /// alphabet) — the sessions guarantee this by caching the index on the
+    /// stream snapshot.
+    ///
+    /// ```
+    /// use tdm_core::engine::{CompiledCandidates, CountScratch, OccurrenceIndex};
+    /// use tdm_core::{Alphabet, Episode};
+    ///
+    /// let ab = Alphabet::latin26();
+    /// let eps = vec![
+    ///     Episode::from_str(&ab, "AB").unwrap(),
+    ///     Episode::from_str(&ab, "BA").unwrap(),
+    ///     Episode::from_str(&ab, "ABA").unwrap(), // repeated item: FSM fallback
+    /// ];
+    /// let compiled = CompiledCandidates::compile(ab.len(), &eps);
+    /// let stream: Vec<u8> = b"ABABAB".iter().map(|c| c - b'A').collect();
+    /// let index = OccurrenceIndex::build(ab.len(), &stream);
+    /// assert_eq!(
+    ///     compiled.count_vertical(&stream, &index),
+    ///     compiled.count(&stream, &mut CountScratch::new()),
+    /// );
+    /// ```
+    pub fn count_vertical(&self, stream: &[u8], index: &OccurrenceIndex) -> Vec<u64> {
+        let mut counts = vec![0u64; self.len()];
+        self.count_vertical_range(stream, index, 0..self.len(), &mut counts);
+        counts
+    }
+
+    /// The candidate-chunked form of
+    /// [`count_vertical`](CompiledCandidates::count_vertical): counts only the
+    /// compiled episodes in `episodes`, writing into the chunk-local `counts`
+    /// (`counts.len() == episodes.len()`, index `e - episodes.start`).
+    ///
+    /// Because vertical counting never walks the stream sequentially, chunking
+    /// the candidate set is an *exact* parallel decomposition — no shard
+    /// boundaries exist, so no continuation fix-up is needed (contrast the
+    /// database-sharded scan's Fig. 5 machinery).
+    pub fn count_vertical_range(
+        &self,
+        stream: &[u8],
+        index: &OccurrenceIndex,
+        episodes: std::ops::Range<usize>,
+        counts: &mut [u64],
+    ) {
+        debug_assert_eq!(counts.len(), episodes.len());
+        debug_assert!(episodes.end <= self.len());
+        debug_assert_eq!(index.stream_len(), stream.len());
+        let n = stream.len();
+        for e in episodes.clone() {
+            let slot = e - episodes.start;
+            let items = self.items_of(e);
+            if self.is_repeated(e) {
+                counts[slot] = scan_segment_items(stream, items, 0..n).count;
+                continue;
+            }
+            let l = items.len();
+            if l == 1 {
+                counts[slot] = index.occ_len(items[0]) as u64;
+                continue;
+            }
+            // Probe the rarest symbol's occurrence list; each hit pins the
+            // whole candidate window, which one direct comparison verifies.
+            let (k, _) = items
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &c)| index.occ_len(c))
+                .expect("episodes are non-empty");
+            let mut count = 0u64;
+            for &p in index.occurrences(items[k]) {
+                let p = p as usize;
+                if p < k || p - k + l > n {
+                    continue;
+                }
+                let start = p - k;
+                let window = &stream[start..start + l];
+                if window
+                    .iter()
+                    .zip(items.iter())
+                    .all(|(&have, &want)| have == want)
+                {
+                    count += 1;
+                }
+            }
+            counts[slot] = count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::candidate::permutations;
+    use crate::count::count_episodes_naive;
+    use crate::engine::CountScratch;
+    use crate::episode::Episode;
+    use crate::sequence::EventDb;
+    use proptest::prelude::*;
+
+    fn eps_of(specs: &[&str]) -> Vec<Episode> {
+        let ab = Alphabet::latin26();
+        specs
+            .iter()
+            .map(|s| Episode::from_str(&ab, s).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn index_layout_round_trips() {
+        let stream = [2u8, 0, 1, 0, 2, 2];
+        let idx = OccurrenceIndex::build(4, &stream);
+        assert_eq!(idx.alphabet_len(), 4);
+        assert_eq!(idx.stream_len(), 6);
+        assert_eq!(idx.occurrences(0), &[1, 3]);
+        assert_eq!(idx.occurrences(1), &[2]);
+        assert_eq!(idx.occurrences(2), &[0, 4, 5]);
+        assert_eq!(idx.occurrences(3), &[] as &[u32]);
+        assert_eq!(idx.occ_len(3), 0);
+    }
+
+    #[test]
+    fn vertical_matches_active_set_with_repeats_and_absent_symbols() {
+        let db =
+            EventDb::from_str_symbols(&Alphabet::latin26(), &"ABCABZQXABC".repeat(40)).unwrap();
+        let eps = eps_of(&[
+            "A", "AB", "ABC", "CBA", "ZQ", "QZ", "AA", "ABA", "AAB", "KLM",
+        ]);
+        let c = CompiledCandidates::compile(26, &eps);
+        let idx = OccurrenceIndex::build(26, db.symbols());
+        assert_eq!(
+            c.count_vertical(db.symbols(), &idx),
+            c.count(db.symbols(), &mut CountScratch::new())
+        );
+    }
+
+    #[test]
+    fn repeated_item_counterexample_uses_fsm_semantics() {
+        // The FSM counts 0 for "AAB" over "AAAB" (the third A restarts the
+        // match); a naive substring count would say 1. The vertical strategy
+        // must agree with the FSM.
+        let stream: Vec<u8> = b"AAAB".iter().map(|c| c - b'A').collect();
+        let c = CompiledCandidates::compile(26, &eps_of(&["AAB"]));
+        let idx = OccurrenceIndex::build(26, &stream);
+        assert_eq!(c.count_vertical(&stream, &idx), vec![0]);
+    }
+
+    #[test]
+    fn chunked_vertical_concatenates_to_full() {
+        let db = EventDb::from_str_symbols(&Alphabet::latin26(), &"ABCDEF".repeat(100)).unwrap();
+        let eps = permutations(&Alphabet::latin26(), 2);
+        let c = CompiledCandidates::compile(26, &eps);
+        let idx = OccurrenceIndex::build(26, db.symbols());
+        let expected = c.count_vertical(db.symbols(), &idx);
+        for chunk in [1usize, 7, 100, eps.len()] {
+            let mut got = Vec::new();
+            let mut lo = 0;
+            while lo < eps.len() {
+                let hi = (lo + chunk).min(eps.len());
+                let mut part = vec![0u64; hi - lo];
+                c.count_vertical_range(db.symbols(), &idx, lo..hi, &mut part);
+                got.extend(part);
+                lo = hi;
+            }
+            assert_eq!(got, expected, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn empty_stream_and_empty_set() {
+        let idx = OccurrenceIndex::build(26, &[]);
+        assert_eq!(idx.stream_len(), 0);
+        let none = CompiledCandidates::compile(26, &[]);
+        assert!(none.count_vertical(&[], &idx).is_empty());
+        let c = CompiledCandidates::compile(26, &eps_of(&["AB"]));
+        assert_eq!(c.count_vertical(&[], &idx), vec![0]);
+    }
+
+    proptest! {
+        /// Vertical counting is observationally identical to the per-episode
+        /// FSM reference for arbitrary streams and episode sets — repeated
+        /// items, absent symbols, single-symbol alphabets included.
+        #[test]
+        fn vertical_equals_naive(
+            data in proptest::collection::vec(0u8..6, 0..400),
+            eps in proptest::collection::vec(proptest::collection::vec(0u8..6, 1..5), 1..25),
+        ) {
+            let ab = Alphabet::numbered(6).unwrap();
+            let db = EventDb::new(ab, data).unwrap();
+            let episodes: Vec<Episode> =
+                eps.into_iter().map(|v| Episode::new(v).unwrap()).collect();
+            let c = CompiledCandidates::compile(6, &episodes);
+            let idx = OccurrenceIndex::build(6, db.symbols());
+            prop_assert_eq!(
+                c.count_vertical(db.symbols(), &idx),
+                count_episodes_naive(&db, &episodes)
+            );
+        }
+    }
+}

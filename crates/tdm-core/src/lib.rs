@@ -18,7 +18,11 @@
 //! * the counting **engine**: candidate sets compiled into flat CSR buffers
 //!   with a symbol-anchored index, reusable scan scratch, and database-sharded
 //!   parallel counting with boundary fix-up — the CPU analogue of the paper's
-//!   block-level Algorithms 3/4 ([`engine`]);
+//!   block-level Algorithms 3/4 ([`engine`]) — plus two strategies that beat
+//!   the scan outright: **vertical occurrence-list counting**
+//!   ([`engine::OccurrenceIndex`]) and **word-packed Shift-And advancement**
+//!   of many episodes per machine word ([`engine::BitmaskNfa`]), dispatched
+//!   per level by estimated cost ([`miner::AutoBackend`]);
 //! * **segmented** counting with boundary continuation — the span handling that the
 //!   paper's block-level algorithms need (paper Fig. 5) — plus an exact
 //!   state-composition variant ([`segment`]);
@@ -66,11 +70,14 @@ pub mod session;
 pub mod stats;
 
 pub use alphabet::{Alphabet, Symbol};
-pub use engine::{CandidateUnion, CompiledCandidates, CountScratch};
+pub use engine::{
+    BitmaskNfa, CandidateUnion, CompileError, CompiledCandidates, CountScratch, CountStrategy,
+    OccurrenceIndex,
+};
 pub use episode::Episode;
 #[allow(deprecated)]
 pub use miner::CountingBackend;
-pub use miner::{Miner, MinerConfig, SequentialBackend};
+pub use miner::{AutoBackend, Miner, MinerConfig, SequentialBackend};
 pub use semantics::CountSemantics;
 pub use sequence::EventDb;
 pub use session::{

@@ -19,10 +19,13 @@
 //! [`CountRequest`]: crate::session::CountRequest
 //! [`MiningSession`]: crate::session::MiningSession
 
+use crate::engine::{with_thread_scratch, BitmaskNfa, CountStrategy};
 use crate::episode::Episode;
+use crate::segment::segment_ranges;
 use crate::sequence::EventDb;
 use crate::session::{BackendError, CountRequest, Counts, Executor, MineError, MiningSession};
 use crate::stats::{LevelResult, MiningResult};
+use std::sync::Arc;
 
 /// The legacy counting-step strategy: given the database and raw candidate
 /// episodes, produce one appearance count per candidate.
@@ -84,6 +87,100 @@ impl Executor for SequentialBackend {
 
     fn name(&self) -> &str {
         "sequential-active-set"
+    }
+}
+
+/// Candidate sets smaller than this are counted on one thread even when the
+/// vertical strategy could chunk them — per-chunk dispatch would dominate.
+const MIN_VERTICAL_PARALLEL: usize = 256;
+
+/// The engine's **strategy-dispatching** executor: per level, asks
+/// [`CompiledCandidates::choose_strategy`] for the estimated-cheapest
+/// counting strategy over the session's cached [`OccurrenceIndex`], then runs
+/// it — parallelized over the session pool when the session planned more than
+/// one worker:
+///
+/// * **vertical** counts chunk the *candidate set* (occurrence-list probes
+///   never walk the stream, so candidate chunking is exact with zero
+///   boundary work);
+/// * **bitmask** scans shard the *database* along the session's planned
+///   bounds and merge through the engine's Fig. 5 reducer
+///   ([`CompiledCandidates::merge_shard_counts`]), exactly like the
+///   active-set sharded backend.
+///
+/// Counts are bit-identical to [`SequentialBackend`] for every episode set,
+/// worker count, and stream — the workspace differential suite pins this.
+///
+/// ```
+/// use tdm_core::miner::{AutoBackend, MinerConfig, SequentialBackend};
+/// use tdm_core::session::MiningSession;
+/// use tdm_core::{Alphabet, EventDb};
+///
+/// let db = EventDb::from_str_symbols(&Alphabet::latin26(), &"ABC".repeat(50)).unwrap();
+/// let config = MinerConfig { alpha: 0.1, ..Default::default() };
+/// let auto = MiningSession::builder(&db).config(config).build()
+///     .mine(&mut AutoBackend).unwrap();
+/// let seq = MiningSession::builder(&db).config(config).build()
+///     .mine(&mut SequentialBackend::default()).unwrap();
+/// assert_eq!(auto, seq);
+/// ```
+///
+/// [`CompiledCandidates::choose_strategy`]: crate::engine::CompiledCandidates::choose_strategy
+/// [`CompiledCandidates::merge_shard_counts`]: crate::engine::CompiledCandidates::merge_shard_counts
+/// [`OccurrenceIndex`]: crate::engine::OccurrenceIndex
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AutoBackend;
+
+impl Executor for AutoBackend {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        let compiled = req.compiled();
+        let stream = req.stream();
+        let index = req.occurrence_index();
+        match compiled.choose_strategy(index) {
+            CountStrategy::ActiveSet => Ok(with_thread_scratch(|s| compiled.count(stream, s))),
+            CountStrategy::Vertical => {
+                let workers = req.workers();
+                if workers <= 1 || compiled.len() < MIN_VERTICAL_PARALLEL {
+                    return Ok(compiled.count_vertical(stream, index));
+                }
+                let chunks = req.chunk_ranges(workers);
+                let shared_compiled = req.compiled_shared();
+                let shared_stream = req.stream_shared();
+                let shared_index = req.occurrence_index_shared();
+                let parts = req.pool().map_move_prio(req.priority(), chunks, move |r| {
+                    let mut counts = vec![0u64; r.len()];
+                    shared_compiled.count_vertical_range(
+                        &shared_stream,
+                        &shared_index,
+                        r,
+                        &mut counts,
+                    );
+                    counts
+                });
+                Ok(parts.into_iter().flatten().collect())
+            }
+            CountStrategy::Bitmask => {
+                let Some(nfa) = BitmaskNfa::build(compiled) else {
+                    // max_level > 64 never chooses Bitmask, but stay total.
+                    return Ok(compiled.count_vertical(stream, index));
+                };
+                let bounds = req.shard_bounds();
+                if bounds.is_empty() {
+                    return Ok(nfa.count(stream));
+                }
+                let nfa = Arc::new(nfa);
+                let shared_stream = req.stream_shared();
+                let ranges = segment_ranges(stream.len(), bounds);
+                let shards = req.pool().map_move_prio(req.priority(), ranges, move |r| {
+                    nfa.shard_scan(&shared_stream, r)
+                });
+                Ok(compiled.merge_shard_counts(stream, bounds, &shards))
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "engine-auto"
     }
 }
 
@@ -256,6 +353,27 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen, (1..=res.levels.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auto_backend_matches_sequential_across_worker_counts() {
+        let db = db_of(&"ABCABZQXABC".repeat(500)); // > MIN_SHARD_STREAM
+        let cfg = MinerConfig {
+            alpha: 0.001,
+            max_level: Some(3),
+            distinct_items_only: false,
+        };
+        let reference = Miner::new(cfg)
+            .mine(&db, &mut SequentialBackend::default())
+            .unwrap();
+        for workers in [1usize, 2, 4, 8] {
+            let mut session = MiningSession::builder(&db)
+                .config(cfg)
+                .workers(workers)
+                .build();
+            let got = session.mine(&mut AutoBackend).unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
     }
 
     #[test]

@@ -52,7 +52,7 @@
 use std::sync::Arc;
 
 use crate::candidate::{apriori_join, level1};
-use crate::engine::{CandidateUnion, CompiledCandidates, MIN_SHARD_STREAM};
+use crate::engine::{CandidateUnion, CompiledCandidates, OccurrenceIndex, MIN_SHARD_STREAM};
 use crate::episode::Episode;
 use crate::miner::MinerConfig;
 use crate::segment::even_bounds;
@@ -174,6 +174,7 @@ pub struct CountRequest<'a> {
     db: &'a EventDb,
     stream: &'a Arc<[u8]>,
     compiled: &'a Arc<CompiledCandidates>,
+    vertical: &'a OnceLock<Arc<OccurrenceIndex>>,
     shard_bounds: &'a [usize],
     pool: &'a PoolSlot,
     workers: usize,
@@ -218,6 +219,28 @@ impl<'a> CountRequest<'a> {
     #[inline]
     pub fn candidates(&self) -> usize {
         self.compiled.len()
+    }
+
+    /// The per-symbol [`OccurrenceIndex`] over this session's stream
+    /// snapshot, built lazily on first use and **cached on the session** —
+    /// every level of the loop (and, for a [`CoSession`], every member of the
+    /// co-mined batch) shares the one build. Vertical-strategy executors and
+    /// the per-level dispatch rule
+    /// ([`CompiledCandidates::choose_strategy`]) read it from here.
+    pub fn occurrence_index(&self) -> &'a OccurrenceIndex {
+        self.vertical.get_or_init(|| {
+            Arc::new(OccurrenceIndex::build(
+                self.db.alphabet().len(),
+                self.stream,
+            ))
+        })
+    }
+
+    /// A shareable handle to the occurrence index for `'static` pool jobs
+    /// (refcount bump, not a rebuild).
+    pub fn occurrence_index_shared(&self) -> Arc<OccurrenceIndex> {
+        self.occurrence_index();
+        Arc::clone(self.vertical.get().expect("index initialized above"))
     }
 
     /// The session's database shard bounds (interior cut positions for
@@ -415,6 +438,7 @@ impl<'db> MiningSessionBuilder<'db> {
             stream,
             config: self.config,
             compiled: Arc::new(CompiledCandidates::default()),
+            vertical: OnceLock::new(),
             shard_bounds,
             workers,
             pool,
@@ -437,6 +461,10 @@ pub struct MiningSession<'db> {
     stream: Arc<[u8]>,
     config: MinerConfig,
     compiled: Arc<CompiledCandidates>,
+    /// Per-symbol occurrence index over `stream`, built lazily by the first
+    /// vertical-strategy execute and reused for the session's whole lifetime
+    /// (levels recompile, the stream never changes).
+    vertical: OnceLock<Arc<OccurrenceIndex>>,
     shard_bounds: Vec<usize>,
     workers: usize,
     pool: PoolSlot,
@@ -540,6 +568,7 @@ impl<'db> MiningSession<'db> {
             db: self.db.get(),
             stream: &self.stream,
             compiled: &self.compiled,
+            vertical: &self.vertical,
             shard_bounds: &self.shard_bounds,
             pool: &self.pool,
             workers: self.workers,
@@ -737,6 +766,7 @@ impl CoSessionBuilder {
             configs: self.configs,
             union: CandidateUnion::default(),
             compiled: Arc::new(CompiledCandidates::default()),
+            vertical: OnceLock::new(),
             shard_bounds,
             workers,
             pool,
@@ -797,6 +827,10 @@ pub struct CoSession {
     configs: Vec<MinerConfig>,
     union: CandidateUnion,
     compiled: Arc<CompiledCandidates>,
+    /// Per-symbol occurrence index over the batch's one stream snapshot —
+    /// built at most once for the whole co-mined batch, however many members
+    /// and levels ride it.
+    vertical: OnceLock<Arc<OccurrenceIndex>>,
     shard_bounds: Vec<usize>,
     workers: usize,
     pool: PoolSlot,
@@ -929,6 +963,7 @@ impl CoSession {
                 db: &self.db,
                 stream: &self.stream,
                 compiled: &self.compiled,
+                vertical: &self.vertical,
                 shard_bounds: &self.shard_bounds,
                 pool: &self.pool,
                 workers: self.workers,

@@ -209,11 +209,13 @@ impl<'a> MiningProblem<'a> {
         &self.compiled
     }
 
-    /// Ground-truth appearance counts, computed once via the database-sharded
-    /// engine and memoized.
+    /// Ground-truth appearance counts, computed once via the engine's
+    /// cost-dispatched counter (vertical occurrence lists, word-packed
+    /// Shift-And, or the sharded scan — whichever the model picks) and
+    /// memoized.
     pub fn counts(&self) -> &[u64] {
         self.counts
-            .get_or_init(|| self.compiled.count_auto(self.db.symbols()))
+            .get_or_init(|| self.compiled.count_best(self.db.symbols()))
     }
 
     /// Runs one kernel configuration. Takes `&self`: independent

@@ -44,6 +44,13 @@ pub struct CoMiningStats {
     pub solo_fallbacks: u64,
 }
 
+/// How long a joiner waits on its slot before concluding the delivery path
+/// is gone. Generous on purpose: a fused scan takes seconds even on huge
+/// databases, so two minutes of silence means the leader thread is lost in a
+/// way the [`Deliveries`] drop guard could not catch (e.g. a leaked guard),
+/// and blocking the joiner forever would wedge a service worker for good.
+pub(crate) const WAITER_TIMEOUT: Duration = Duration::from_secs(120);
+
 /// A parked result slot: the joiner blocks on it; the leader delivers into it.
 pub(crate) struct Waiter {
     /// The routed result plus the fused scan's wall time (so a joiner can
@@ -69,14 +76,41 @@ impl Waiter {
     }
 
     /// Blocks for the routed result; returns it with the batch's mining wall
-    /// time (the member's share of service time).
+    /// time (the member's share of service time). Gives up after
+    /// [`WAITER_TIMEOUT`] rather than blocking a service worker forever.
     pub(crate) fn wait(&self) -> (Result<MiningResult, MineError>, Duration) {
+        self.wait_for(WAITER_TIMEOUT)
+    }
+
+    /// [`Waiter::wait`] with an explicit deadline: if nothing is delivered
+    /// within `timeout`, returns a typed [`MineError`] (backend
+    /// `"co-mining-joiner"`) instead of spinning on the condvar forever.
+    pub(crate) fn wait_for(
+        &self,
+        timeout: Duration,
+    ) -> (Result<MiningResult, MineError>, Duration) {
+        let deadline = Instant::now() + timeout;
         let mut slot = self.result.lock().expect("waiter slot");
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.done.wait(slot).expect("waiter slot");
+            let now = Instant::now();
+            if now >= deadline {
+                let e = MineError {
+                    level: 0,
+                    backend: "co-mining-joiner".to_string(),
+                    source: tdm_core::session::BackendError::Failed(format!(
+                        "no batch result delivered within {timeout:?}; abandoning the waiter slot"
+                    )),
+                };
+                return (Err(e), Duration::ZERO);
+            }
+            let (reacquired, _) = self
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("waiter slot");
+            slot = reacquired;
         }
     }
 }
@@ -411,6 +445,37 @@ mod tests {
         drop(joiners); // leader "panicked": members must still get an answer
         let err = joiner.join().unwrap().0.unwrap_err();
         assert_eq!(err.backend, "co-mining-leader");
+    }
+
+    #[test]
+    fn waiter_gives_up_on_a_never_delivering_board() {
+        // A waiter whose leader never delivers (and whose Deliveries guard
+        // never fires) must time out with a typed error, not block forever.
+        let w = Waiter::new();
+        let (result, mine_time) = w.wait_for(Duration::from_millis(20));
+        let err = result.unwrap_err();
+        assert_eq!(err.backend, "co-mining-joiner");
+        assert!(err.to_string().contains("no batch result delivered"));
+        assert_eq!(mine_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn waiter_delivery_beats_the_timeout() {
+        let w = Arc::new(Waiter::new());
+        let delivering = {
+            let w = Arc::clone(&w);
+            std::thread::spawn(move || {
+                let result = MiningResult {
+                    levels: Vec::new(),
+                    db_len: 4,
+                };
+                w.deliver(Ok(result), Duration::from_millis(3));
+            })
+        };
+        let (result, mine_time) = w.wait_for(Duration::from_secs(30));
+        delivering.join().unwrap();
+        assert_eq!(result.unwrap().db_len, 4);
+        assert_eq!(mine_time, Duration::from_millis(3));
     }
 
     #[test]

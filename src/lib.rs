@@ -70,9 +70,10 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use tdm_core::CountingBackend;
     pub use tdm_core::{
-        Alphabet, BackendError, CandidateUnion, CoSession, CompiledCandidates, CountRequest,
-        CountScratch, CountSemantics, Counts, Episode, EventDb, Executor, MineError, Miner,
-        MinerConfig, MiningResult, MiningSession, Symbol,
+        Alphabet, AutoBackend, BackendError, BitmaskNfa, CandidateUnion, CoSession, CompileError,
+        CompiledCandidates, CountRequest, CountScratch, CountSemantics, CountStrategy, Counts,
+        Episode, EventDb, Executor, MineError, Miner, MinerConfig, MiningResult, MiningSession,
+        OccurrenceIndex, Symbol,
     };
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
     pub use tdm_mapreduce::pool::{Pool, Priority};
