@@ -64,8 +64,14 @@ impl Default for BenchConfig {
 pub struct BackendTiming {
     /// Backend label.
     pub name: String,
-    /// Best-of-repeats wall time, milliseconds.
+    /// Best per-call wall time, milliseconds (min over samples; each sample
+    /// loops the call until it spans at least ~2 ms of wall time, so
+    /// sub-millisecond calls are still resolved).
     pub ms: f64,
+    /// The same best per-call time in integer nanoseconds — the readable
+    /// figure for sub-millisecond rows, where a 3-decimal ms column would
+    /// render `0.000` and make every ratio against it absurd.
+    pub ns: u64,
     /// Stream throughput, million symbols per second.
     pub msymbols_per_s: f64,
 }
@@ -171,17 +177,41 @@ fn seed_count_episodes(db: &EventDb, episodes: &[Episode]) -> Vec<u64> {
     counts
 }
 
-/// Times `f` over `repeats` runs, returning (best ms, last result).
+/// Minimum wall time one timed sample must span, milliseconds. Calls cheaper
+/// than this are looped inside the timer until the sample crosses it, so a
+/// sub-millisecond row reports a per-call time averaged over a meaningful
+/// window instead of a single timer quantum (which rounds to `0.000 ms` and
+/// turns every ratio against the row into noise).
+const MIN_SAMPLE_MS: f64 = 2.0;
+
+/// Upper bound on the calibrated inner iteration count (keeps a pathological
+/// sub-nanosecond calibration from looping forever).
+const MAX_SAMPLE_ITERS: u32 = 10_000;
+
+/// Times `f` with min-of-N sampling: one untimed-for-scoring calibration call
+/// sizes an inner iteration count so that every sample spans at least
+/// [`MIN_SAMPLE_MS`], then each of `repeats` samples runs `f` that many times
+/// and scores `elapsed / iters`. Returns (best per-call ms, last result).
 fn time_best<R>(repeats: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let mut out = f();
+    let first_ms = t.elapsed().as_secs_f64() * 1e3;
+    let iters = if first_ms >= MIN_SAMPLE_MS {
+        1
+    } else {
+        ((MIN_SAMPLE_MS / first_ms.max(1e-7)).ceil() as u32).clamp(1, MAX_SAMPLE_ITERS)
+    };
+    // The calibration call never scores: a single cheap call can land under
+    // one timer quantum and report an impossible best.
     let mut best = f64::INFINITY;
-    let mut out = None;
     for _ in 0..repeats.max(1) {
         let t = Instant::now();
-        let r = f();
-        best = best.min(t.elapsed().as_secs_f64() * 1e3);
-        out = Some(r);
+        for _ in 0..iters {
+            out = f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() * 1e3 / iters as f64);
     }
-    (best, out.expect("at least one repeat"))
+    (best, out)
 }
 
 /// Runs the benchmark.
@@ -190,6 +220,12 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
     let ab = Alphabet::latin26();
     let n = db.len();
     let throughput = |ms: f64| n as f64 / 1e6 / (ms / 1e3).max(1e-9);
+    let row = |name: String, ms: f64| BackendTiming {
+        name,
+        ms,
+        ns: (ms * 1e6).round() as u64,
+        msymbols_per_s: throughput(ms),
+    };
     let mut levels = Vec::new();
     // One session for the whole benchmark: persistent pool, reusable compiled
     // buffers — the steady state a mining service would run in.
@@ -205,11 +241,7 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
         let mut backends: Vec<BackendTiming> = Vec::new();
 
         let (seed_ms, reference) = time_best(cfg.repeats, || seed_count_episodes(&db, &episodes));
-        backends.push(BackendTiming {
-            name: "seed-active-set".into(),
-            ms: seed_ms,
-            msymbols_per_s: throughput(seed_ms),
-        });
+        backends.push(row("seed-active-set".into(), seed_ms));
         let checksum: u64 = reference.iter().sum();
 
         let check = |name: &str, counts: &[u64]| {
@@ -223,11 +255,7 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
         let mut scratch = CountScratch::new();
         let (ms, counts) = time_best(cfg.repeats, || compiled.count(db.symbols(), &mut scratch));
         check("engine-compiled", &counts);
-        backends.push(BackendTiming {
-            name: "engine-compiled".into(),
-            ms,
-            msymbols_per_s: throughput(ms),
-        });
+        backends.push(row("engine-compiled".into(), ms));
 
         // The two single-threaded strategies that should beat the seed
         // scanner outright: vertical occurrence-list probing and word-packed
@@ -237,20 +265,12 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
             compiled.count_vertical(db.symbols(), &index)
         });
         check("engine-vertical", &counts);
-        backends.push(BackendTiming {
-            name: "engine-vertical".into(),
-            ms: vertical_ms,
-            msymbols_per_s: throughput(vertical_ms),
-        });
+        backends.push(row("engine-vertical".into(), vertical_ms));
         let mut best_strategy_ms = vertical_ms;
         if let Some(nfa) = BitmaskNfa::build(&compiled) {
             let (bitmask_ms, counts) = time_best(cfg.repeats, || nfa.count(db.symbols()));
             check("engine-bitmask", &counts);
-            backends.push(BackendTiming {
-                name: "engine-bitmask".into(),
-                ms: bitmask_ms,
-                msymbols_per_s: throughput(bitmask_ms),
-            });
+            backends.push(row("engine-bitmask".into(), bitmask_ms));
             best_strategy_ms = best_strategy_ms.min(bitmask_ms);
         }
 
@@ -260,11 +280,7 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
         // dispatch + merge for zero parallelism.
         let (ms, counts) = time_best(cfg.repeats, || compiled.count_sharded(db.symbols(), 1));
         check("engine-sharded-w1", &counts);
-        backends.push(BackendTiming {
-            name: "engine-sharded-w1".into(),
-            ms,
-            msymbols_per_s: throughput(ms),
-        });
+        backends.push(row("engine-sharded-w1".into(), ms));
 
         // The ratio entry: the sharded timing with the most workers ≤ 4, or —
         // when no such entry is configured — the fewest-worker entry, so the
@@ -288,11 +304,7 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
                     }
                 }
             });
-            backends.push(BackendTiming {
-                name: format!("engine-sharded-w{w}"),
-                ms,
-                msymbols_per_s: throughput(ms),
-            });
+            backends.push(row(format!("engine-sharded-w{w}"), ms));
         }
 
         // The session-driven executors: plan once per level (outside the
@@ -306,11 +318,7 @@ pub fn run(cfg: &BenchConfig) -> CountingBench {
                     ex.execute(&req).expect("bench executor failed")
                 });
                 check(name, &counts);
-                backends.push(BackendTiming {
-                    name: name.into(),
-                    ms,
-                    msymbols_per_s: throughput(ms),
-                });
+                backends.push(row(name.into(), ms));
             };
 
         if episodes.len() <= cfg.serial_scan_cap {
@@ -389,9 +397,10 @@ impl CountingBench {
             s.push_str("      \"backends\": [\n");
             for (j, b) in l.backends.iter().enumerate() {
                 s.push_str(&format!(
-                    "        {{\"name\": \"{}\", \"ms\": {:.3}, \"msymbols_per_s\": {:.3}}}{}\n",
+                    "        {{\"name\": \"{}\", \"ms\": {:.6}, \"ns\": {}, \"msymbols_per_s\": {:.3}}}{}\n",
                     b.name,
                     b.ms,
+                    b.ns,
                     b.msymbols_per_s,
                     if j + 1 < l.backends.len() { "," } else { "" }
                 ));
@@ -416,8 +425,8 @@ impl CountingBench {
             s.push_str(&format!("  level {} ({} episodes):\n", l.level, l.episodes));
             for b in &l.backends {
                 s.push_str(&format!(
-                    "    {:<20} {:>10.2} ms  {:>8.2} Msym/s\n",
-                    b.name, b.ms, b.msymbols_per_s
+                    "    {:<22} {:>12.4} ms  {:>12} ns  {:>8.2} Msym/s\n",
+                    b.name, b.ms, b.ns, b.msymbols_per_s
                 ));
             }
             s.push_str(&format!(
@@ -455,7 +464,15 @@ mod tests {
             // seed, compiled, vertical, bitmask, sharded-w1, sharded x2,
             // mapreduce, pooled, auto (+ serial at level 1 only).
             assert!(l.backends.len() >= 9, "level {}: {:?}", l.level, l.backends);
-            assert!(l.backends.iter().all(|t| t.ms >= 0.0));
+            // Min-of-N iteration timing: even nanosecond-scale calls must
+            // report a strictly positive time (no more 0.000 ms rows and the
+            // absurd ratios they produce).
+            for t in &l.backends {
+                assert!(t.ms > 0.0, "{} reported a zero time", t.name);
+                assert!(t.ns > 0, "{} reported zero nanoseconds", t.name);
+                let expect_ns = (t.ms * 1e6).round() as u64;
+                assert_eq!(t.ns, expect_ns, "{}: ns and ms disagree", t.name);
+            }
             assert!(l.sharded4_vs_seed_speedup.is_finite());
             assert!(l.best_vs_seed_speedup.is_finite());
             assert!(l.checksum > 0);
@@ -483,6 +500,19 @@ mod tests {
             .backends
             .iter()
             .all(|t| t.name != "cpu-serial-scan"));
+    }
+
+    #[test]
+    fn sub_quantum_calls_time_nonzero() {
+        // A call far cheaper than one timer quantum must still report a
+        // positive per-call time: the calibration loop spans MIN_SAMPLE_MS.
+        let (ms, out) = time_best(2, || std::hint::black_box(3u64) + 4);
+        assert_eq!(out, 7);
+        assert!(ms > 0.0, "sub-quantum call timed as zero: {ms}");
+        assert!(
+            ms < MIN_SAMPLE_MS,
+            "per-call time must be per call, not per sample: {ms}"
+        );
     }
 
     #[test]

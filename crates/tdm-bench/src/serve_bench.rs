@@ -19,6 +19,11 @@
 //!   against *one* database, once with cross-request co-mining disabled and
 //!   once fused into a single batch; the `comine_vs_solo_scan_ratio`
 //!   headline (solo wall / fused wall) goes top-level in the JSON.
+//! * **saturated gate** ([`SaturatedPoint`]) — the same burst pushed through
+//!   a one-slot admission gate, serialized vs waiting-room-fused; the
+//!   `saturated_fuse_vs_serial` headline (serial wall / fused wall) goes
+//!   top-level in the JSON, and the repeat round demonstrates `CoSession`
+//!   cache reuse (`co_cache_hits`).
 //! * **open loop** ([`run_open_loop`], `reproduce --serve-open-loop`) —
 //!   arrivals follow a deterministic Poisson-like schedule at a target rate,
 //!   so admission-gate queueing delay is reported separately from service
@@ -117,6 +122,106 @@ pub struct CoMinePoint {
     pub fused_requests: u64,
 }
 
+/// The overload-first scenario: the same K-config, one-database burst pushed
+/// through a **one-slot** admission gate (`max_in_flight = 1`), twice per
+/// service — once with co-mining disabled (the gate serializes K solo runs)
+/// and once with pre-admission waiting-room fusion (the K requests fuse
+/// behind the leader and are admitted as one unit, one union scan per
+/// level). The second round of each service runs with warm caches: on the
+/// fused service it reuses the parked `CoSession` (see `co_cache_hits`).
+#[derive(Debug, Clone)]
+pub struct SaturatedPoint {
+    /// Concurrent same-database clients (each with a distinct config).
+    pub clients: usize,
+    /// Bursts run against each service (the ones after the first hit warm
+    /// caches).
+    pub rounds: usize,
+    /// Wall time of all serialized-solo bursts, seconds.
+    pub serial_wall_s: f64,
+    /// Wall time of all fused bursts, seconds.
+    pub fused_wall_s: f64,
+    /// The headline: serial wall over fused wall at `max_in_flight = 1`
+    /// (> 1 = the saturated gate admits fused batches instead of K
+    /// serialized runs).
+    pub ratio: f64,
+    /// Fused batches the co-mining service formed.
+    pub batches: u64,
+    /// Requests served from a fused scan.
+    pub fused_requests: u64,
+    /// Co-session-cache hits — rounds after the first reuse the parked
+    /// `CoSession` of the same (db, config-set) bundle.
+    pub co_cache_hits: u64,
+}
+
+/// Runs the overload-first scenario (see [`SaturatedPoint`]). Same stepped
+/// configs and serial ground truth discipline as [`run_comine`], but both
+/// services run a one-slot gate and each is hit `rounds` times so the fused
+/// side demonstrates `CoSession` reuse across repeated bundles.
+fn run_saturated(cfg: &ServeBenchConfig, db: &Arc<EventDb>) -> SaturatedPoint {
+    let clients = cfg.comine_clients.max(2);
+    let rounds = 2;
+    let configs: Vec<MinerConfig> = (0..clients)
+        .map(|i| MinerConfig {
+            alpha: cfg.mining.alpha * (1.0 + i as f64 * 0.5),
+            ..cfg.mining
+        })
+        .collect();
+    let serial: Vec<MiningResult> = configs
+        .iter()
+        .map(|c| {
+            Miner::new(*c)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .expect("serial reference mining failed")
+        })
+        .collect();
+    let requests: Vec<MiningRequest> = configs
+        .iter()
+        .map(|c| {
+            let req = MiningRequest::new(Arc::clone(db), *c);
+            req.key();
+            req
+        })
+        .collect();
+
+    let service_of = |window: Duration| {
+        Arc::new(MiningService::new(ServiceConfig {
+            workers: cfg.workers,
+            // THE saturated gate: one request mines at a time. Without
+            // fusion the burst degrades to K back-to-back solo runs.
+            max_in_flight: 1,
+            comine_window: window,
+            comine_max_batch: clients,
+            ..Default::default()
+        }))
+    };
+
+    let serial_svc = service_of(Duration::ZERO);
+    let mut serial_wall_s = 0.0;
+    for _ in 0..rounds {
+        serial_wall_s += comine_burst(&serial_svc, &requests, &serial, false);
+    }
+
+    let fused_svc = service_of(Duration::from_millis(150));
+    let mut fused_wall_s = 0.0;
+    for _ in 0..rounds {
+        // Staged leader: the batch fills to max_batch while the leader holds
+        // the only slot, so the whole bundle is admitted as one unit.
+        fused_wall_s += comine_burst(&fused_svc, &requests, &serial, true);
+    }
+    let stats = fused_svc.stats();
+
+    SaturatedPoint {
+        clients,
+        rounds,
+        serial_wall_s,
+        fused_wall_s,
+        ratio: serial_wall_s / fused_wall_s.max(1e-9),
+        batches: stats.comining.batches,
+        fused_requests: stats.comining.fused_requests,
+        co_cache_hits: stats.co_cache.hits,
+    }
+}
+
 /// One open-loop run: requests arrive on a deterministic Poisson-like
 /// schedule at a target rate (instead of closed-loop resubmission), so
 /// queueing delay at the admission gate is visible separately from service
@@ -156,10 +261,15 @@ pub struct ServeBench {
     /// The co-mining headline: solo wall time over fused wall time for the
     /// same-database burst ([`CoMinePoint::ratio`]).
     pub comine_vs_solo_scan_ratio: f64,
+    /// The overload-first headline: serialized-solo wall over fused wall for
+    /// the same burst through a one-slot gate ([`SaturatedPoint::ratio`]).
+    pub saturated_fuse_vs_serial: f64,
     /// Per-rung results.
     pub points: Vec<LoadPoint>,
     /// The co-mining scenario measurements.
     pub comine: CoMinePoint,
+    /// The saturated-gate scenario measurements.
+    pub saturated: SaturatedPoint,
     /// Open-loop measurements, when requested (`reproduce
     /// --serve-open-loop`).
     pub open_loop: Option<OpenLoopReport>,
@@ -550,6 +660,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
         0.0
     };
     let comine = run_comine(cfg, &workloads[0].1);
+    let saturated = run_saturated(cfg, &workloads[0].1);
     ServeBench {
         available_parallelism: default_workers(),
         workers: if cfg.workers == 0 {
@@ -563,8 +674,10 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
             .collect(),
         qps_16_clients_vs_1,
         comine_vs_solo_scan_ratio: comine.ratio,
+        saturated_fuse_vs_serial: saturated.ratio,
         points,
         comine,
+        saturated,
         open_loop: None,
     }
 }
@@ -588,6 +701,10 @@ impl ServeBench {
             self.comine_vs_solo_scan_ratio
         ));
         s.push_str(&format!(
+            "  \"saturated_fuse_vs_serial\": {:.4},\n",
+            self.saturated_fuse_vs_serial
+        ));
+        s.push_str(&format!(
             "  \"comine\": {{\"clients\": {}, \"solo_wall_s\": {:.4}, \"fused_wall_s\": {:.4}, \
              \"ratio\": {:.4}, \"batches\": {}, \"fused_requests\": {}}},\n",
             self.comine.clients,
@@ -596,6 +713,19 @@ impl ServeBench {
             self.comine.ratio,
             self.comine.batches,
             self.comine.fused_requests
+        ));
+        s.push_str(&format!(
+            "  \"saturated\": {{\"clients\": {}, \"rounds\": {}, \"serial_wall_s\": {:.4}, \
+             \"fused_wall_s\": {:.4}, \"ratio\": {:.4}, \"batches\": {}, \
+             \"fused_requests\": {}, \"co_cache_hits\": {}}},\n",
+            self.saturated.clients,
+            self.saturated.rounds,
+            self.saturated.serial_wall_s,
+            self.saturated.fused_wall_s,
+            self.saturated.ratio,
+            self.saturated.batches,
+            self.saturated.fused_requests,
+            self.saturated.co_cache_hits
         ));
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
@@ -671,6 +801,18 @@ impl ServeBench {
             self.comine.batches,
             self.comine.fused_requests
         ));
+        s.push_str(&format!(
+            "  saturated gate ({} same-db clients x {} rounds, 1 slot): serial {:.1} ms vs \
+             fused {:.1} ms = {:.2}x ({} batches, {} fused requests, {} co-cache hits)\n",
+            self.saturated.clients,
+            self.saturated.rounds,
+            self.saturated.serial_wall_s * 1e3,
+            self.saturated.fused_wall_s * 1e3,
+            self.saturated_fuse_vs_serial,
+            self.saturated.batches,
+            self.saturated.fused_requests,
+            self.saturated.co_cache_hits
+        ));
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
                 "  open loop @ {:.1} req/s: queue mean {:.2} ms p95 {:.2} ms | \
@@ -723,6 +865,16 @@ mod tests {
         assert_eq!(b.comine.fused_requests, 3);
         assert!(b.comine_vs_solo_scan_ratio > 0.0);
         assert!(b.comine_vs_solo_scan_ratio.is_finite());
+        // The saturated-gate scenario: every round formed one full batch
+        // behind the one-slot gate, and the repeat round reused the parked
+        // CoSession (same db, same config set).
+        assert_eq!(b.saturated.clients, 3);
+        assert_eq!(b.saturated.rounds, 2);
+        assert_eq!(b.saturated.batches, 2);
+        assert_eq!(b.saturated.fused_requests, 6);
+        assert_eq!(b.saturated.co_cache_hits, 1);
+        assert!(b.saturated_fuse_vs_serial > 0.0);
+        assert!(b.saturated_fuse_vs_serial.is_finite());
     }
 
     #[test]
@@ -740,6 +892,8 @@ mod tests {
         assert!(j.trim_end().ends_with('}'));
         assert!(j.contains("\"qps_16_clients_vs_1\""));
         assert!(j.contains("\"comine_vs_solo_scan_ratio\""));
+        assert!(j.contains("\"saturated_fuse_vs_serial\""));
+        assert!(j.contains("\"co_cache_hits\""));
         assert!(j.contains("\"fused_requests\""));
         assert!(j.contains("\"open_loop\""));
         assert!(j.contains("\"mean_queue_ms\""));

@@ -7,12 +7,17 @@
 use crate::alphabet::{Alphabet, Symbol};
 use crate::{CoreError, Result};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// An ordered database of events over an [`Alphabet`].
+///
+/// The symbol stream lives behind an [`Arc`], so cloning the database — or
+/// snapshotting the stream into a mining session — is a refcount bump, never
+/// a byte copy.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventDb {
     alphabet: Alphabet,
-    symbols: Vec<u8>,
+    symbols: Arc<[u8]>,
     /// Optional non-decreasing timestamps, one per symbol.
     times: Option<Vec<u64>>,
 }
@@ -31,7 +36,7 @@ impl EventDb {
         }
         Ok(EventDb {
             alphabet,
-            symbols,
+            symbols: symbols.into(),
             times: None,
         })
     }
@@ -82,6 +87,15 @@ impl EventDb {
         &self.symbols
     }
 
+    /// The symbol stream as a shared handle — a refcount bump, not a copy.
+    ///
+    /// Mining sessions snapshot the stream through this, so a session's
+    /// snapshot aliases the database's own buffer for the session's lifetime.
+    #[inline]
+    pub fn symbols_shared(&self) -> Arc<[u8]> {
+        Arc::clone(&self.symbols)
+    }
+
     /// Optional timestamps (present only for timestamped databases).
     #[inline]
     pub fn times(&self) -> Option<&[u64]> {
@@ -125,7 +139,7 @@ impl EventDb {
     /// Per-symbol occurrence histogram (length = alphabet size).
     pub fn histogram(&self) -> Vec<u64> {
         let mut h = vec![0u64; self.alphabet.len()];
-        for &s in &self.symbols {
+        for &s in self.symbols.iter() {
             h[s as usize] += 1;
         }
         h
@@ -188,6 +202,22 @@ mod tests {
         assert_eq!(h[1], 3);
         assert_eq!(h[25], 1);
         assert_eq!(h.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn symbols_shared_aliases_the_database_buffer() {
+        let ab = Alphabet::latin26();
+        let db = EventDb::from_str_symbols(&ab, "ABAB").unwrap();
+        let s1 = db.symbols_shared();
+        let s2 = db.symbols_shared();
+        assert!(Arc::ptr_eq(&s1, &s2), "shared handles must alias");
+        assert_eq!(s1.as_ptr(), db.symbols().as_ptr());
+        let copy = db.clone();
+        assert_eq!(
+            copy.symbols().as_ptr(),
+            db.symbols().as_ptr(),
+            "cloning the database must share the stream, not copy it"
+        );
     }
 
     #[test]

@@ -405,10 +405,11 @@ impl<'db> MiningSessionBuilder<'db> {
         self
     }
 
-    /// Builds the session: snapshots the stream into a shareable buffer and
-    /// fixes the database shard bounds. Without [`with_pool`], the persistent
-    /// pool is spawned lazily the first time an executor (or
-    /// [`MiningSession::pool`]) asks for it.
+    /// Builds the session: snapshots the stream (a refcount bump on the
+    /// database's own shared buffer, never a byte copy) and fixes the
+    /// database shard bounds. Without [`with_pool`], the persistent pool is
+    /// spawned lazily the first time an executor (or [`MiningSession::pool`])
+    /// asks for it.
     ///
     /// [`with_pool`]: MiningSessionBuilder::with_pool
     pub fn build(self) -> MiningSession<'db> {
@@ -425,7 +426,7 @@ impl<'db> MiningSessionBuilder<'db> {
         } else {
             Vec::new()
         };
-        let stream = Arc::from(self.db.get().symbols());
+        let stream = self.db.get().symbols_shared();
         let pool = match self.pool {
             Some(pool) => PoolSlot::Shared(pool),
             None => PoolSlot::Owned {
@@ -736,8 +737,9 @@ impl CoSessionBuilder {
     }
 
     /// Builds the group session: snapshots the stream **once** for every
-    /// member and fixes the shard bounds, exactly like a solo session — K
-    /// members cost one snapshot, not K.
+    /// member (a refcount bump on the database's shared buffer) and fixes the
+    /// shard bounds, exactly like a solo session — K members cost one
+    /// snapshot, not K.
     pub fn build(self) -> CoSession {
         let workers = if self.workers != 0 {
             self.workers
@@ -752,7 +754,7 @@ impl CoSessionBuilder {
         } else {
             Vec::new()
         };
-        let stream = Arc::from(self.db.symbols());
+        let stream = self.db.symbols_shared();
         let pool = match self.pool {
             Some(pool) => PoolSlot::Shared(pool),
             None => PoolSlot::Owned {
@@ -774,6 +776,16 @@ impl CoSessionBuilder {
             compiles: 0,
         }
     }
+}
+
+/// Plan equality for [`CoSession::member_permutation`]: exact `alpha` bit
+/// pattern (a cached plan must only answer requests with the *identical*
+/// threshold, not an approximately equal one), plus level bound and
+/// generation rule.
+fn same_plan(a: &MinerConfig, b: &MinerConfig) -> bool {
+    a.alpha.to_bits() == b.alpha.to_bits()
+        && a.max_level == b.max_level
+        && a.distinct_items_only == b.distinct_items_only
 }
 
 /// Per-member progress inside [`CoSession::co_mine`].
@@ -904,9 +916,40 @@ impl CoSession {
 
     /// How many union candidate sets this session has compiled — exactly one
     /// per counted level (the number of shared scans issued), regardless of
-    /// how many members rode each.
+    /// how many members rode each. Accumulates across [`co_mine`] calls when
+    /// the session is reused (e.g. parked in a serving cache).
+    ///
+    /// [`co_mine`]: CoSession::co_mine
     pub fn compiles(&self) -> usize {
         self.compiles
+    }
+
+    /// Maps each requested config to a **distinct** member of this session (a
+    /// multiset matching): `perm[i]` is the member index whose result answers
+    /// request `i`. Returns `None` unless the requested configs are exactly
+    /// this session's members (same multiset, any order).
+    ///
+    /// This is what lets a serving layer park a `CoSession` in a cache keyed
+    /// by its *sorted* config-set fingerprint and reuse it for a batch whose
+    /// members arrived in a different order: [`co_mine`] rebuilds per-member
+    /// state from `configs` on every call, so a reused session re-mines
+    /// correctly — callers only need this permutation to route each member's
+    /// result back to the right requester.
+    ///
+    /// [`co_mine`]: CoSession::co_mine
+    pub fn member_permutation(&self, configs: &[MinerConfig]) -> Option<Vec<usize>> {
+        if configs.len() != self.configs.len() {
+            return None;
+        }
+        let mut used = vec![false; self.configs.len()];
+        let mut perm = Vec::with_capacity(configs.len());
+        for want in configs {
+            let j =
+                (0..self.configs.len()).find(|&j| !used[j] && same_plan(&self.configs[j], want))?;
+            used[j] = true;
+            perm.push(j);
+        }
+        Some(perm)
     }
 
     /// Runs every member's level-wise mining loop in lockstep, issuing **one**

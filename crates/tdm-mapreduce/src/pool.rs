@@ -15,9 +15,13 @@
 //! `tdm-serve` service runs all of its clients over a single machine-sized
 //! pool this way). Jobs carry a [`Priority`] tag — [`Priority::High`] jobs
 //! overtake queued [`Priority::Normal`] ones, letting latency-sensitive
-//! requests cut ahead of bulk work sharing the same threads. [`shared`]
-//! exposes one lazily spawned process-wide pool for convenience paths that
-//! have no session to borrow a pool from.
+//! requests cut ahead of bulk work sharing the same threads. The overtaking
+//! is **aged**, mirroring the serving layer's admission queue: after
+//! [`DEFAULT_LANE_AGING`] consecutive high-lane pops made while normal jobs
+//! were waiting, one normal job runs, so a continuous high stream cannot
+//! starve the bulk lane ([`Pool::with_aging`] tunes or disables this).
+//! [`shared`] exposes one lazily spawned process-wide pool for convenience
+//! paths that have no session to borrow a pool from.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -43,7 +47,8 @@ use std::thread::JoinHandle;
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Scheduling class of a pool job: [`Priority::High`] jobs are popped before
-/// any queued [`Priority::Normal`] job; within a class the queue is FIFO.
+/// any queued [`Priority::Normal`] job (subject to lane aging); within a
+/// class the queue is FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Priority {
     /// Latency-sensitive work: overtakes every queued normal job.
@@ -53,16 +58,50 @@ pub enum Priority {
     Normal,
 }
 
+/// Default lane-aging limit: after this many consecutive high-lane pops made
+/// while normal jobs were waiting, one normal job runs. Mirrors the serving
+/// layer's admission aging so neither queue in the stack can starve its
+/// normal lane.
+pub const DEFAULT_LANE_AGING: usize = 8;
+
 struct PoolState {
-    /// Two FIFO lanes; workers drain `high` before touching `normal`.
+    /// Two FIFO lanes; workers drain `high` before touching `normal`,
+    /// except that every `aging`-th consecutive high pop (counted only while
+    /// normal jobs wait) yields to the normal lane.
     high: VecDeque<Job>,
     normal: VecDeque<Job>,
+    /// Consecutive high-lane pops made while the normal lane was non-empty.
+    high_streak: usize,
     shutdown: bool,
+}
+
+impl PoolState {
+    /// Pops the next job under the aged two-lane discipline.
+    fn pop(&mut self, aging: usize) -> Option<Job> {
+        if aging != 0 && self.high_streak >= aging && !self.normal.is_empty() {
+            self.high_streak = 0;
+            return self.normal.pop_front();
+        }
+        if let Some(job) = self.high.pop_front() {
+            // Only count the streak against waiting normal jobs: a high lane
+            // running alone starves no one.
+            if self.normal.is_empty() {
+                self.high_streak = 0;
+            } else {
+                self.high_streak += 1;
+            }
+            return Some(job);
+        }
+        self.high_streak = 0;
+        self.normal.pop_front()
+    }
 }
 
 struct PoolShared {
     state: Mutex<PoolState>,
     available: Condvar,
+    /// Lane-aging limit (0 = strict priority, normal can starve).
+    aging: usize,
 }
 
 /// A persistent worker pool: `n` threads spawned once, fed through a shared
@@ -88,16 +127,28 @@ impl std::fmt::Debug for Pool {
 }
 
 impl Pool {
-    /// Spawns a pool of `n` workers (0 is clamped to 1).
+    /// Spawns a pool of `n` workers (0 is clamped to 1) with the default
+    /// lane-aging limit ([`DEFAULT_LANE_AGING`]).
     pub fn with_workers(n: usize) -> Pool {
+        Pool::with_aging(n, DEFAULT_LANE_AGING)
+    }
+
+    /// Spawns a pool of `n` workers (0 is clamped to 1) with an explicit
+    /// lane-aging limit: after `aging` consecutive high-lane pops made while
+    /// normal jobs were waiting, one normal job runs. `aging = 0` disables
+    /// aging (strict priority — a continuous high stream starves the normal
+    /// lane, the pre-aging behavior).
+    pub fn with_aging(n: usize, aging: usize) -> Pool {
         let n = n.max(1);
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 high: VecDeque::new(),
                 normal: VecDeque::new(),
+                high_streak: 0,
                 shutdown: false,
             }),
             available: Condvar::new(),
+            aging,
         });
         let handles = (0..n)
             .map(|i| {
@@ -108,9 +159,8 @@ impl Pool {
                         let job = {
                             let mut st = shared.state.lock().expect("pool state");
                             loop {
-                                if let Some(job) =
-                                    st.high.pop_front().or_else(|| st.normal.pop_front())
-                                {
+                                let aging = shared.aging;
+                                if let Some(job) = st.pop(aging) {
                                     break job;
                                 }
                                 if st.shutdown {
@@ -140,6 +190,11 @@ impl Pool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The lane-aging limit this pool schedules with (0 = strict priority).
+    pub fn aging(&self) -> usize {
+        self.shared.aging
     }
 
     /// Enqueues one [`Priority::Normal`] job; returns immediately.
@@ -449,6 +504,97 @@ mod tests {
             "the high job must run before every queued normal job"
         );
         assert!(submitted.load(Ordering::SeqCst));
+    }
+
+    /// Blocks `pool`'s (single) worker behind a gate, runs `queue` to enqueue
+    /// jobs while the worker is pinned, opens the gate, joins the pool, and
+    /// returns the order the queued jobs ran in.
+    fn run_gated(
+        pool: Pool,
+        queue: impl FnOnce(&Pool, &Arc<Mutex<Vec<&'static str>>>),
+    ) -> Vec<&'static str> {
+        let order = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            let started = Arc::clone(&started);
+            pool.execute(move || {
+                {
+                    let (lock, cv) = &*started;
+                    *lock.lock().unwrap() = true;
+                    cv.notify_all();
+                }
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        // Only queue once the worker is pinned behind the gate, so the queued
+        // jobs drain in one deterministic burst.
+        {
+            let (lock, cv) = &*started;
+            let mut ok = lock.lock().unwrap();
+            while !*ok {
+                ok = cv.wait(ok).unwrap();
+            }
+        }
+        queue(&pool, &order);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        drop(pool); // joins the worker: everything queued has run
+        Arc::try_unwrap(order).unwrap().into_inner().unwrap()
+    }
+
+    #[test]
+    fn a_continuous_high_stream_no_longer_starves_the_normal_lane() {
+        // Aging limit 2: after two high pops made while a normal job waits,
+        // the normal job must run — even though six high jobs are queued.
+        let order = run_gated(Pool::with_aging(1, 2), |pool, order| {
+            {
+                let order = Arc::clone(order);
+                pool.execute(move || order.lock().unwrap().push("normal"));
+            }
+            for _ in 0..6 {
+                let order = Arc::clone(order);
+                pool.execute_prio(Priority::High, move || order.lock().unwrap().push("high"));
+            }
+        });
+        assert_eq!(
+            order.as_slice(),
+            ["high", "high", "normal", "high", "high", "high", "high"],
+            "the aged normal job must run after exactly two high pops"
+        );
+    }
+
+    #[test]
+    fn aging_zero_restores_strict_priority() {
+        let order = run_gated(Pool::with_aging(1, 0), |pool, order| {
+            {
+                let order = Arc::clone(order);
+                pool.execute(move || order.lock().unwrap().push("normal"));
+            }
+            for _ in 0..4 {
+                let order = Arc::clone(order);
+                pool.execute_prio(Priority::High, move || order.lock().unwrap().push("high"));
+            }
+        });
+        assert_eq!(
+            order.as_slice(),
+            ["high", "high", "high", "high", "normal"],
+            "aging 0 must drain the whole high lane first"
+        );
+    }
+
+    #[test]
+    fn default_pools_age_their_lanes() {
+        assert_eq!(Pool::with_workers(1).aging(), DEFAULT_LANE_AGING);
+        assert_eq!(Pool::with_aging(1, 3).aging(), 3);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! falls back to a miss instead of serving another tenant's session.
 
 use std::sync::Arc;
-use tdm_core::session::MiningSession;
+use tdm_core::session::{CoSession, MiningSession};
 use tdm_core::{EventDb, MinerConfig};
 use tdm_mapreduce::pool::Pool;
 
@@ -95,6 +95,22 @@ pub fn session_key(db: &EventDb, config: &MinerConfig) -> SessionKey {
         db_hash: db_content_hash(db),
         config_fingerprint: config_fingerprint(config),
     }
+}
+
+/// Order-insensitive fingerprint of a *set* of configurations: the member
+/// count plus every per-config [`config_fingerprint`], folded in **sorted**
+/// order. Two batches with the same configs in a different arrival order get
+/// the same fingerprint — that is what lets a parked [`CoSession`] answer a
+/// permuted batch (see [`CoSession::member_permutation`]).
+pub fn group_fingerprint(configs: &[MinerConfig]) -> u64 {
+    let mut fps: Vec<u64> = configs.iter().map(config_fingerprint).collect();
+    fps.sort_unstable();
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, &(fps.len() as u64).to_le_bytes());
+    for fp in fps {
+        fnv1a(&mut h, &fp.to_le_bytes());
+    }
+    h
 }
 
 fn config_matches(a: &MinerConfig, b: &MinerConfig) -> bool {
@@ -260,6 +276,141 @@ impl SessionCache {
     }
 }
 
+/// One parked co-mining session: the [`CoSession`] plus the exact database
+/// handle it was planned for (the verification material). The member configs
+/// live inside the session itself.
+pub struct CachedCoSession {
+    db: Arc<EventDb>,
+    session: CoSession,
+}
+
+impl CachedCoSession {
+    /// Plans a fresh co-mining session for `db` over `configs`, dispatching
+    /// its union scans to the shared `pool`.
+    pub fn build(db: Arc<EventDb>, configs: &[MinerConfig], pool: Arc<Pool>) -> Self {
+        let session = CoSession::builder(Arc::clone(&db))
+            .configs(configs.iter().copied())
+            .with_pool(pool)
+            .build();
+        CachedCoSession { db, session }
+    }
+
+    /// The member permutation when this entry was planned for exactly this
+    /// database content and this config *set* (any order), `None` otherwise.
+    pub fn matches(&self, db: &Arc<EventDb>, configs: &[MinerConfig]) -> Option<Vec<usize>> {
+        if !db_matches(&self.db, db) {
+            return None;
+        }
+        self.session.member_permutation(configs)
+    }
+
+    /// The parked co-session, for driving a fused batch.
+    pub fn session_mut(&mut self) -> &mut CoSession {
+        &mut self.session
+    }
+
+    /// The co-session (shared view).
+    pub fn session(&self) -> &CoSession {
+        &self.session
+    }
+}
+
+impl std::fmt::Debug for CachedCoSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedCoSession")
+            .field("db_len", &self.db.len())
+            .field("members", &self.session.members())
+            .finish()
+    }
+}
+
+/// An LRU map of parked [`CoSession`]s keyed by (database content hash,
+/// **sorted** config-set fingerprint) — the co-mining sibling of
+/// [`SessionCache`], with the same take/put discipline, the same full-content
+/// verification, and the same counter taxonomy. A hit additionally yields the
+/// member permutation that routes the batch's arrival order onto the parked
+/// session's member order.
+#[derive(Debug)]
+pub struct CoSessionCache {
+    capacity: usize,
+    /// Recency order: least-recently-used first.
+    entries: Vec<(SessionKey, CachedCoSession)>,
+    stats: CacheStats,
+}
+
+impl CoSessionCache {
+    /// An empty cache holding at most `capacity` co-sessions (0 disables
+    /// caching: every fused batch plans fresh).
+    pub fn new(capacity: usize) -> Self {
+        CoSessionCache {
+            capacity,
+            entries: Vec::with_capacity(capacity.min(64)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of parked co-sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no co-session is parked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `key`, verifies the entry against the batch's database and
+    /// config set, and hands it out (removed while in use) together with the
+    /// member permutation for `configs`' arrival order.
+    pub fn take(
+        &mut self,
+        key: SessionKey,
+        db: &Arc<EventDb>,
+        configs: &[MinerConfig],
+    ) -> Option<(CachedCoSession, Vec<usize>)> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => match self.entries[i].1.matches(db, configs) {
+                Some(perm) => {
+                    self.stats.hits += 1;
+                    Some((self.entries.remove(i).1, perm))
+                }
+                None => {
+                    // Same 64-bit key, different content or config multiset:
+                    // never share the entry.
+                    self.stats.collisions += 1;
+                    self.stats.misses += 1;
+                    None
+                }
+            },
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Parks `entry` under `key` as the most-recently-used co-session (same
+    /// replacement and eviction rules as [`SessionCache::put`]).
+    pub fn put(&mut self, key: SessionKey, entry: CachedCoSession) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        }
+        self.entries.push((key, entry));
+        while self.entries.len() > self.capacity {
+            self.entries.remove(0);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,6 +540,53 @@ mod tests {
         );
         assert!(cache.take(keys[0], &dbs[0], &cfg).is_some());
         assert!(cache.take(keys[1], &dbs[1], &cfg).is_none());
+    }
+
+    #[test]
+    fn group_fingerprint_is_order_insensitive_but_multiset_sensitive() {
+        let a = MinerConfig::default();
+        let b = MinerConfig { alpha: 0.25, ..a };
+        let c = MinerConfig {
+            max_level: Some(3),
+            ..a
+        };
+        assert_eq!(group_fingerprint(&[a, b, c]), group_fingerprint(&[c, a, b]));
+        assert_ne!(group_fingerprint(&[a, b]), group_fingerprint(&[a, b, c]));
+        // Multiset, not set: duplicates count.
+        assert_ne!(group_fingerprint(&[a, b]), group_fingerprint(&[a, a, b]));
+        assert_ne!(group_fingerprint(&[a, a]), group_fingerprint(&[a]));
+    }
+
+    #[test]
+    fn co_cache_hit_returns_the_routing_permutation() {
+        let mut cache = CoSessionCache::new(4);
+        let a = MinerConfig::default();
+        let b = MinerConfig { alpha: 0.25, ..a };
+        let db = db_of("ABCABC");
+        let key = SessionKey {
+            db_hash: db_content_hash(&db),
+            config_fingerprint: group_fingerprint(&[a, b]),
+        };
+        cache.put(
+            key,
+            CachedCoSession::build(Arc::clone(&db), &[a, b], pool()),
+        );
+
+        // Same set, swapped arrival order: the permutation routes member 1's
+        // result to request 0 and vice versa.
+        let (entry, perm) = cache.take(key, &db, &[b, a]).expect("permuted hit");
+        assert_eq!(perm, vec![1, 0]);
+        assert_eq!(cache.stats().hits, 1);
+        cache.put(key, entry);
+
+        // Same key, different database content: verified miss.
+        let other = db_of("CBACBA");
+        assert!(cache.take(key, &other, &[b, a]).is_none());
+        assert_eq!(cache.stats().collisions, 1);
+
+        // Same key, wrong config multiset: verified miss too.
+        assert!(cache.take(key, &db, &[a, a]).is_none());
+        assert_eq!(cache.stats().collisions, 2);
     }
 
     #[test]

@@ -1,15 +1,24 @@
-//! Cross-request co-mining: the batch-formation board.
+//! Cross-request co-mining: the batch-formation board (the waiting room).
 //!
 //! Two concurrent requests over the *same* database but *different*
 //! configurations cannot share a cached session — yet their counting scans
 //! walk the same stream. Mayura-style co-mining fuses them: the first such
-//! request to pass admission becomes the batch **leader** and holds a
-//! formation window open on this board; same-database requests admitted
-//! inside the window **join** instead of mining alone. The leader then builds
-//! one [`tdm_core::session::CoSession`] over every member's configuration,
-//! runs the single shared union scan per level, and routes each member's
+//! request becomes the batch **leader**; same-database requests **join**
+//! instead of mining alone. The leader then drives one
+//! [`tdm_core::session::CoSession`] over every member's configuration, runs
+//! the single shared union scan per level, and routes each member's
 //! demultiplexed result back through its parked waiter slot. N concurrent
 //! configs over one database cost ~1 scan per level instead of N.
+//!
+//! Batches form **before admission**: a request enters this board first and
+//! only then (as a leader or a solo) takes an in-flight slot at the gate, so
+//! joiners never hold a slot — the whole batch is admitted as one unit on
+//! the leader's permit. That is what makes fusion *overload-first*: a
+//! saturated gate (`max_in_flight` ≈ 1) is exactly when same-database
+//! requests pile up behind the queued leader, and they fuse while waiting
+//! instead of degrading to K serialized solo runs. A leader that is itself
+//! rejected at the gate aborts its batch and shares the rejection with
+//! everyone who joined while it queued.
 //!
 //! The board is keyed by the request's database content hash and — exactly
 //! like the session cache — verified against the *full* database content
@@ -30,6 +39,7 @@ use tdm_core::{EventDb, MinerConfig};
 use tdm_mapreduce::pool::Priority;
 
 use crate::cache::db_matches;
+use crate::service::{BackendChoice, ServeError};
 
 /// Co-mining counters since service start (a [`crate::ServiceStats`] field).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,6 +52,15 @@ pub struct CoMiningStats {
     pub fused_requests: u64,
     /// Leaders whose window elapsed with no joiner (they mined solo).
     pub solo_fallbacks: u64,
+    /// Joins made while the batch leader was still **queued at the admission
+    /// gate** (before it started collecting) — the waiting-room fusions that
+    /// pre-admission batch formation exists for. Window joins (made during
+    /// an admitted leader's formation window) are not counted here.
+    pub waiting_room_joins: u64,
+    /// Fused batches whose member backend vote picked a different executor
+    /// than the leader's own [`BackendChoice`] (majority wins, the leader
+    /// breaks ties). Only batches whose leader declared a backend vote.
+    pub backend_votes_overridden: u64,
 }
 
 /// How long a joiner waits on its slot before concluding the delivery path
@@ -52,11 +71,15 @@ pub struct CoMiningStats {
 pub(crate) const WAITER_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// A parked result slot: the joiner blocks on it; the leader delivers into it.
+///
+/// The payload is a full [`ServeError`] (not just a [`MineError`]): since
+/// batches form before admission, a leader rejected at the gate shares its
+/// `Overloaded` rejection with every joiner through these slots.
 pub(crate) struct Waiter {
     /// The routed result plus the fused scan's wall time (so a joiner can
     /// split its blocking wait into queueing — window + residual — and
     /// service time).
-    result: Mutex<Option<(Result<MiningResult, MineError>, Duration)>>,
+    result: Mutex<Option<(Result<MiningResult, ServeError>, Duration)>>,
     done: Condvar,
 }
 
@@ -68,7 +91,7 @@ impl Waiter {
         }
     }
 
-    fn deliver(&self, r: Result<MiningResult, MineError>, mine_time: Duration) {
+    fn deliver(&self, r: Result<MiningResult, ServeError>, mine_time: Duration) {
         let mut slot = self.result.lock().expect("waiter slot");
         *slot = Some((r, mine_time));
         drop(slot);
@@ -78,7 +101,7 @@ impl Waiter {
     /// Blocks for the routed result; returns it with the batch's mining wall
     /// time (the member's share of service time). Gives up after
     /// [`WAITER_TIMEOUT`] rather than blocking a service worker forever.
-    pub(crate) fn wait(&self) -> (Result<MiningResult, MineError>, Duration) {
+    pub(crate) fn wait(&self) -> (Result<MiningResult, ServeError>, Duration) {
         self.wait_for(WAITER_TIMEOUT)
     }
 
@@ -88,7 +111,7 @@ impl Waiter {
     pub(crate) fn wait_for(
         &self,
         timeout: Duration,
-    ) -> (Result<MiningResult, MineError>, Duration) {
+    ) -> (Result<MiningResult, ServeError>, Duration) {
         let deadline = Instant::now() + timeout;
         let mut slot = self.result.lock().expect("waiter slot");
         loop {
@@ -104,7 +127,7 @@ impl Waiter {
                         "no batch result delivered within {timeout:?}; abandoning the waiter slot"
                     )),
                 };
-                return (Err(e), Duration::ZERO);
+                return (Err(ServeError::Mine(e)), Duration::ZERO);
             }
             let (reacquired, _) = self
                 .done
@@ -115,11 +138,13 @@ impl Waiter {
     }
 }
 
-/// One request that joined a batch: its config, its scheduling class, and the
-/// slot its routed result goes to.
+/// One request that joined a batch: its config, its scheduling class, its
+/// declared backend vote (None for caller-supplied executors), and the slot
+/// its routed result goes to.
 pub(crate) struct JoinedMember {
     pub(crate) config: MinerConfig,
     pub(crate) priority: Priority,
+    pub(crate) backend: Option<BackendChoice>,
     waiter: Arc<Waiter>,
 }
 
@@ -128,6 +153,9 @@ pub(crate) struct JoinedMember {
 /// (undelivered members get a [`MineError`] instead of hanging forever).
 pub(crate) struct Deliveries {
     members: Vec<JoinedMember>,
+    /// Joins made before the leader started collecting (i.e. while it was
+    /// still queued at the admission gate).
+    waiting_room_joins: u64,
 }
 
 impl Deliveries {
@@ -139,9 +167,20 @@ impl Deliveries {
         self.members.is_empty()
     }
 
+    /// Joins that happened in the waiting room (leader not yet collecting).
+    pub(crate) fn waiting_room_joins(&self) -> u64 {
+        self.waiting_room_joins
+    }
+
     /// Member configurations, in join (= result) order.
     pub(crate) fn configs(&self) -> impl Iterator<Item = MinerConfig> + '_ {
         self.members.iter().map(|m| m.config)
+    }
+
+    /// Member backend votes, in join order (None = caller-supplied executor,
+    /// which abstains).
+    pub(crate) fn backends(&self) -> impl Iterator<Item = Option<BackendChoice>> + '_ {
+        self.members.iter().map(|m| m.backend)
     }
 
     /// The strongest scheduling class in the batch (fusing never
@@ -170,7 +209,20 @@ impl Deliveries {
     /// The shared scan failed: every member shares the failure.
     pub(crate) fn deliver_err(&mut self, e: &MineError, mine_time: Duration) {
         for member in self.members.drain(..) {
-            member.waiter.deliver(Err(e.clone()), mine_time);
+            member
+                .waiter
+                .deliver(Err(ServeError::Mine(e.clone())), mine_time);
+        }
+    }
+
+    /// The leader was rejected at the admission gate: every member of its
+    /// aborted batch shares the rejection.
+    pub(crate) fn deliver_rejected(mut self, pending: usize, limit: usize) {
+        for member in self.members.drain(..) {
+            member.waiter.deliver(
+                Err(ServeError::Overloaded { pending, limit }),
+                Duration::ZERO,
+            );
         }
     }
 }
@@ -209,6 +261,12 @@ struct OpenBatch {
     db_hash: u64,
     db: Arc<EventDb>,
     joiners: Vec<JoinedMember>,
+    /// Set once the leader passed admission and started collecting. Joins
+    /// made before that happened in the waiting room (the leader was still
+    /// queued at the gate).
+    collecting: bool,
+    /// Joins made while `collecting` was still false.
+    waiting_room_joins: u64,
 }
 
 struct Board {
@@ -253,14 +311,29 @@ impl Batcher {
         self.board.lock().expect("co-mining board").open.len()
     }
 
-    /// Routes one admitted request: join an open same-database batch with
-    /// room (content-verified), or open a new one and lead it.
+    /// Joiners currently parked across every open batch (requests riding a
+    /// leader without holding any admission slot).
+    pub(crate) fn waiting_joiners(&self) -> usize {
+        self.board
+            .lock()
+            .expect("co-mining board")
+            .open
+            .iter()
+            .map(|s| s.joiners.len())
+            .sum()
+    }
+
+    /// Routes one arriving request — **before** it takes anything at the
+    /// admission gate: join an open same-database batch with room
+    /// (content-verified), or open a new one and lead it. Joiners never hold
+    /// an in-flight slot; they ride their leader's.
     pub(crate) fn enter(
         &self,
         db_hash: u64,
         db: &Arc<EventDb>,
         config: MinerConfig,
         priority: Priority,
+        backend: Option<BackendChoice>,
     ) -> Entry {
         if !self.enabled() {
             return Entry::Solo;
@@ -275,8 +348,12 @@ impl Batcher {
             slot.joiners.push(JoinedMember {
                 config,
                 priority,
+                backend,
                 waiter: Arc::clone(&waiter),
             });
+            if !slot.collecting {
+                slot.waiting_room_joins += 1;
+            }
             drop(board);
             self.changed.notify_all();
             return Entry::Joined(waiter);
@@ -288,12 +365,17 @@ impl Batcher {
             db_hash,
             db: Arc::clone(db),
             joiners: Vec::new(),
+            collecting: false,
+            waiting_room_joins: 0,
         });
         Entry::Leader(id)
     }
 
-    /// Leader side: holds the batch open until the window elapses or the
-    /// batch is full, then closes it and returns the joiners (possibly none).
+    /// Leader side, called **after** passing admission: holds the batch open
+    /// until the window elapses or the batch is full, then closes it and
+    /// returns the joiners (possibly none). A batch that filled while the
+    /// leader was queued at the gate closes immediately — no window latency
+    /// under saturation.
     pub(crate) fn collect(&self, token: u64) -> Deliveries {
         let deadline = Instant::now() + self.window;
         let mut board = self.board.lock().expect("co-mining board");
@@ -303,12 +385,14 @@ impl Batcher {
                 .iter()
                 .position(|s| s.id == token)
                 .expect("leader's batch vanished from the board");
+            board.open[idx].collecting = true;
             let full = self.max_batch != 0 && board.open[idx].joiners.len() + 1 >= self.max_batch;
             let now = Instant::now();
             if full || now >= deadline {
                 let slot = board.open.swap_remove(idx);
                 return Deliveries {
                     members: slot.joiners,
+                    waiting_room_joins: slot.waiting_room_joins,
                 };
             }
             let (reacquired, _) = self
@@ -316,6 +400,24 @@ impl Batcher {
                 .wait_timeout(board, deadline - now)
                 .expect("co-mining board");
             board = reacquired;
+        }
+    }
+
+    /// Leader side, on a gate rejection: closes the batch *without* mining
+    /// and returns whoever joined while the leader queued, so the caller can
+    /// share the rejection ([`Deliveries::deliver_rejected`]) instead of
+    /// stranding them until the waiter timeout.
+    pub(crate) fn abort(&self, token: u64) -> Deliveries {
+        let mut board = self.board.lock().expect("co-mining board");
+        let idx = board
+            .open
+            .iter()
+            .position(|s| s.id == token)
+            .expect("leader's batch vanished from the board");
+        let slot = board.open.swap_remove(idx);
+        Deliveries {
+            members: slot.joiners,
+            waiting_room_joins: slot.waiting_room_joins,
         }
     }
 }
@@ -338,7 +440,13 @@ mod tests {
         let b = Batcher::new(Duration::ZERO, 0);
         assert!(!b.enabled());
         let db = db_of("ABAB");
-        match b.enter(hash_of(&db), &db, MinerConfig::default(), Priority::Normal) {
+        match b.enter(
+            hash_of(&db),
+            &db,
+            MinerConfig::default(),
+            Priority::Normal,
+            None,
+        ) {
             Entry::Solo => {}
             _ => panic!("zero window must not open batches"),
         }
@@ -350,7 +458,8 @@ mod tests {
         let b = Arc::new(Batcher::new(Duration::from_secs(5), 2));
         let db = db_of("ABCABC");
         let h = hash_of(&db);
-        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+        else {
             panic!("first request must lead");
         };
         assert_eq!(b.open_batches(), 1);
@@ -358,7 +467,8 @@ mod tests {
             let b = Arc::clone(&b);
             let db = Arc::clone(&db);
             std::thread::spawn(move || {
-                let Entry::Joined(waiter) = b.enter(h, &db, MinerConfig::default(), Priority::High)
+                let Entry::Joined(waiter) =
+                    b.enter(h, &db, MinerConfig::default(), Priority::High, None)
                 else {
                     panic!("second same-db request must join");
                 };
@@ -387,12 +497,13 @@ mod tests {
         let a = db_of("ABCABC");
         let other = db_of("CBACBA"); // same length/alphabet, different content
         let h = hash_of(&a);
-        let Entry::Leader(token) = b.enter(h, &a, MinerConfig::default(), Priority::Normal) else {
+        let Entry::Leader(token) = b.enter(h, &a, MinerConfig::default(), Priority::Normal, None)
+        else {
             panic!("first request must lead");
         };
         // A forged/colliding key: the other database presented under A's
         // hash must open its own batch, not fuse with A's.
-        match b.enter(h, &other, MinerConfig::default(), Priority::Normal) {
+        match b.enter(h, &other, MinerConfig::default(), Priority::Normal, None) {
             Entry::Leader(_) => {}
             _ => panic!("content verification must reject the collision"),
         }
@@ -406,14 +517,16 @@ mod tests {
         let b = Batcher::new(Duration::from_secs(5), 2);
         let db = db_of("XYXY");
         let h = hash_of(&db);
-        let Entry::Leader(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+        let Entry::Leader(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+        else {
             panic!("lead");
         };
-        let Entry::Joined(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+        let Entry::Joined(_) = b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+        else {
             panic!("join");
         };
         // Batch of 2 is full: the third same-db request leads a fresh batch.
-        match b.enter(h, &db, MinerConfig::default(), Priority::Normal) {
+        match b.enter(h, &db, MinerConfig::default(), Priority::Normal, None) {
             Entry::Leader(_) => {}
             _ => panic!("full batch must spill"),
         }
@@ -425,7 +538,8 @@ mod tests {
         let b = Arc::new(Batcher::new(Duration::from_secs(5), 2));
         let db = db_of("ABAB");
         let h = hash_of(&db);
-        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal) else {
+        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+        else {
             panic!("lead");
         };
         let joiner = {
@@ -433,7 +547,7 @@ mod tests {
             let db = Arc::clone(&db);
             std::thread::spawn(move || {
                 let Entry::Joined(waiter) =
-                    b.enter(h, &db, MinerConfig::default(), Priority::Normal)
+                    b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
                 else {
                     panic!("join");
                 };
@@ -443,8 +557,49 @@ mod tests {
         let joiners = b.collect(token);
         assert_eq!(joiners.len(), 1);
         drop(joiners); // leader "panicked": members must still get an answer
-        let err = joiner.join().unwrap().0.unwrap_err();
+        let ServeError::Mine(err) = joiner.join().unwrap().0.unwrap_err() else {
+            panic!("a dropped delivery must surface as a mining error");
+        };
         assert_eq!(err.backend, "co-mining-leader");
+    }
+
+    #[test]
+    fn aborted_batches_share_the_gate_rejection() {
+        let b = Arc::new(Batcher::new(Duration::from_secs(5), 0));
+        let db = db_of("ABAB");
+        let h = hash_of(&db);
+        let Entry::Leader(token) = b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+        else {
+            panic!("lead");
+        };
+        let joiner = {
+            let b = Arc::clone(&b);
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let Entry::Joined(waiter) =
+                    b.enter(h, &db, MinerConfig::default(), Priority::Normal, None)
+                else {
+                    panic!("join");
+                };
+                waiter.wait()
+            })
+        };
+        // Wait for the joiner to be parked before aborting.
+        while b.waiting_joiners() == 0 {
+            std::thread::yield_now();
+        }
+        let joiners = b.abort(token);
+        assert_eq!(joiners.len(), 1);
+        // The joiner arrived before any collect() call, i.e. while the
+        // leader was still queued at the gate.
+        assert_eq!(joiners.waiting_room_joins(), 1);
+        assert_eq!(b.open_batches(), 0);
+        joiners.deliver_rejected(9, 4);
+        let ServeError::Overloaded { pending, limit } = joiner.join().unwrap().0.unwrap_err()
+        else {
+            panic!("an aborted batch must share the leader's Overloaded rejection");
+        };
+        assert_eq!((pending, limit), (9, 4));
     }
 
     #[test]
@@ -453,7 +608,9 @@ mod tests {
         // never fires) must time out with a typed error, not block forever.
         let w = Waiter::new();
         let (result, mine_time) = w.wait_for(Duration::from_millis(20));
-        let err = result.unwrap_err();
+        let ServeError::Mine(err) = result.unwrap_err() else {
+            panic!("a timed-out waiter must surface as a mining error");
+        };
         assert_eq!(err.backend, "co-mining-joiner");
         assert!(err.to_string().contains("no batch result delivered"));
         assert_eq!(mine_time, Duration::ZERO);
@@ -482,9 +639,13 @@ mod tests {
     fn window_expiry_closes_an_empty_batch() {
         let b = Batcher::new(Duration::from_millis(10), 0);
         let db = db_of("ABAB");
-        let Entry::Leader(token) =
-            b.enter(hash_of(&db), &db, MinerConfig::default(), Priority::Normal)
-        else {
+        let Entry::Leader(token) = b.enter(
+            hash_of(&db),
+            &db,
+            MinerConfig::default(),
+            Priority::Normal,
+            None,
+        ) else {
             panic!("lead");
         };
         let joiners = b.collect(token);

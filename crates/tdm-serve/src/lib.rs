@@ -30,7 +30,14 @@
 //!   configuration are **fused**: the first one leads, later ones join, and
 //!   the whole batch is mined by one `tdm_core::session::CoSession` — a
 //!   single deduplicated union scan per level instead of one scan per
-//!   request, with counts demultiplexed back per member. Results stay
+//!   request, with counts demultiplexed back per member. Batches form
+//!   **before admission** (overload-first scheduling): joiners never hold an
+//!   in-flight slot, so a saturated gate — exactly when same-database
+//!   requests pile up — fuses K queued requests into one admitted unit
+//!   instead of K serialized solo runs. Fused batches reuse parked
+//!   [`CoSessionCache`] sessions keyed by (db hash, *sorted* config-set
+//!   fingerprint), and [`MiningService::submit`]-style members vote on the
+//!   fused executor (majority wins, leader breaks ties). Results stay
 //!   bit-identical to solo mining (the workspace `tests/comining.rs`
 //!   differential suite proves it under adversarial overlap).
 //!
@@ -63,7 +70,10 @@ pub mod comine;
 pub mod service;
 
 pub use admission::{AdmissionQueue, Overloaded, Permit, DEFAULT_AGING_LIMIT};
-pub use cache::{session_key, CacheStats, CachedSession, SessionCache, SessionKey};
+pub use cache::{
+    group_fingerprint, session_key, CacheStats, CachedCoSession, CachedSession, CoSessionCache,
+    SessionCache, SessionKey,
+};
 pub use comine::CoMiningStats;
 pub use service::{
     BackendChoice, CacheOutcome, MiningRequest, MiningResponse, MiningService, ResponseStats,

@@ -6,13 +6,16 @@ use std::time::{Duration, Instant};
 
 use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend};
 use tdm_core::miner::SequentialBackend;
-use tdm_core::session::{CoSession, Executor, MineError};
+use tdm_core::session::{Executor, MineError};
 use tdm_core::stats::MiningResult;
 use tdm_core::{EventDb, MinerConfig};
 use tdm_mapreduce::pool::{default_workers, Pool, Priority};
 
 use crate::admission::{AdmissionQueue, DEFAULT_AGING_LIMIT};
-use crate::cache::{session_key, CacheStats, CachedSession, SessionCache, SessionKey};
+use crate::cache::{
+    group_fingerprint, session_key, CacheStats, CachedCoSession, CachedSession, CoSessionCache,
+    SessionCache, SessionKey,
+};
 use crate::comine::{Batcher, CoMiningStats, Deliveries, Entry};
 
 /// Which counting executor serves a request. All choices produce bit-identical
@@ -212,9 +215,12 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// How long a co-mining batch leader holds its formation window open for
     /// same-database joiners. `Duration::ZERO` (the default) disables
-    /// cross-request co-mining: every request mines solo. Joiners must pass
-    /// admission to reach the batch board, so size `max_in_flight` at least
-    /// as wide as the batches you want to form.
+    /// cross-request co-mining: every request mines solo. Batches form
+    /// **before** admission: a request enters the batch board first and only
+    /// then (as a leader or a solo) takes an in-flight slot, so joiners never
+    /// hold slots and fusion works even at `max_in_flight = 1` — a saturated
+    /// gate is exactly when same-database requests pile up behind the queued
+    /// leader and fuse in the waiting room.
     pub comine_window: Duration,
     /// Maximum requests fused into one co-mining batch, leader included
     /// (0 = unbounded — the window alone closes batches). When a batch fills,
@@ -253,8 +259,11 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Session-cache counters (hits, misses, evictions, collisions).
     pub cache: CacheStats,
+    /// Co-session-cache counters: parked `CoSession`s keyed by (db hash,
+    /// sorted config-set fingerprint), reused across repeated fused batches.
+    pub co_cache: CacheStats,
     /// Cross-request co-mining counters (batches, fused requests, solo
-    /// fallbacks).
+    /// fallbacks, waiting-room joins, backend-vote overrides).
     pub comining: CoMiningStats,
 }
 
@@ -299,6 +308,7 @@ pub struct MiningService {
     pool: Arc<Pool>,
     admission: AdmissionQueue,
     cache: Mutex<SessionCache>,
+    co_cache: Mutex<CoSessionCache>,
     batcher: Batcher,
     counters: Mutex<RequestCounters>,
 }
@@ -334,6 +344,7 @@ impl MiningService {
                 config.aging_limit,
             ),
             cache: Mutex::new(SessionCache::new(config.cache_capacity)),
+            co_cache: Mutex::new(CoSessionCache::new(config.cache_capacity)),
             batcher: Batcher::new(config.comine_window, config.comine_max_batch),
             counters: Mutex::new(RequestCounters::default()),
         }
@@ -354,35 +365,99 @@ impl MiningService {
     /// Serves one request with its configured [`BackendChoice`]; blocks
     /// through admission and the mining loop.
     ///
+    /// When this request's batch fuses with others submitted this way, the
+    /// members **vote** on the executor: the most-requested
+    /// [`BackendChoice`] runs the fused scans (the leader breaks ties), so a
+    /// majority asking for, say, [`BackendChoice::MapReduce`] is not silently
+    /// downgraded to whatever the leader happened to pick.
+    ///
     /// # Errors
     /// [`ServeError::Overloaded`] when the waiting room is full,
     /// [`ServeError::Mine`] when the backend fails.
     pub fn submit(&self, request: &MiningRequest) -> Result<MiningResponse, ServeError> {
         let mut backend = request.backend.instantiate();
-        self.submit_with(request, backend.as_mut())
+        self.submit_inner(request, backend.as_mut(), Some(request.backend))
     }
 
     /// Serves one request with a caller-supplied executor (any
     /// [`Executor`] — custom kernels, instrumented spies, simulated GPUs).
-    /// The request's `backend` field is ignored.
+    /// The request's `backend` field is ignored, and the request abstains
+    /// from any batch backend vote: if it leads a fused batch, the supplied
+    /// executor runs the fused scans unconditionally.
     ///
     /// With a co-mining window configured ([`ServiceConfig::comine_window`]),
     /// the request may be **fused** with concurrent same-database requests
-    /// into one shared union scan: the first such request to pass admission
-    /// leads the batch (its executor runs the fused scans), later ones join
-    /// and receive their demultiplexed — still bit-identical — results.
+    /// into one shared union scan. Fusion happens *before* admission: the
+    /// first such request becomes the batch leader (taking one in-flight slot
+    /// for the whole batch), later ones join — whether the leader is still
+    /// queued at the gate or already collecting — and receive their
+    /// demultiplexed, still bit-identical results without ever holding a
+    /// slot.
     ///
     /// # Errors
-    /// Same taxonomy as [`MiningService::submit`].
+    /// Same taxonomy as [`MiningService::submit`]. A joiner whose leader is
+    /// rejected at the gate shares that [`ServeError::Overloaded`].
     pub fn submit_with(
         &self,
         request: &MiningRequest,
         executor: &mut dyn Executor,
     ) -> Result<MiningResponse, ServeError> {
+        self.submit_inner(request, executor, None)
+    }
+
+    /// The one serving path. `vote` is `Some` only for [`submit`]-style
+    /// requests whose declared [`BackendChoice`] may participate in a batch
+    /// backend vote.
+    ///
+    /// [`submit`]: MiningService::submit
+    fn submit_inner(
+        &self,
+        request: &MiningRequest,
+        executor: &mut dyn Executor,
+        vote: Option<BackendChoice>,
+    ) -> Result<MiningResponse, ServeError> {
         let arrived = Instant::now();
+        let key = request.key();
+
+        // Enter the batch board *before* the admission gate: a joiner rides
+        // its leader's slot and must not consume one itself — that is what
+        // lets K same-database requests fuse behind a saturated gate.
+        let entry = self.batcher.enter(
+            key.db_hash,
+            &request.db,
+            request.config,
+            request.priority,
+            vote,
+        );
+        if let Entry::Joined(waiter) = entry {
+            let parked = Instant::now();
+            let (outcome_result, fused_mine_time) = waiter.wait();
+            // Waiting on the leader minus the fused scan itself is queueing
+            // (gate wait + residual window + scheduling).
+            let queue_wait = parked.elapsed().saturating_sub(fused_mine_time);
+            return self.finish(
+                outcome_result,
+                CacheOutcome::CoMined,
+                queue_wait,
+                fused_mine_time,
+                key,
+            );
+        }
+
         let permit = match self.admission.acquire(request.priority) {
             Ok(p) => p,
             Err(over) => {
+                // A rejected leader shares the rejection with everyone who
+                // joined while it queued, instead of stranding them.
+                if let Entry::Leader(token) = entry {
+                    let joiners = self.batcher.abort(token);
+                    self.counters
+                        .lock()
+                        .expect("service counters")
+                        .comining
+                        .waiting_room_joins += joiners.waiting_room_joins();
+                    joiners.deliver_rejected(over.pending, over.limit);
+                }
                 self.counters.lock().expect("service counters").rejected += 1;
                 return Err(ServeError::Overloaded {
                     pending: over.pending,
@@ -391,51 +466,69 @@ impl MiningService {
             }
         };
         let gate_wait = arrived.elapsed();
-        let key = request.key();
 
-        // Each arm separates *waiting* (batch formation, a joiner blocking on
-        // the leader) from *mining*, so queue_wait/mine_time keep their
-        // meaning with co-mining enabled.
-        let (outcome_result, outcome, batch_wait, mine_time) =
-            match self
-                .batcher
-                .enter(key.db_hash, &request.db, request.config, request.priority)
-            {
-                Entry::Solo => {
-                    let mining = Instant::now();
+        // Each arm separates *waiting* (batch formation) from *mining*, so
+        // queue_wait/mine_time keep their meaning with co-mining enabled.
+        let (outcome_result, outcome, batch_wait, mine_time) = match entry {
+            Entry::Joined(_) => unreachable!("joiners returned above"),
+            Entry::Solo => {
+                let mining = Instant::now();
+                let (result, outcome) = self.mine_solo(request, executor, key);
+                (
+                    result.map_err(ServeError::Mine),
+                    outcome,
+                    Duration::ZERO,
+                    mining.elapsed(),
+                )
+            }
+            Entry::Leader(token) => {
+                let window = Instant::now();
+                let joiners = self.batcher.collect(token);
+                let window_wait = window.elapsed();
+                let mining = Instant::now();
+                if joiners.is_empty() {
+                    self.counters
+                        .lock()
+                        .expect("service counters")
+                        .comining
+                        .solo_fallbacks += 1;
                     let (result, outcome) = self.mine_solo(request, executor, key);
-                    (result, outcome, Duration::ZERO, mining.elapsed())
+                    (
+                        result.map_err(ServeError::Mine),
+                        outcome,
+                        window_wait,
+                        mining.elapsed(),
+                    )
+                } else {
+                    self.counters
+                        .lock()
+                        .expect("service counters")
+                        .comining
+                        .waiting_room_joins += joiners.waiting_room_joins();
+                    let result = self.mine_fused(request, executor, joiners, vote);
+                    (
+                        result.map_err(ServeError::Mine),
+                        CacheOutcome::CoMined,
+                        window_wait,
+                        mining.elapsed(),
+                    )
                 }
-                Entry::Joined(waiter) => {
-                    let parked = Instant::now();
-                    let (result, fused_mine_time) = waiter.wait();
-                    // Waiting on the leader minus the fused scan itself is
-                    // queueing (residual window + scheduling).
-                    let waited = parked.elapsed().saturating_sub(fused_mine_time);
-                    (result, CacheOutcome::CoMined, waited, fused_mine_time)
-                }
-                Entry::Leader(token) => {
-                    let window = Instant::now();
-                    let joiners = self.batcher.collect(token);
-                    let window_wait = window.elapsed();
-                    let mining = Instant::now();
-                    if joiners.is_empty() {
-                        self.counters
-                            .lock()
-                            .expect("service counters")
-                            .comining
-                            .solo_fallbacks += 1;
-                        let (result, outcome) = self.mine_solo(request, executor, key);
-                        (result, outcome, window_wait, mining.elapsed())
-                    } else {
-                        let result = self.mine_fused(request, executor, joiners);
-                        (result, CacheOutcome::CoMined, window_wait, mining.elapsed())
-                    }
-                }
-            };
+            }
+        };
         let queue_wait = gate_wait + batch_wait;
         drop(permit);
+        self.finish(outcome_result, outcome, queue_wait, mine_time, key)
+    }
 
+    /// Books the request's terminal counter and assembles the response.
+    fn finish(
+        &self,
+        outcome_result: Result<MiningResult, ServeError>,
+        outcome: CacheOutcome,
+        queue_wait: Duration,
+        mine_time: Duration,
+        key: SessionKey,
+    ) -> Result<MiningResponse, ServeError> {
         let mut counters = self.counters.lock().expect("service counters");
         match outcome_result {
             Ok(result) => {
@@ -452,9 +545,12 @@ impl MiningService {
                 })
             }
             Err(e) => {
-                counters.failed += 1;
+                match &e {
+                    ServeError::Overloaded { .. } => counters.rejected += 1,
+                    ServeError::Mine(_) => counters.failed += 1,
+                }
                 drop(counters);
-                Err(ServeError::Mine(e))
+                Err(e)
             }
         }
     }
@@ -495,27 +591,86 @@ impl MiningService {
         (outcome_result, outcome)
     }
 
-    /// The fused path (batch leader): build one [`CoSession`] over the
-    /// leader's config plus every joiner's, run the single union scan per
-    /// level with the leader's executor, route the demultiplexed results to
-    /// the joiners, and keep the leader's own. The per-(db, config) session
-    /// cache is bypassed — the union has its own compiled buffers, so parked
-    /// sessions stay untouched (and keep their addresses).
+    /// The fused path (batch leader): take (or plan) a cached
+    /// [`tdm_core::session::CoSession`] over the leader's config plus every
+    /// joiner's, run the single union scan per level, route the demultiplexed
+    /// results to the joiners, and keep the leader's own.
+    ///
+    /// Sessions are parked in a dedicated co-session cache keyed by (db hash,
+    /// **sorted** config-set fingerprint): a recurring bundle of queries hits
+    /// the cache even when its members arrive in a different order (the
+    /// session's member permutation routes results back), and its compiled
+    /// union buffers stay warm at a stable address across batches. The
+    /// per-(db, config) solo cache is never consulted, so parked solo
+    /// sessions stay untouched.
+    ///
+    /// When the leader declared a backend `vote` ([`MiningService::submit`]),
+    /// the batch votes: the most-requested [`BackendChoice`] among voting
+    /// members runs the fused scans (leader breaks ties). Abstaining members
+    /// (caller-supplied executors) don't outvote anyone, and an abstaining
+    /// *leader* disables the vote entirely — `executor` runs as given.
     fn mine_fused(
         &self,
         request: &MiningRequest,
         executor: &mut dyn Executor,
         mut joiners: Deliveries,
+        vote: Option<BackendChoice>,
     ) -> Result<MiningResult, MineError> {
-        let mut group = CoSession::builder(Arc::clone(&request.db))
-            .config(request.config)
-            .configs(joiners.configs())
-            .with_pool(Arc::clone(&self.pool))
-            .build();
-        group.set_job_priority(joiners.max_priority(request.priority));
+        // Batch order: leader first, then joiners in join (= delivery) order.
+        let mut batch_configs = Vec::with_capacity(1 + joiners.len());
+        batch_configs.push(request.config);
+        batch_configs.extend(joiners.configs());
+
+        let mut voted: Option<Box<dyn Executor>> = None;
+        if let Some(leader_choice) = vote {
+            let winner = vote_backend(leader_choice, joiners.backends().flatten());
+            if winner != leader_choice {
+                voted = Some(winner.instantiate());
+                self.counters
+                    .lock()
+                    .expect("service counters")
+                    .comining
+                    .backend_votes_overridden += 1;
+            }
+        }
+        let executor: &mut dyn Executor = match voted.as_mut() {
+            Some(b) => b.as_mut(),
+            None => executor,
+        };
+
+        let co_key = SessionKey {
+            db_hash: request.key().db_hash,
+            config_fingerprint: group_fingerprint(&batch_configs),
+        };
+        let cached = self.co_cache.lock().expect("co-session cache").take(
+            co_key,
+            &request.db,
+            &batch_configs,
+        );
+        let (mut entry, perm) = match cached {
+            Some((entry, perm)) => (entry, perm),
+            None => (
+                CachedCoSession::build(
+                    Arc::clone(&request.db),
+                    &batch_configs,
+                    Arc::clone(&self.pool),
+                ),
+                // A fresh session's members are already in batch order.
+                (0..batch_configs.len()).collect(),
+            ),
+        };
+        entry
+            .session_mut()
+            .set_job_priority(joiners.max_priority(request.priority));
         let mining = Instant::now();
-        let outcome = group.co_mine(executor);
+        let outcome = entry.session_mut().co_mine(executor);
         let mine_time = mining.elapsed();
+        // Park the co-session again even after a backend error: the plan
+        // state stays consistent, and the next batch of this bundle reuses it.
+        self.co_cache
+            .lock()
+            .expect("co-session cache")
+            .put(co_key, entry);
         {
             // Counted after the scan so the stats can't claim requests were
             // served from a batch that then failed.
@@ -526,9 +681,20 @@ impl MiningService {
             }
         }
         match outcome {
-            Ok(mut results) => {
-                let leader = results.remove(0);
-                joiners.deliver_ok(results, mine_time);
+            Ok(results) => {
+                // `results` is in the session's member order; `perm` routes it
+                // back to batch (arrival) order.
+                let mut slots: Vec<Option<MiningResult>> = results.into_iter().map(Some).collect();
+                let mut ordered: Vec<MiningResult> = perm
+                    .iter()
+                    .map(|&j| {
+                        slots[j]
+                            .take()
+                            .expect("permutation visits each member once")
+                    })
+                    .collect();
+                let leader = ordered.remove(0);
+                joiners.deliver_ok(ordered, mine_time);
                 Ok(leader)
             }
             Err(e) => {
@@ -546,19 +712,32 @@ impl MiningService {
             failed: counters.failed,
             rejected: counters.rejected,
             cache: self.cache.lock().expect("session cache").stats(),
+            co_cache: self.co_cache.lock().expect("co-session cache").stats(),
             comining: counters.comining,
         }
     }
 
-    /// Co-mining batches currently holding their formation window open
-    /// (0 when co-mining is disabled or idle).
+    /// Co-mining batches currently open on the batch board — leaders queued
+    /// at the gate or holding their formation window (0 when co-mining is
+    /// disabled or idle).
     pub fn open_batches(&self) -> usize {
         self.batcher.open_batches()
     }
 
-    /// Parked sessions currently in the cache.
+    /// Joiners currently parked on the batch board, riding a leader's slot
+    /// (they hold no admission slot of their own).
+    pub fn waiting_joiners(&self) -> usize {
+        self.batcher.waiting_joiners()
+    }
+
+    /// Parked solo sessions currently in the cache.
     pub fn cached_sessions(&self) -> usize {
         self.cache.lock().expect("session cache").len()
+    }
+
+    /// Parked co-mining sessions currently in the co-session cache.
+    pub fn cached_co_sessions(&self) -> usize {
+        self.co_cache.lock().expect("co-session cache").len()
     }
 
     /// Requests currently waiting at the admission gate.
@@ -570,6 +749,30 @@ impl MiningService {
     pub fn in_flight(&self) -> usize {
         self.admission.in_flight()
     }
+}
+
+/// Majority vote over a batch's declared [`BackendChoice`]s: the leader's
+/// choice starts with one vote, every voting joiner adds one, and the
+/// most-requested choice wins. The leader breaks ties (its tally is first,
+/// and a challenger must be *strictly* more requested to displace it).
+fn vote_backend(
+    leader: BackendChoice,
+    votes: impl Iterator<Item = BackendChoice>,
+) -> BackendChoice {
+    let mut tally: Vec<(BackendChoice, usize)> = vec![(leader, 1)];
+    for v in votes {
+        match tally.iter_mut().find(|(c, _)| *c == v) {
+            Some((_, n)) => *n += 1,
+            None => tally.push((v, 1)),
+        }
+    }
+    let mut best = tally[0];
+    for &(c, n) in &tally[1..] {
+        if n > best.1 {
+            best = (c, n);
+        }
+    }
+    best.0
 }
 
 #[cfg(test)]
@@ -683,8 +886,9 @@ mod tests {
     fn fused_batch_matches_solo_results_and_counts_in_stats() {
         let service = Arc::new(MiningService::new(ServiceConfig {
             workers: 2,
-            // Joiners must *pass admission* to reach the batch board: keep
-            // the gate wide enough for the whole batch to be in flight.
+            // A wide gate exercises the *window* formation path (the leader
+            // is admitted immediately and holds the window open); the
+            // saturated waiting-room path is covered by the workspace tests.
             max_in_flight: 8,
             comine_window: Duration::from_secs(5),
             comine_max_batch: 3,
@@ -845,6 +1049,30 @@ mod tests {
         assert_eq!(stats.comining.batches, 1);
         // No one was *served* from the failed scan.
         assert_eq!(stats.comining.fused_requests, 0);
+    }
+
+    #[test]
+    fn backend_vote_tallies_with_leader_tiebreak() {
+        use BackendChoice::*;
+        // No joiners: the leader's own choice stands.
+        assert_eq!(vote_backend(Sharded, std::iter::empty()), Sharded);
+        // A strict majority overrides the leader.
+        assert_eq!(
+            vote_backend(Sharded, [MapReduce, MapReduce].into_iter()),
+            MapReduce
+        );
+        // A tie (1 leader vote vs 1 joiner vote) keeps the leader's choice.
+        assert_eq!(vote_backend(Sharded, [MapReduce].into_iter()), Sharded);
+        // 2 vs 2 across leader+joiners still resolves to the leader.
+        assert_eq!(
+            vote_backend(Sharded, [Sharded, MapReduce, MapReduce].into_iter()),
+            Sharded
+        );
+        // Joiners agreeing with the leader pile onto its tally.
+        assert_eq!(
+            vote_backend(Sharded, [Sharded, MapReduce].into_iter()),
+            Sharded
+        );
     }
 
     #[test]

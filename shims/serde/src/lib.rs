@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+use std::sync::Arc;
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Stand-in for `serde::Serialize` (the trait namespace half of the name).
@@ -15,3 +17,11 @@ pub trait Serialize {}
 
 /// Stand-in for `serde::Deserialize` (the trait namespace half of the name).
 pub trait Deserialize<'de>: Sized {}
+
+// Shared-byte-buffer fields (`Arc<[u8]>`) appear in types that derive the
+// serde traits, so the shim carries the impls the real crate would provide
+// via its `rc` feature. Kept explicit (not a blanket impl) to match real
+// serde's opt-in surface.
+impl Serialize for Arc<[u8]> {}
+
+impl<'de> Deserialize<'de> for Arc<[u8]> {}

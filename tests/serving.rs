@@ -15,6 +15,14 @@
 //!   parked sessions — their compiled buffers keep the same address across a
 //!   batch (the bit-identity of fused results themselves is proven in
 //!   `tests/comining.rs`);
+//! * **overload-first scheduling**: with a saturated one-slot gate, K queued
+//!   same-database requests fuse in the waiting room — joiners hold no
+//!   admission slot, the batch is admitted as one unit, and a spy executor
+//!   observes exactly one union scan per level instead of K solo runs;
+//! * repeated bundles hit the co-session cache: the fused union scan's
+//!   compiled buffers keep the same address across batches, even when the
+//!   bundle's members arrive in a different order;
+//! * fused batches vote on the backend (majority wins, leader breaks ties);
 //! * priority + admission-limit plumbing end to end.
 
 use std::sync::Arc;
@@ -344,4 +352,346 @@ fn priorities_and_admission_are_wired_through() {
     }
     assert_eq!(service.in_flight(), 0);
     assert_eq!(service.pending(), 0);
+}
+
+/// Counts executor invocations — the instrument for "one union scan per
+/// level, not K solo runs" (same shape as the spy in `tests/comining.rs`).
+#[derive(Default)]
+struct ScanSpy {
+    inner: temporal_mining::baselines::ActiveSetBackend,
+    calls: usize,
+}
+
+impl Executor for ScanSpy {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        self.calls += 1;
+        self.inner.execute(req)
+    }
+
+    fn name(&self) -> &str {
+        "scan-spy"
+    }
+}
+
+/// Blocks inside its first scan until released — pins the admission gate's
+/// only slot while other requests pile up behind it.
+struct GateHolder {
+    inner: temporal_mining::baselines::ActiveSetBackend,
+    started: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+}
+
+impl Executor for GateHolder {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        {
+            let (flag, cv) = &*self.started;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let (flag, cv) = &*self.release;
+        let mut go = flag.lock().unwrap();
+        while !*go {
+            go = cv.wait(go).unwrap();
+        }
+        drop(go);
+        self.inner.execute(req)
+    }
+
+    fn name(&self) -> &str {
+        "gate-holder"
+    }
+}
+
+#[test]
+fn saturated_gate_fuses_queued_requests_into_one_union_scan_per_level() {
+    // One in-flight slot, held hostage by a request (over a *different*
+    // database) blocked inside its scan. K = 3 same-database requests then
+    // pile up: the first queues at the gate as a batch leader; the other two
+    // park in the waiting room holding NO admission slot. When the gate
+    // frees, the whole batch is admitted as one unit and served by one union
+    // scan per level — not 3 serialized solo runs.
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: 2,
+        max_in_flight: 1,
+        comine_window: std::time::Duration::from_millis(300),
+        comine_max_batch: 3,
+        ..Default::default()
+    }));
+    let db = Arc::new(markov_letters(15_000, 43, 0.6));
+    let other_db = Arc::new(markov_letters(8_000, 7, 0.5));
+    let configs = [
+        mine_config(),
+        MinerConfig {
+            alpha: 0.005,
+            ..mine_config()
+        },
+        MinerConfig {
+            alpha: 0.02,
+            max_level: Some(3),
+            ..mine_config()
+        },
+    ];
+    let serial: Vec<MiningResult> = configs
+        .iter()
+        .map(|cfg| {
+            Miner::new(*cfg)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .unwrap()
+        })
+        .collect();
+
+    let started = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    std::thread::scope(|s| {
+        let holder = {
+            let service = Arc::clone(&service);
+            let req = MiningRequest::new(Arc::clone(&other_db), mine_config());
+            let started = Arc::clone(&started);
+            let release = Arc::clone(&release);
+            s.spawn(move || {
+                let mut holder = GateHolder {
+                    inner: Default::default(),
+                    started,
+                    release,
+                };
+                service.submit_with(&req, &mut holder).unwrap()
+            })
+        };
+        // The holder is inside its first scan: the only slot is taken.
+        {
+            let (flag, cv) = &*started;
+            let mut up = flag.lock().unwrap();
+            while !*up {
+                up = cv.wait(up).unwrap();
+            }
+        }
+        assert_eq!(service.in_flight(), 1);
+
+        // The leader queues at the gate with an open batch on the board.
+        let leader = {
+            let service = Arc::clone(&service);
+            let req = MiningRequest::new(Arc::clone(&db), configs[0]);
+            s.spawn(move || {
+                let mut spy = ScanSpy::default();
+                let resp = service.submit_with(&req, &mut spy).unwrap();
+                (resp, spy.calls)
+            })
+        };
+        while service.open_batches() == 0 || service.pending() == 0 {
+            std::thread::yield_now();
+        }
+
+        // Two more same-db requests join the queued leader's batch.
+        let joiners: Vec<_> = configs[1..]
+            .iter()
+            .map(|cfg| {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), *cfg);
+                s.spawn(move || {
+                    let mut spy = ScanSpy::default();
+                    let resp = service.submit_with(&req, &mut spy).unwrap();
+                    (resp, spy.calls)
+                })
+            })
+            .collect();
+        while service.waiting_joiners() < 2 {
+            std::thread::yield_now();
+        }
+        // Joiners ride the leader's slot: nothing new at the gate.
+        assert_eq!(service.in_flight(), 1, "joiners must not take slots");
+        assert_eq!(service.pending(), 1, "only the leader queues at the gate");
+
+        // Free the gate: the fused batch is admitted as one unit.
+        {
+            let (flag, cv) = &*release;
+            *flag.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        holder.join().unwrap();
+
+        let (leader_resp, leader_calls) = leader.join().unwrap();
+        let deepest = serial.iter().map(|r| r.levels.len()).max().unwrap();
+        let solo_scan_total: usize = serial.iter().map(|r| r.levels.len()).sum();
+        assert_eq!(
+            leader_calls, deepest,
+            "expected exactly one union scan per level"
+        );
+        assert!(
+            leader_calls < solo_scan_total,
+            "fusion must beat {solo_scan_total} serialized solo scans"
+        );
+        assert_eq!(leader_resp.stats.cache, CacheOutcome::CoMined);
+        assert_eq!(leader_resp.result, serial[0]);
+        for (i, joiner) in joiners.into_iter().enumerate() {
+            let (resp, calls) = joiner.join().unwrap();
+            assert_eq!(calls, 0, "joiner {i}'s own executor must never run");
+            assert_eq!(resp.stats.cache, CacheOutcome::CoMined, "joiner {i}");
+            assert_eq!(resp.result, serial[i + 1], "joiner {i} diverged");
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.comining.batches, 1);
+    assert_eq!(stats.comining.fused_requests, 3);
+    assert_eq!(
+        stats.comining.waiting_room_joins, 2,
+        "both joiners joined while the leader was still queued"
+    );
+    assert_eq!(
+        stats.comining.solo_fallbacks, 1,
+        "the gate holder mined solo"
+    );
+}
+
+#[test]
+fn repeated_bundles_hit_the_co_session_cache_with_stable_buffers() {
+    // The same two-config bundle fused twice: the second batch must take the
+    // parked CoSession from the co-session cache and recompile in place —
+    // the union scan executes against the *same* compiled allocation both
+    // times — even though the bundle's members arrive in swapped order.
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: 2,
+        max_in_flight: 4,
+        comine_window: std::time::Duration::from_secs(5),
+        comine_max_batch: 2,
+        ..Default::default()
+    }));
+    let db = Arc::new(markov_letters(15_000, 17, 0.6));
+    let cfg_a = mine_config();
+    let cfg_b = MinerConfig {
+        alpha: 0.01,
+        ..mine_config()
+    };
+
+    // (result for cfg_a, result for cfg_b, leader's compiled addresses).
+    let mut rounds: Vec<(MiningResult, MiningResult, Vec<usize>)> = Vec::new();
+    for (round, (lead_cfg, join_cfg)) in [(cfg_a, cfg_b), (cfg_b, cfg_a)].into_iter().enumerate() {
+        std::thread::scope(|s| {
+            let leader = {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), lead_cfg);
+                s.spawn(move || {
+                    let mut spy = AddressSpy::default();
+                    let resp = service.submit_with(&req, &mut spy).unwrap();
+                    (resp, spy.addrs)
+                })
+            };
+            while service.open_batches() == 0 {
+                std::thread::yield_now();
+            }
+            let joiner = {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), join_cfg);
+                s.spawn(move || service.submit(&req).unwrap())
+            };
+            let (lead_resp, addrs) = leader.join().unwrap();
+            let join_resp = joiner.join().unwrap();
+            assert_eq!(
+                lead_resp.stats.cache,
+                CacheOutcome::CoMined,
+                "round {round}"
+            );
+            assert_eq!(
+                join_resp.stats.cache,
+                CacheOutcome::CoMined,
+                "round {round}"
+            );
+            assert!(!addrs.is_empty());
+            let (for_a, for_b) = if round == 0 {
+                (lead_resp.result, join_resp.result)
+            } else {
+                (join_resp.result, lead_resp.result)
+            };
+            rounds.push((for_a, for_b, addrs));
+        });
+    }
+    assert_eq!(
+        rounds[0].2, rounds[1].2,
+        "cached co-session's compiled union buffers moved across batches"
+    );
+    let serial_a = Miner::new(cfg_a)
+        .mine(db.as_ref(), &mut SequentialBackend::default())
+        .unwrap();
+    let serial_b = Miner::new(cfg_b)
+        .mine(db.as_ref(), &mut SequentialBackend::default())
+        .unwrap();
+    for (round, (for_a, for_b, _)) in rounds.iter().enumerate() {
+        assert_eq!(*for_a, serial_a, "round {round} cfg_a diverged");
+        assert_eq!(*for_b, serial_b, "round {round} cfg_b diverged");
+    }
+    let stats = service.stats();
+    assert_eq!(stats.comining.batches, 2);
+    assert_eq!(
+        stats.co_cache.misses, 1,
+        "first bundle plans the co-session"
+    );
+    assert_eq!(stats.co_cache.hits, 1, "second bundle must reuse it");
+    assert_eq!(stats.co_cache.collisions, 0);
+    assert_eq!(service.cached_co_sessions(), 1);
+    // The solo session cache was never consulted for fused requests.
+    assert_eq!(stats.cache.hits + stats.cache.misses, 0);
+}
+
+#[test]
+fn fused_batches_vote_on_the_backend() {
+    // Leader asks for Sharded, two joiners ask for MapReduce: the majority
+    // wins and the override is counted — results stay bit-identical anyway.
+    let service = Arc::new(MiningService::new(ServiceConfig {
+        workers: 2,
+        max_in_flight: 4,
+        comine_window: std::time::Duration::from_secs(5),
+        comine_max_batch: 3,
+        ..Default::default()
+    }));
+    let db = Arc::new(markov_letters(12_000, 5, 0.6));
+    let configs = [
+        mine_config(),
+        MinerConfig {
+            alpha: 0.005,
+            ..mine_config()
+        },
+        MinerConfig {
+            alpha: 0.02,
+            ..mine_config()
+        },
+    ];
+    let serial: Vec<MiningResult> = configs
+        .iter()
+        .map(|cfg| {
+            Miner::new(*cfg)
+                .mine(db.as_ref(), &mut SequentialBackend::default())
+                .unwrap()
+        })
+        .collect();
+    std::thread::scope(|s| {
+        let leader = {
+            let service = Arc::clone(&service);
+            let req =
+                MiningRequest::new(Arc::clone(&db), configs[0]).backend(BackendChoice::Sharded);
+            s.spawn(move || service.submit(&req).unwrap())
+        };
+        while service.open_batches() == 0 {
+            std::thread::yield_now();
+        }
+        let joiners: Vec<_> = configs[1..]
+            .iter()
+            .map(|cfg| {
+                let service = Arc::clone(&service);
+                let req =
+                    MiningRequest::new(Arc::clone(&db), *cfg).backend(BackendChoice::MapReduce);
+                s.spawn(move || service.submit(&req).unwrap())
+            })
+            .collect();
+        assert_eq!(leader.join().unwrap().result, serial[0]);
+        for (i, joiner) in joiners.into_iter().enumerate() {
+            assert_eq!(joiner.join().unwrap().result, serial[i + 1], "joiner {i}");
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.comining.batches, 1);
+    assert_eq!(stats.comining.fused_requests, 3);
+    assert_eq!(
+        stats.comining.backend_votes_overridden, 1,
+        "two MapReduce votes must outvote the Sharded leader"
+    );
 }

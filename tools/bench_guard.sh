@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Bench regression guard over a freshly generated BENCH_counting.json.
+# Bench regression guard over freshly generated benchmark artifacts.
 #
-#   tools/bench_guard.sh [BENCH_JSON]        (default: BENCH_counting.json)
+#   tools/bench_guard.sh [BENCH_COUNTING_JSON] [BENCH_SERVE_JSON]
 #
-# Fails (exit 1) when either headline ratio regresses:
+# Defaults: BENCH_counting.json; the serve report is guarded only when the
+# second argument is given (CI passes BENCH_serve.json after generating it).
+#
+# Counting guard — fails (exit 1) when either headline ratio regresses:
 #
 #   * `level2_best_vs_seed`   < 1.0  — the new counting strategies (vertical
 #     occurrence lists / word-packed Shift-And) must beat the frozen seed
@@ -14,42 +17,64 @@
 #     noise allowance), guarding the single-worker dispatch fix: cutting
 #     shards without threads to scan them is how this ratio regresses.
 #
-# The JSON is the hand-rolled report from `reproduce --bench-json` (the
-# workspace builds offline without a JSON crate), so the parse here is a
-# plain key grep — both keys are emitted top-level, one per line.
+# Serve guard — fails when either co-mining headline regresses below the
+# committed results/BENCH_serve.json baseline (minus a noise allowance):
+#
+#   * `comine_vs_solo_scan_ratio` < MIN_COMINE — K same-database clients
+#     fused into one union scan per level must stay faster than K solo runs
+#     on an open gate.
+#   * `saturated_fuse_vs_serial` < MIN_SATURATED — the overload-first
+#     scenario: the same burst through a one-slot admission gate must be
+#     fused in the waiting room instead of degrading to K serialized solo
+#     runs. This is the ratio the pre-admission batch board exists for.
+#
+# The JSONs are hand-rolled reports from `reproduce` (the workspace builds
+# offline without a JSON crate), so the parse here is a plain key grep —
+# every guarded key is emitted top-level, one per line.
 set -euo pipefail
 
 BENCH="${1:-BENCH_counting.json}"
+SERVE="${2:-}"
 # Committed baseline 0.7455 (results/BENCH_counting.json, 1-core container —
 # the sequential compiled scan is inherently a bit slower than the seed scan
 # at level 2; the new strategies, not sharding, are what beat it) less a
 # timing-noise allowance. Multi-core CI runners clear it with real speedup.
 MIN_SHARDED="${MIN_SHARDED:-0.70}"
 MIN_BEST="${MIN_BEST:-1.0}"
+# Serve floors: committed 1-core baselines less a generous allowance —
+# fusion's win comes from doing one union scan instead of K, which survives
+# any core count; these floors catch the batch board breaking, not noise.
+MIN_COMINE="${MIN_COMINE:-1.2}"
+MIN_SATURATED="${MIN_SATURATED:-2.0}"
 
 [ -f "$BENCH" ] || { echo "bench_guard: $BENCH not found" >&2; exit 1; }
 
 extract() {
-    # "key": 1.2345,  ->  1.2345
-    awk -F': ' -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2; exit }' "$BENCH"
+    # "key": 1.2345,  ->  1.2345   (from file $2)
+    awk -F': ' -v key="\"$1\"" '$1 ~ key { gsub(/[ ,]/, "", $2); print $2; exit }' "$2"
 }
 
-best="$(extract level2_best_vs_seed)"
-sharded="$(extract level2_sharded_vs_seed)"
-[ -n "$best" ] || { echo "bench_guard: level2_best_vs_seed missing from $BENCH" >&2; exit 1; }
-[ -n "$sharded" ] || { echo "bench_guard: level2_sharded_vs_seed missing from $BENCH" >&2; exit 1; }
-
 fail=0
-if awk -v v="$best" -v min="$MIN_BEST" 'BEGIN { exit !(v+0 < min+0) }'; then
-    echo "bench_guard: FAIL level2_best_vs_seed = $best < $MIN_BEST" >&2
-    fail=1
-else
-    echo "bench_guard: ok   level2_best_vs_seed = $best (floor $MIN_BEST)"
+guard() {
+    # guard KEY VALUE FLOOR
+    if [ -z "$2" ]; then
+        echo "bench_guard: $1 missing" >&2
+        fail=1
+    elif awk -v v="$2" -v min="$3" 'BEGIN { exit !(v+0 < min+0) }'; then
+        echo "bench_guard: FAIL $1 = $2 < $3" >&2
+        fail=1
+    else
+        echo "bench_guard: ok   $1 = $2 (floor $3)"
+    fi
+}
+
+guard level2_best_vs_seed "$(extract level2_best_vs_seed "$BENCH")" "$MIN_BEST"
+guard level2_sharded_vs_seed "$(extract level2_sharded_vs_seed "$BENCH")" "$MIN_SHARDED"
+
+if [ -n "$SERVE" ]; then
+    [ -f "$SERVE" ] || { echo "bench_guard: $SERVE not found" >&2; exit 1; }
+    guard comine_vs_solo_scan_ratio "$(extract comine_vs_solo_scan_ratio "$SERVE")" "$MIN_COMINE"
+    guard saturated_fuse_vs_serial "$(extract saturated_fuse_vs_serial "$SERVE")" "$MIN_SATURATED"
 fi
-if awk -v v="$sharded" -v min="$MIN_SHARDED" 'BEGIN { exit !(v+0 < min+0) }'; then
-    echo "bench_guard: FAIL level2_sharded_vs_seed = $sharded < $MIN_SHARDED" >&2
-    fail=1
-else
-    echo "bench_guard: ok   level2_sharded_vs_seed = $sharded (floor $MIN_SHARDED)"
-fi
+
 exit "$fail"
