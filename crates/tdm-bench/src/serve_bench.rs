@@ -29,13 +29,21 @@
 //!   so admission-gate queueing delay is reported separately from service
 //!   time (the closed-loop rungs hide queueing by construction: a client
 //!   only submits again after its previous request completes).
+//! * **streaming ingestion** ([`StreamingPoint`]) — the same LCG machinery
+//!   drives an open-loop *append* process: the Markov workload arrives in
+//!   small batches against a `tdm_core::StreamingSession`, and each batch is
+//!   counted once incrementally and once by a full batch rescan of the grown
+//!   prefix. Counts are asserted bit-identical per batch; the
+//!   `incremental_vs_rescan_ratio` headline (rescan wall / incremental wall)
+//!   goes top-level in the JSON.
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use tdm_core::engine::{CompiledCandidates, CountScratch};
 use tdm_core::miner::{Miner, MinerConfig, SequentialBackend};
 use tdm_core::stats::MiningResult;
-use tdm_core::EventDb;
+use tdm_core::{Episode, EventDb, StreamingSession};
 use tdm_mapreduce::pool::default_workers;
 use tdm_serve::{BackendChoice, MiningRequest, MiningService, ServiceConfig};
 use tdm_workloads::{
@@ -222,6 +230,122 @@ fn run_saturated(cfg: &ServeBenchConfig, db: &Arc<EventDb>) -> SaturatedPoint {
     }
 }
 
+/// The streaming-ingestion scenario: the Markov workload replayed as an
+/// open-loop append process (LCG-sized arrival batches) against a
+/// [`StreamingSession`], versus a rescan baseline that recounts the whole
+/// grown prefix from scratch after every batch — what a service without an
+/// incremental path would do on each re-mine trigger. Every batch's
+/// incremental counts are asserted bit-identical to the rescan's before the
+/// ratio is reported.
+#[derive(Debug, Clone)]
+pub struct StreamingPoint {
+    /// Append batches the arrival schedule produced.
+    pub appends: usize,
+    /// Symbols pre-loaded before the first append.
+    pub base_symbols: usize,
+    /// Symbols appended across all batches.
+    pub appended_symbols: usize,
+    /// Episodes tracked by the session (pairs and triples over the
+    /// workload's busiest symbols, repeated-item shapes included).
+    pub episodes: usize,
+    /// Wall time of all incremental appends, seconds.
+    pub incremental_wall_s: f64,
+    /// Wall time of the full-prefix rescans, seconds.
+    pub rescan_wall_s: f64,
+    /// The headline: rescan wall over incremental wall (> 1 = parking
+    /// continuations at the stream head beats recounting history).
+    pub ratio: f64,
+}
+
+/// Runs the streaming scenario (see [`StreamingPoint`]) over `db`'s symbol
+/// stream: the first half is the pre-loaded base, the second half arrives in
+/// LCG-sized batches (~150 across the stream, so the append count — and with
+/// it the rescan penalty — is scale-independent).
+fn run_streaming(db: &Arc<EventDb>) -> StreamingPoint {
+    let symbols = db.symbols().to_vec();
+    let n = symbols.len();
+    let base = n / 2;
+
+    // Episode set: ordered pairs over the six busiest symbols (the diagonal
+    // gives repeated-item pairs) plus a few triples — stand-ins for the
+    // level-2/3 candidates a re-mine would track.
+    let mut hist = [0u64; 256];
+    for &c in &symbols {
+        hist[c as usize] += 1;
+    }
+    let mut busiest: Vec<u8> = (0..db.alphabet().len() as u8)
+        .filter(|&c| hist[c as usize] > 0)
+        .collect();
+    busiest.sort_by_key(|&c| std::cmp::Reverse(hist[c as usize]));
+    busiest.truncate(6);
+    let mut episodes = Vec::new();
+    for &a in &busiest {
+        for &b in &busiest {
+            episodes.push(Episode::new(vec![a, b]).expect("non-empty episode"));
+        }
+    }
+    for w in busiest.windows(3) {
+        episodes.push(Episode::new(vec![w[0], w[1], w[2]]).expect("non-empty episode"));
+        episodes.push(Episode::new(vec![w[0], w[0], w[1]]).expect("non-empty episode"));
+    }
+
+    // The open-loop append process: LCG-sized arrival batches draining the
+    // second half of the stream.
+    let max_chunk = (n / 300).max(16) as f64;
+    let mut state = 0x51AE_A11Du64;
+    let mut chunks: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut at = base;
+    while at < n {
+        let size = 1 + (lcg_uniform(&mut state) * max_chunk) as usize;
+        let end = (at + size).min(n);
+        chunks.push(at..end);
+        at = end;
+    }
+
+    // Incremental: one StreamingSession, each batch counted by resuming the
+    // parked per-episode continuations at the stream head.
+    let base_db = EventDb::new(db.alphabet().clone(), symbols[..base].to_vec())
+        .expect("base stream rebuild failed");
+    let mut live =
+        StreamingSession::new(&base_db, &episodes).expect("streaming session build failed");
+    let mut incremental_wall_s = 0.0;
+    let mut after: Vec<Vec<u64>> = Vec::with_capacity(chunks.len());
+    for r in &chunks {
+        let t = Instant::now();
+        live.append(&symbols[r.clone()])
+            .expect("streaming append failed");
+        incremental_wall_s += t.elapsed().as_secs_f64();
+        after.push(live.counts().to_vec());
+    }
+
+    // Rescan baseline: recount the whole grown prefix after every batch
+    // (compile hoisted out — the scan, not compilation, is what the
+    // incremental path saves). Each rescan doubles as the bit-identical
+    // ground truth for the incremental counts above.
+    let compiled = CompiledCandidates::compile(db.alphabet().len(), &episodes);
+    let mut scratch = CountScratch::new();
+    let mut rescan_wall_s = 0.0;
+    for (r, want) in chunks.iter().zip(&after) {
+        let t = Instant::now();
+        let counts = compiled.count(&symbols[..r.end], &mut scratch);
+        rescan_wall_s += t.elapsed().as_secs_f64();
+        assert_eq!(
+            &counts, want,
+            "incremental counts diverged from a batch rescan of the same prefix"
+        );
+    }
+
+    StreamingPoint {
+        appends: chunks.len(),
+        base_symbols: base,
+        appended_symbols: n - base,
+        episodes: episodes.len(),
+        incremental_wall_s,
+        rescan_wall_s,
+        ratio: rescan_wall_s / incremental_wall_s.max(1e-9),
+    }
+}
+
 /// One open-loop run: requests arrive on a deterministic Poisson-like
 /// schedule at a target rate (instead of closed-loop resubmission), so
 /// queueing delay at the admission gate is visible separately from service
@@ -264,12 +388,17 @@ pub struct ServeBench {
     /// The overload-first headline: serialized-solo wall over fused wall for
     /// the same burst through a one-slot gate ([`SaturatedPoint::ratio`]).
     pub saturated_fuse_vs_serial: f64,
+    /// The streaming headline: full-prefix rescan wall over incremental
+    /// append wall for the same append schedule ([`StreamingPoint::ratio`]).
+    pub incremental_vs_rescan_ratio: f64,
     /// Per-rung results.
     pub points: Vec<LoadPoint>,
     /// The co-mining scenario measurements.
     pub comine: CoMinePoint,
     /// The saturated-gate scenario measurements.
     pub saturated: SaturatedPoint,
+    /// The streaming-ingestion scenario measurements.
+    pub streaming: StreamingPoint,
     /// Open-loop measurements, when requested (`reproduce
     /// --serve-open-loop`).
     pub open_loop: Option<OpenLoopReport>,
@@ -661,6 +790,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
     };
     let comine = run_comine(cfg, &workloads[0].1);
     let saturated = run_saturated(cfg, &workloads[0].1);
+    let streaming = run_streaming(&workloads[0].1);
     ServeBench {
         available_parallelism: default_workers(),
         workers: if cfg.workers == 0 {
@@ -675,9 +805,11 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
         qps_16_clients_vs_1,
         comine_vs_solo_scan_ratio: comine.ratio,
         saturated_fuse_vs_serial: saturated.ratio,
+        incremental_vs_rescan_ratio: streaming.ratio,
         points,
         comine,
         saturated,
+        streaming,
         open_loop: None,
     }
 }
@@ -705,6 +837,10 @@ impl ServeBench {
             self.saturated_fuse_vs_serial
         ));
         s.push_str(&format!(
+            "  \"incremental_vs_rescan_ratio\": {:.4},\n",
+            self.incremental_vs_rescan_ratio
+        ));
+        s.push_str(&format!(
             "  \"comine\": {{\"clients\": {}, \"solo_wall_s\": {:.4}, \"fused_wall_s\": {:.4}, \
              \"ratio\": {:.4}, \"batches\": {}, \"fused_requests\": {}}},\n",
             self.comine.clients,
@@ -726,6 +862,18 @@ impl ServeBench {
             self.saturated.batches,
             self.saturated.fused_requests,
             self.saturated.co_cache_hits
+        ));
+        s.push_str(&format!(
+            "  \"streaming\": {{\"appends\": {}, \"base_symbols\": {}, \
+             \"appended_symbols\": {}, \"episodes\": {}, \"incremental_wall_s\": {:.4}, \
+             \"rescan_wall_s\": {:.4}, \"ratio\": {:.4}}},\n",
+            self.streaming.appends,
+            self.streaming.base_symbols,
+            self.streaming.appended_symbols,
+            self.streaming.episodes,
+            self.streaming.incremental_wall_s,
+            self.streaming.rescan_wall_s,
+            self.streaming.ratio
         ));
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
@@ -813,6 +961,16 @@ impl ServeBench {
             self.saturated.fused_requests,
             self.saturated.co_cache_hits
         ));
+        s.push_str(&format!(
+            "  streaming ({} appends over {} symbols, {} episodes): rescan {:.1} ms vs \
+             incremental {:.1} ms = {:.2}x\n",
+            self.streaming.appends,
+            self.streaming.appended_symbols,
+            self.streaming.episodes,
+            self.streaming.rescan_wall_s * 1e3,
+            self.streaming.incremental_wall_s * 1e3,
+            self.incremental_vs_rescan_ratio
+        ));
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
                 "  open loop @ {:.1} req/s: queue mean {:.2} ms p95 {:.2} ms | \
@@ -875,6 +1033,16 @@ mod tests {
         assert_eq!(b.saturated.co_cache_hits, 1);
         assert!(b.saturated_fuse_vs_serial > 0.0);
         assert!(b.saturated_fuse_vs_serial.is_finite());
+        // The streaming scenario consumed the whole Markov stream (the
+        // per-batch bit-identity asserts already ran inside run_streaming).
+        assert!(b.streaming.appends > 0);
+        assert_eq!(
+            b.streaming.base_symbols + b.streaming.appended_symbols,
+            b.workloads[0].1
+        );
+        assert!(b.streaming.episodes > 0);
+        assert!(b.incremental_vs_rescan_ratio > 0.0);
+        assert!(b.incremental_vs_rescan_ratio.is_finite());
     }
 
     #[test]
@@ -893,6 +1061,8 @@ mod tests {
         assert!(j.contains("\"qps_16_clients_vs_1\""));
         assert!(j.contains("\"comine_vs_solo_scan_ratio\""));
         assert!(j.contains("\"saturated_fuse_vs_serial\""));
+        assert!(j.contains("\"incremental_vs_rescan_ratio\""));
+        assert!(j.contains("\"rescan_wall_s\""));
         assert!(j.contains("\"co_cache_hits\""));
         assert!(j.contains("\"fused_requests\""));
         assert!(j.contains("\"open_loop\""));

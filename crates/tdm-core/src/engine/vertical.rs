@@ -96,6 +96,70 @@ impl OccurrenceIndex {
         }
     }
 
+    /// Extends the index in place for symbols appended past the indexed
+    /// prefix: `suffix` is the stream content from position
+    /// [`stream_len`](OccurrenceIndex::stream_len) onward. Per-symbol
+    /// occurrence lists only ever grow under append, so the extension is one
+    /// counting pass over the suffix plus a gather into the widened CSR — no
+    /// per-symbol re-sort, and no walk of the already-indexed prefix stream.
+    ///
+    /// ```
+    /// use tdm_core::engine::OccurrenceIndex;
+    ///
+    /// let mut grown = OccurrenceIndex::build(2, &[0, 1]);
+    /// grown.extend(&[1, 0]);
+    /// let batch = OccurrenceIndex::build(2, &[0, 1, 1, 0]);
+    /// assert_eq!(grown.occurrences(0), batch.occurrences(0));
+    /// assert_eq!(grown.occurrences(1), batch.occurrences(1));
+    /// assert_eq!(grown.stream_len(), 4);
+    /// ```
+    ///
+    /// # Panics
+    /// As for [`build`](OccurrenceIndex::build): on out-of-range symbols or a
+    /// grown stream longer than `u32::MAX`.
+    pub fn extend(&mut self, suffix: &[u8]) {
+        if suffix.is_empty() {
+            return;
+        }
+        let alphabet_len = self.alphabet_len();
+        let grown_len = self.stream_len + suffix.len();
+        assert!(
+            u32::try_from(grown_len).is_ok(),
+            "stream of {grown_len} symbols exceeds the u32-indexed occurrence layout"
+        );
+        let mut added = vec![0u32; alphabet_len];
+        for &c in suffix {
+            assert!(
+                (c as usize) < alphabet_len,
+                "symbol {c} out of range for alphabet of {alphabet_len}"
+            );
+            added[c as usize] += 1;
+        }
+        let mut offsets = vec![0u32; alphabet_len + 1];
+        for c in 0..alphabet_len {
+            let old_run = self.offsets[c + 1] - self.offsets[c];
+            offsets[c + 1] = offsets[c] + old_run + added[c];
+        }
+        // Widen the CSR: each old per-symbol run moves once, then the suffix
+        // occurrences land at their run's tail (ascending by construction —
+        // every appended position is past everything already indexed).
+        let mut positions = vec![0u32; grown_len];
+        let mut cursor = Vec::with_capacity(alphabet_len);
+        for (c, run) in self.offsets.windows(2).enumerate() {
+            let old = run[0] as usize..run[1] as usize;
+            let dst = offsets[c] as usize;
+            positions[dst..dst + old.len()].copy_from_slice(&self.positions[old.clone()]);
+            cursor.push((dst + old.len()) as u32);
+        }
+        for (i, &c) in suffix.iter().enumerate() {
+            positions[cursor[c as usize] as usize] = (self.stream_len + i) as u32;
+            cursor[c as usize] += 1;
+        }
+        self.offsets = offsets;
+        self.positions = positions;
+        self.stream_len = grown_len;
+    }
+
     /// Alphabet size the index was built for.
     #[inline]
     pub fn alphabet_len(&self) -> usize {
@@ -306,6 +370,24 @@ mod tests {
     }
 
     #[test]
+    fn extend_matches_batch_build() {
+        let stream = [2u8, 0, 1, 0, 2, 2];
+        let mut idx = OccurrenceIndex::build(4, &stream[..2]);
+        idx.extend(&stream[2..5]);
+        idx.extend(&[]); // no-op
+        idx.extend(&stream[5..]);
+        let batch = OccurrenceIndex::build(4, &stream);
+        assert_eq!(idx.stream_len(), batch.stream_len());
+        for c in 0..4u8 {
+            assert_eq!(idx.occurrences(c), batch.occurrences(c), "symbol {c}");
+        }
+        // Growing from empty also works.
+        let mut from_empty = OccurrenceIndex::build(4, &[]);
+        from_empty.extend(&stream);
+        assert_eq!(from_empty.occurrences(2), batch.occurrences(2));
+    }
+
+    #[test]
     fn empty_stream_and_empty_set() {
         let idx = OccurrenceIndex::build(26, &[]);
         assert_eq!(idx.stream_len(), 0);
@@ -316,6 +398,29 @@ mod tests {
     }
 
     proptest! {
+        /// Incrementally extending an index over any chunk schedule yields the
+        /// same layout as one batch build of the concatenated stream.
+        #[test]
+        fn extend_equals_batch_for_any_chunking(
+            data in proptest::collection::vec(0u8..5, 0..300),
+            cuts in proptest::collection::vec(0usize..300, 0..6),
+        ) {
+            let n = data.len();
+            let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+            bounds.sort_unstable();
+            let mut grown = OccurrenceIndex::build(5, &[]);
+            let mut start = 0usize;
+            for b in bounds.into_iter().chain(std::iter::once(n)) {
+                grown.extend(&data[start..b]);
+                start = b;
+            }
+            let batch = OccurrenceIndex::build(5, &data);
+            prop_assert_eq!(grown.stream_len(), batch.stream_len());
+            for c in 0..5u8 {
+                prop_assert_eq!(grown.occurrences(c), batch.occurrences(c));
+            }
+        }
+
         /// Vertical counting is observationally identical to the per-episode
         /// FSM reference for arbitrary streams and episode sets — repeated
         /// items, absent symbols, single-symbol alphabets included.

@@ -68,6 +68,7 @@ pub mod semantics;
 pub mod sequence;
 pub mod session;
 pub mod stats;
+pub mod streaming;
 
 pub use alphabet::{Alphabet, Symbol};
 pub use engine::{
@@ -85,6 +86,7 @@ pub use session::{
     MiningSession, MiningSessionBuilder,
 };
 pub use stats::{LevelResult, MiningResult};
+pub use streaming::StreamingSession;
 
 /// Errors produced by `tdm-core` constructors and validators.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +118,14 @@ pub enum CoreError {
         /// Number of timestamps.
         times: usize,
     },
+    /// A session built over one stream snapshot was asked to serve (or rebase
+    /// onto) a database that is not an append-descendant of that snapshot.
+    StaleSnapshot {
+        /// Epoch of the snapshot the session holds.
+        session_epoch: u64,
+        /// Epoch of the database it was offered.
+        db_epoch: u64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -143,6 +153,15 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::LengthMismatch { symbols, times } => {
                 write!(f, "{symbols} symbols but {times} timestamps")
+            }
+            CoreError::StaleSnapshot {
+                session_epoch,
+                db_epoch,
+            } => {
+                write!(
+                    f,
+                    "session snapshot at epoch {session_epoch} cannot rebase onto a database at epoch {db_epoch}"
+                )
             }
         }
     }

@@ -14,13 +14,35 @@ use std::sync::Arc;
 /// The symbol stream lives behind an [`Arc`], so cloning the database — or
 /// snapshotting the stream into a mining session — is a refcount bump, never
 /// a byte copy.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The database is **append-only**: [`append`](EventDb::append) /
+/// [`extend`](EventDb::extend) grow the stream by allocating a fresh `Arc`
+/// buffer and bumping the [`epoch`](EventDb::epoch) counter, so every
+/// previously taken [`symbols_shared`](EventDb::symbols_shared) snapshot keeps
+/// aliasing the buffer it was taken from — parked sessions stay valid while
+/// the live head moves on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EventDb {
     alphabet: Alphabet,
     symbols: Arc<[u8]>,
     /// Optional non-decreasing timestamps, one per symbol.
     times: Option<Vec<u64>>,
+    /// Append generation: 0 at construction, +1 per successful append batch.
+    epoch: u64,
 }
+
+/// Equality is **content** equality (alphabet, symbols, timestamps): two
+/// databases that reached the same stream through different append histories
+/// compare equal even though their epochs differ.
+impl PartialEq for EventDb {
+    fn eq(&self, other: &Self) -> bool {
+        self.alphabet == other.alphabet
+            && self.symbols == other.symbols
+            && self.times == other.times
+    }
+}
+
+impl Eq for EventDb {}
 
 impl EventDb {
     /// Builds a database from raw symbol ids, validating them against the alphabet.
@@ -38,6 +60,7 @@ impl EventDb {
             alphabet,
             symbols: symbols.into(),
             times: None,
+            epoch: 0,
         })
     }
 
@@ -94,6 +117,116 @@ impl EventDb {
     #[inline]
     pub fn symbols_shared(&self) -> Arc<[u8]> {
         Arc::clone(&self.symbols)
+    }
+
+    /// The append generation of this database value: 0 at construction,
+    /// incremented once per successful (non-empty) [`append`](EventDb::append)
+    /// / [`extend`](EventDb::extend) batch. Snapshot consumers (sessions,
+    /// cached occurrence indexes) record the epoch they were built against and
+    /// use it to detect that the live stream has moved past them.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Appends one event to an untimed database. See [`extend`](EventDb::extend).
+    ///
+    /// # Errors
+    /// As for [`extend`](EventDb::extend).
+    pub fn append(&mut self, symbol: u8) -> Result<u64> {
+        self.extend(&[symbol])
+    }
+
+    /// Appends a batch of events, producing a fresh epoch-versioned stream
+    /// buffer: the old `Arc<[u8]>` is left untouched (any outstanding
+    /// [`symbols_shared`](EventDb::symbols_shared) snapshot still aliases it)
+    /// and [`epoch`](EventDb::epoch) is bumped. Returns the new epoch. An
+    /// empty batch is a no-op and does *not* bump the epoch.
+    ///
+    /// ```
+    /// use tdm_core::{Alphabet, EventDb};
+    ///
+    /// let mut db = EventDb::from_str_symbols(&Alphabet::latin26(), "ABAB").unwrap();
+    /// let snapshot = db.symbols_shared();   // parked at epoch 0
+    /// assert_eq!(db.extend(&[0, 1]).unwrap(), 1);
+    /// assert_eq!(db.len(), 6);
+    /// assert_eq!(&snapshot[..], b"\x00\x01\x00\x01"); // old snapshot intact
+    /// ```
+    ///
+    /// # Errors
+    /// [`CoreError::SymbolOutOfRange`] for ids outside the alphabet;
+    /// [`CoreError::MissingTimestamps`] when this database is timestamped
+    /// (use [`extend_with_times`](EventDb::extend_with_times)).
+    pub fn extend(&mut self, suffix: &[u8]) -> Result<u64> {
+        if self.times.is_some() {
+            return Err(CoreError::MissingTimestamps);
+        }
+        self.extend_symbols(suffix)
+    }
+
+    /// [`extend`](EventDb::extend) for timestamped databases: appends a batch
+    /// of events with one timestamp per symbol. Returns the new epoch.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingTimestamps`] when this database has no timestamp
+    /// channel; [`CoreError::LengthMismatch`] when `times` and `suffix`
+    /// disagree; [`CoreError::UnsortedTimestamps`] when the batch regresses —
+    /// including across the append seam; plus the symbol validation of
+    /// [`extend`](EventDb::extend).
+    pub fn extend_with_times(&mut self, suffix: &[u8], times: &[u64]) -> Result<u64> {
+        let Some(existing) = self.times.as_ref() else {
+            return Err(CoreError::MissingTimestamps);
+        };
+        if suffix.len() != times.len() {
+            return Err(CoreError::LengthMismatch {
+                symbols: suffix.len(),
+                times: times.len(),
+            });
+        }
+        if existing
+            .last()
+            .zip(times.first())
+            .is_some_and(|(&head, &first)| first < head)
+        {
+            // The seam itself regresses: the first appended timestamp is the
+            // offender, at the first position past the current stream.
+            return Err(CoreError::UnsortedTimestamps {
+                at: self.symbols.len(),
+            });
+        }
+        if let Some(at) = times.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CoreError::UnsortedTimestamps {
+                at: self.symbols.len() + at + 1,
+            });
+        }
+        let epoch = self.extend_symbols(suffix)?;
+        if !suffix.is_empty() {
+            self.times
+                .as_mut()
+                .expect("timestamp channel checked above")
+                .extend_from_slice(times);
+        }
+        Ok(epoch)
+    }
+
+    /// Shared append tail: validates the suffix, reallocates the stream
+    /// buffer, bumps the epoch.
+    fn extend_symbols(&mut self, suffix: &[u8]) -> Result<u64> {
+        if let Some(&bad) = suffix.iter().find(|&&s| s as usize >= self.alphabet.len()) {
+            return Err(CoreError::SymbolOutOfRange {
+                id: bad,
+                alphabet: self.alphabet.len(),
+            });
+        }
+        if suffix.is_empty() {
+            return Ok(self.epoch);
+        }
+        let mut grown = Vec::with_capacity(self.symbols.len() + suffix.len());
+        grown.extend_from_slice(&self.symbols);
+        grown.extend_from_slice(suffix);
+        self.symbols = grown.into();
+        self.epoch += 1;
+        Ok(self.epoch)
     }
 
     /// Optional timestamps (present only for timestamped databases).
@@ -218,6 +351,77 @@ mod tests {
             db.symbols().as_ptr(),
             "cloning the database must share the stream, not copy it"
         );
+    }
+
+    #[test]
+    fn extend_versions_the_stream_and_keeps_snapshots_valid() {
+        let ab = Alphabet::latin26();
+        let mut db = EventDb::from_str_symbols(&ab, "ABC").unwrap();
+        assert_eq!(db.epoch(), 0);
+        let parked = db.symbols_shared();
+        assert_eq!(db.extend(&[3, 4]).unwrap(), 1);
+        assert_eq!(db.append(5).unwrap(), 2);
+        assert_eq!(db.to_display_string(), "ABCDEF");
+        assert_eq!(db.epoch(), 2);
+        // The parked snapshot still reads the epoch-0 buffer, untouched.
+        assert_eq!(&parked[..], &[0, 1, 2]);
+        assert_ne!(parked.as_ptr(), db.symbols().as_ptr());
+        // An empty batch changes nothing, including the epoch.
+        assert_eq!(db.extend(&[]).unwrap(), 2);
+        assert_eq!(db.epoch(), 2);
+    }
+
+    #[test]
+    fn extend_validates_symbols_and_timestamp_channel() {
+        let ab = Alphabet::numbered(3).unwrap();
+        let mut db = EventDb::new(ab.clone(), vec![0, 1]).unwrap();
+        assert!(matches!(
+            db.extend(&[2, 9]),
+            Err(CoreError::SymbolOutOfRange { id: 9, .. })
+        ));
+        // A failed extend leaves the database (and epoch) untouched.
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.epoch(), 0);
+        let mut timed = EventDb::with_times(ab, vec![0, 1], vec![5, 6]).unwrap();
+        assert!(matches!(
+            timed.extend(&[2]),
+            Err(CoreError::MissingTimestamps)
+        ));
+        assert!(matches!(
+            db.extend_with_times(&[2], &[7]),
+            Err(CoreError::MissingTimestamps)
+        ));
+    }
+
+    #[test]
+    fn extend_with_times_checks_the_seam() {
+        let ab = Alphabet::numbered(3).unwrap();
+        let mut db = EventDb::with_times(ab, vec![0, 1], vec![5, 6]).unwrap();
+        assert!(matches!(
+            db.extend_with_times(&[2, 2], &[4, 8]),
+            Err(CoreError::UnsortedTimestamps { at: 2 })
+        ));
+        assert!(matches!(
+            db.extend_with_times(&[2, 2], &[8, 7]),
+            Err(CoreError::UnsortedTimestamps { at: 3 })
+        ));
+        assert!(matches!(
+            db.extend_with_times(&[2], &[7, 8]),
+            Err(CoreError::LengthMismatch { .. })
+        ));
+        assert_eq!(db.extend_with_times(&[2, 0], &[6, 9]).unwrap(), 1);
+        assert_eq!(db.require_times().unwrap(), &[5, 6, 6, 9]);
+        assert_eq!(db.len(), 4);
+    }
+
+    #[test]
+    fn equality_ignores_append_history() {
+        let ab = Alphabet::numbered(3).unwrap();
+        let mut grown = EventDb::new(ab.clone(), vec![0, 1]).unwrap();
+        grown.extend(&[2]).unwrap();
+        let batch = EventDb::new(ab, vec![0, 1, 2]).unwrap();
+        assert_eq!(grown, batch);
+        assert_ne!(grown.epoch(), batch.epoch());
     }
 
     #[test]

@@ -58,6 +58,7 @@ use crate::miner::MinerConfig;
 use crate::segment::even_bounds;
 use crate::sequence::EventDb;
 use crate::stats::{support, LevelResult, MiningResult};
+use crate::CoreError;
 use std::sync::OnceLock;
 use tdm_mapreduce::pool::{default_workers, Pool, Priority};
 
@@ -434,9 +435,11 @@ impl<'db> MiningSessionBuilder<'db> {
                 cell: OnceLock::new(),
             },
         };
+        let epoch = self.db.get().epoch();
         MiningSession {
             db: self.db,
             stream,
+            epoch,
             config: self.config,
             compiled: Arc::new(CompiledCandidates::default()),
             vertical: OnceLock::new(),
@@ -460,6 +463,11 @@ impl<'db> MiningSessionBuilder<'db> {
 pub struct MiningSession<'db> {
     db: DbHandle<'db>,
     stream: Arc<[u8]>,
+    /// Append epoch of the database at the moment `stream` was snapshotted
+    /// ([`EventDb::epoch`]); the cached occurrence index is only ever valid
+    /// for this snapshot, and [`rebase`](MiningSession::rebase) refuses
+    /// databases that are not append-descendants of it.
+    epoch: u64,
     config: MinerConfig,
     compiled: Arc<CompiledCandidates>,
     /// Per-symbol occurrence index over `stream`, built lazily by the first
@@ -559,9 +567,47 @@ impl<'db> MiningSession<'db> {
         &self.compiled
     }
 
+    /// The append epoch of the stream snapshot this session counts against
+    /// (see [`EventDb::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-points a cached session at a **grown** database — the streaming
+    /// handoff: a serving layer appends to its db, then rebases the parked
+    /// session instead of rebuilding it. The stream snapshot is replaced (a
+    /// refcount bump on the new buffer), shard bounds are recut for the new
+    /// length, and a cached [`OccurrenceIndex`] is **extended in place** over
+    /// the appended suffix ([`OccurrenceIndex::extend`]) rather than rebuilt
+    /// — so the epoch-N index is never consulted against epoch-N+1 data, and
+    /// never thrown away either.
+    ///
+    /// The session takes shared ownership of `db` (as with
+    /// [`builder_shared`](MiningSession::builder_shared)).
+    ///
+    /// # Errors
+    /// [`CoreError::StaleSnapshot`] when `db` is not an append-descendant of
+    /// the session's snapshot (older epoch, or a shorter stream at the same
+    /// alphabet) — the session is left untouched.
+    pub fn rebase(&mut self, db: Arc<EventDb>) -> Result<(), CoreError> {
+        let new_stream = rebase_snapshot(
+            &db,
+            self.epoch,
+            &self.stream,
+            &mut self.vertical,
+            &mut self.shard_bounds,
+            self.workers,
+        )?;
+        self.stream = new_stream;
+        self.epoch = db.epoch();
+        self.db = DbHandle::Shared(db);
+        Ok(())
+    }
+
     /// Compiles `candidates` into the session's reusable buffers (the plan
     /// step) and returns the request for the given level.
     fn plan(&mut self, level: usize, candidates: &[Episode]) -> CountRequest<'_> {
+        guard_vertical_cache(&mut self.vertical, self.stream.len());
         let alphabet_len = self.db.get().alphabet().len();
         Arc::make_mut(&mut self.compiled).recompile(alphabet_len, candidates);
         self.compiles += 1;
@@ -692,6 +738,58 @@ impl<'db> MiningSession<'db> {
     }
 }
 
+/// The shared rebase step for [`MiningSession::rebase`] and
+/// [`CoSession::rebase`]: validates that `db` descends from the session's
+/// snapshot by appends, extends the cached occurrence index over the new
+/// suffix, recuts the shard bounds, and returns the new snapshot.
+fn rebase_snapshot(
+    db: &EventDb,
+    epoch: u64,
+    stream: &Arc<[u8]>,
+    vertical: &mut OnceLock<Arc<OccurrenceIndex>>,
+    shard_bounds: &mut Vec<usize>,
+    workers: usize,
+) -> Result<Arc<[u8]>, CoreError> {
+    if db.epoch() < epoch || db.len() < stream.len() {
+        return Err(CoreError::StaleSnapshot {
+            session_epoch: epoch,
+            db_epoch: db.epoch(),
+        });
+    }
+    let new_stream = db.symbols_shared();
+    debug_assert_eq!(
+        &new_stream[..stream.len()],
+        &stream[..],
+        "rebase target must be an append-descendant of the session snapshot"
+    );
+    if let Some(mut index) = vertical.take() {
+        Arc::make_mut(&mut index).extend(&new_stream[stream.len()..]);
+        let _ = vertical.set(index);
+    }
+    let n = new_stream.len();
+    *shard_bounds = if workers > 1 && n >= MIN_SHARD_STREAM {
+        even_bounds(n, workers)
+    } else {
+        Vec::new()
+    };
+    Ok(new_stream)
+}
+
+/// The plan-time epoch guard on the lazily cached occurrence index: an
+/// append-only stream never changes in place, so a cached index describes the
+/// current snapshot iff their lengths agree. A mismatch (a caller swapped the
+/// snapshot without going through [`rebase_snapshot`]) drops the cache; the
+/// next vertical execute transparently rebuilds it — an epoch-N index is
+/// never consulted against epoch-N+1 data.
+fn guard_vertical_cache(vertical: &mut OnceLock<Arc<OccurrenceIndex>>, stream_len: usize) {
+    if vertical
+        .get()
+        .is_some_and(|ix| ix.stream_len() != stream_len)
+    {
+        vertical.take();
+    }
+}
+
 /// Builder for a [`CoSession`]. Obtained from [`CoSession::builder`]; add one
 /// [`config`](CoSessionBuilder::config) per member request, then
 /// [`build`](CoSessionBuilder::build).
@@ -762,9 +860,11 @@ impl CoSessionBuilder {
                 cell: OnceLock::new(),
             },
         };
+        let epoch = self.db.epoch();
         CoSession {
             db: self.db,
             stream,
+            epoch,
             configs: self.configs,
             union: CandidateUnion::default(),
             compiled: Arc::new(CompiledCandidates::default()),
@@ -836,6 +936,9 @@ struct CoMember {
 pub struct CoSession {
     db: Arc<EventDb>,
     stream: Arc<[u8]>,
+    /// Append epoch of `db` when `stream` was snapshotted — the epoch the
+    /// cached occurrence index is valid for (see [`MiningSession::epoch`]).
+    epoch: u64,
     configs: Vec<MinerConfig>,
     union: CandidateUnion,
     compiled: Arc<CompiledCandidates>,
@@ -924,6 +1027,36 @@ impl CoSession {
         self.compiles
     }
 
+    /// The append epoch of the stream snapshot this group counts against
+    /// (see [`EventDb::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Re-points a parked group session at a grown database — the co-mining
+    /// form of [`MiningSession::rebase`]: the cached batch plan (and a cached
+    /// occurrence index, extended in place) survives the append, so a serving
+    /// cache keyed by config fingerprint can reuse the session across stream
+    /// epochs.
+    ///
+    /// # Errors
+    /// [`CoreError::StaleSnapshot`] when `db` is not an append-descendant of
+    /// the session's snapshot — the session is left untouched.
+    pub fn rebase(&mut self, db: Arc<EventDb>) -> Result<(), CoreError> {
+        let new_stream = rebase_snapshot(
+            &db,
+            self.epoch,
+            &self.stream,
+            &mut self.vertical,
+            &mut self.shard_bounds,
+            self.workers,
+        )?;
+        self.stream = new_stream;
+        self.epoch = db.epoch();
+        self.db = db;
+        Ok(())
+    }
+
     /// Maps each requested config to a **distinct** member of this session (a
     /// multiset matching): `perm[i]` is the member index whose result answers
     /// request `i`. Returns `None` unless the requested configs are exactly
@@ -964,6 +1097,7 @@ impl CoSession {
         &mut self,
         executor: &mut E,
     ) -> Result<Vec<MiningResult>, MineError> {
+        guard_vertical_cache(&mut self.vertical, self.stream.len());
         let n = self.db.len();
         let alphabet_len = self.db.alphabet().len();
         let mut members: Vec<CoMember> = self

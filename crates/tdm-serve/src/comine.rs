@@ -63,12 +63,14 @@ pub struct CoMiningStats {
     pub backend_votes_overridden: u64,
 }
 
-/// How long a joiner waits on its slot before concluding the delivery path
-/// is gone. Generous on purpose: a fused scan takes seconds even on huge
-/// databases, so two minutes of silence means the leader thread is lost in a
-/// way the [`Deliveries`] drop guard could not catch (e.g. a leaked guard),
-/// and blocking the joiner forever would wedge a service worker for good.
-pub(crate) const WAITER_TIMEOUT: Duration = Duration::from_secs(120);
+/// Default for how long a joiner waits on its slot before concluding the
+/// delivery path is gone (`ServiceConfig::waiter_timeout` overrides it per
+/// service — streaming re-mines want much shorter deadlines). Generous on
+/// purpose: a fused scan takes seconds even on huge databases, so two minutes
+/// of silence means the leader thread is lost in a way the [`Deliveries`]
+/// drop guard could not catch (e.g. a leaked guard), and blocking the joiner
+/// forever would wedge a service worker for good.
+pub(crate) const DEFAULT_WAITER_TIMEOUT: Duration = Duration::from_secs(120);
 
 /// A parked result slot: the joiner blocks on it; the leader delivers into it.
 ///
@@ -100,9 +102,11 @@ impl Waiter {
 
     /// Blocks for the routed result; returns it with the batch's mining wall
     /// time (the member's share of service time). Gives up after
-    /// [`WAITER_TIMEOUT`] rather than blocking a service worker forever.
+    /// [`DEFAULT_WAITER_TIMEOUT`] rather than blocking a service worker
+    /// forever.
+    #[cfg(test)]
     pub(crate) fn wait(&self) -> (Result<MiningResult, ServeError>, Duration) {
-        self.wait_for(WAITER_TIMEOUT)
+        self.wait_for(DEFAULT_WAITER_TIMEOUT)
     }
 
     /// [`Waiter::wait`] with an explicit deadline: if nothing is delivered

@@ -39,7 +39,14 @@
 //!   fingerprint), and [`MiningService::submit`]-style members vote on the
 //!   fused executor (majority wins, leader breaks ties). Results stay
 //!   bit-identical to solo mining (the workspace `tests/comining.rs`
-//!   differential suite proves it under adversarial overlap).
+//!   differential suite proves it under adversarial overlap);
+//! * **streaming ingestion** ([`ingest`]) — per-tenant append buffers with
+//!   count-or-age re-mine triggers and **fence** semantics: a sealed window
+//!   is committed onto the tenant's epoch-versioned
+//!   [`EventDb`](tdm_core::EventDb) and re-mined
+//!   exactly once, appends during a re-mine land in the next window, and
+//!   concurrent same-content window re-mines fuse on the batch board like
+//!   any other requests ([`StreamIngest`]).
 //!
 //! Results are **bit-identical** to a serial `Miner::mine` of the same
 //! request, for every backend choice and any concurrency level — the
@@ -67,6 +74,7 @@
 pub mod admission;
 pub mod cache;
 pub mod comine;
+pub mod ingest;
 pub mod service;
 
 pub use admission::{AdmissionQueue, Overloaded, Permit, DEFAULT_AGING_LIMIT};
@@ -75,6 +83,10 @@ pub use cache::{
     SessionCache, SessionKey,
 };
 pub use comine::CoMiningStats;
+pub use ingest::{
+    AppendOutcome, FlushReport, IngestError, IngestStats, IngestTriggers, StreamIngest,
+    TenantSnapshot,
+};
 pub use service::{
     BackendChoice, CacheOutcome, MiningRequest, MiningResponse, MiningService, ResponseStats,
     ServeError, ServiceConfig, ServiceStats,

@@ -231,6 +231,12 @@ pub struct ServiceConfig {
     /// most this many consecutive High admissions (0 disables aging — strict
     /// priority, which a continuous High stream can starve).
     pub aging_limit: usize,
+    /// How long a co-mining joiner blocks on its batch leader before giving
+    /// up with a typed error instead of wedging a service worker forever.
+    /// Defaults to 120 s — generous for interactive batches; streaming
+    /// re-mines ([`crate::ingest`]) want deadlines closer to their flush
+    /// cadence.
+    pub waiter_timeout: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -243,6 +249,7 @@ impl Default for ServiceConfig {
             comine_window: Duration::ZERO,
             comine_max_batch: 0,
             aging_limit: DEFAULT_AGING_LIMIT,
+            waiter_timeout: crate::comine::DEFAULT_WAITER_TIMEOUT,
         }
     }
 }
@@ -310,6 +317,7 @@ pub struct MiningService {
     cache: Mutex<SessionCache>,
     co_cache: Mutex<CoSessionCache>,
     batcher: Batcher,
+    waiter_timeout: Duration,
     counters: Mutex<RequestCounters>,
 }
 
@@ -346,6 +354,7 @@ impl MiningService {
             cache: Mutex::new(SessionCache::new(config.cache_capacity)),
             co_cache: Mutex::new(CoSessionCache::new(config.cache_capacity)),
             batcher: Batcher::new(config.comine_window, config.comine_max_batch),
+            waiter_timeout: config.waiter_timeout,
             counters: Mutex::new(RequestCounters::default()),
         }
     }
@@ -431,7 +440,7 @@ impl MiningService {
         );
         if let Entry::Joined(waiter) = entry {
             let parked = Instant::now();
-            let (outcome_result, fused_mine_time) = waiter.wait();
+            let (outcome_result, fused_mine_time) = waiter.wait_for(self.waiter_timeout);
             // Waiting on the leader minus the fused scan itself is queueing
             // (gate wait + residual window + scheduling).
             let queue_wait = parked.elapsed().saturating_sub(fused_mine_time);

@@ -69,6 +69,7 @@ pub mod prelude {
     };
     #[allow(deprecated)]
     pub use tdm_core::CountingBackend;
+    pub use tdm_core::StreamingSession;
     pub use tdm_core::{
         Alphabet, AutoBackend, BackendError, BitmaskNfa, CandidateUnion, CoSession, CompileError,
         CompiledCandidates, CountRequest, CountScratch, CountSemantics, CountStrategy, Counts,
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
     pub use tdm_mapreduce::pool::{Pool, Priority};
     pub use tdm_serve::{
-        BackendChoice, MiningRequest, MiningResponse, MiningService, ServeError, ServiceConfig,
+        AppendOutcome, BackendChoice, IngestTriggers, MiningRequest, MiningResponse, MiningService,
+        ServeError, ServiceConfig, StreamIngest,
     };
 }

@@ -27,6 +27,11 @@
 #     scenario: the same burst through a one-slot admission gate must be
 #     fused in the waiting room instead of degrading to K serialized solo
 #     runs. This is the ratio the pre-admission batch board exists for.
+#   * `incremental_vs_rescan_ratio` < MIN_INCREMENTAL — the streaming
+#     scenario: counting an append by resuming parked continuations at the
+#     stream head must beat recounting the whole grown prefix. The floor is
+#     an order of magnitude under the committed artifact: it catches the
+#     incremental path silently degrading to a rescan, not timing noise.
 #
 # The JSONs are hand-rolled reports from `reproduce` (the workspace builds
 # offline without a JSON crate), so the parse here is a plain key grep —
@@ -46,6 +51,7 @@ MIN_BEST="${MIN_BEST:-1.0}"
 # any core count; these floors catch the batch board breaking, not noise.
 MIN_COMINE="${MIN_COMINE:-1.2}"
 MIN_SATURATED="${MIN_SATURATED:-2.0}"
+MIN_INCREMENTAL="${MIN_INCREMENTAL:-2.0}"
 
 [ -f "$BENCH" ] || { echo "bench_guard: $BENCH not found" >&2; exit 1; }
 
@@ -75,6 +81,7 @@ if [ -n "$SERVE" ]; then
     [ -f "$SERVE" ] || { echo "bench_guard: $SERVE not found" >&2; exit 1; }
     guard comine_vs_solo_scan_ratio "$(extract comine_vs_solo_scan_ratio "$SERVE")" "$MIN_COMINE"
     guard saturated_fuse_vs_serial "$(extract saturated_fuse_vs_serial "$SERVE")" "$MIN_SATURATED"
+    guard incremental_vs_rescan_ratio "$(extract incremental_vs_rescan_ratio "$SERVE")" "$MIN_INCREMENTAL"
 fi
 
 exit "$fail"
