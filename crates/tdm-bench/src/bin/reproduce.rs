@@ -15,10 +15,11 @@
 //!                    write the JSON report (e.g. BENCH_counting.json) to PATH;
 //!                    with no TARGETS, only the benchmark runs
 //! --serve-bench-json PATH  run the multi-tenant serving benchmark (QPS +
-//!                    latency at 1/4/16 concurrent clients, plus the
-//!                    co-mining solo-vs-fused scenario) at --scale and
-//!                    write the JSON report (e.g. BENCH_serve.json) to PATH;
-//!                    with no TARGETS, only the benchmark(s) run
+//!                    latency at 1/4/16 concurrent clients, the co-mining
+//!                    solo-vs-fused scenario, and the tdm-server socket
+//!                    rungs over loopback TCP) at --scale and write the
+//!                    JSON report (e.g. BENCH_serve.json) to PATH; with no
+//!                    TARGETS, only the benchmark(s) run
 //! --serve-open-loop  also run the open-loop serving benchmark (deterministic
 //!                    Poisson-ish arrivals at a target rate; reports queueing
 //!                    delay separately from service time). Folded into the
@@ -223,7 +224,9 @@ fn main() {
     }
 
     if let Some(path) = serve_bench_json {
-        eprintln!("benchmarking the serving layer (scale {scale}, 1/4/16 clients + co-mining)...");
+        eprintln!(
+            "benchmarking the serving layer (scale {scale}, 1/4/16 clients + co-mining + socket)..."
+        );
         let mut bench = tdm_bench::serve_bench::run(&tdm_bench::serve_bench::ServeBenchConfig {
             scale,
             ..Default::default()

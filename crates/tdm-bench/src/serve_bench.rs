@@ -36,6 +36,14 @@
 //!   prefix. Counts are asserted bit-identical per batch; the
 //!   `incremental_vs_rescan_ratio` headline (rescan wall / incremental wall)
 //!   goes top-level in the JSON.
+//! * **socket path** ([`SocketBench`]) — the same closed-loop load pushed
+//!   through a real `tdm-server` TCP listener on loopback: length-prefixed
+//!   JSON frames, per-tenant authentication, the whole wire stack. Every
+//!   reply is checked byte-identical to the serially mined result encoded
+//!   through the same wire serializer. Two headlines go top-level in the
+//!   JSON: `socket_qps_16_clients_vs_1` (socket-path scaling, the network
+//!   twin of `qps_16_clients_vs_1`) and `socket_vs_inprocess_overhead`
+//!   (in-process QPS over socket QPS at 1 client — what the wire costs).
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -43,9 +51,12 @@ use std::time::{Duration, Instant};
 use tdm_core::engine::{CompiledCandidates, CountScratch};
 use tdm_core::miner::{Miner, MinerConfig, SequentialBackend};
 use tdm_core::stats::MiningResult;
-use tdm_core::{Episode, EventDb, StreamingSession};
+use tdm_core::{Alphabet, Episode, EventDb, StreamingSession};
 use tdm_mapreduce::pool::default_workers;
 use tdm_serve::{BackendChoice, MiningRequest, MiningService, ServiceConfig};
+use tdm_server::client::mine_request;
+use tdm_server::json::Value;
+use tdm_server::{wire, Client, Server, ServerConfig, TenantConfig};
 use tdm_workloads::{
     basket::{market_basket, BasketConfig},
     markov_letters,
@@ -346,6 +357,192 @@ fn run_streaming(db: &Arc<EventDb>) -> StreamingPoint {
     }
 }
 
+/// One client-count rung of the socket-path scenario.
+#[derive(Debug, Clone)]
+pub struct SocketPoint {
+    /// Concurrent TCP clients (one persistent connection each).
+    pub clients: usize,
+    /// Total requests completed.
+    pub requests: usize,
+    /// Wall time of the whole rung, seconds.
+    pub wall_s: f64,
+    /// Completed requests per second of wall time.
+    pub qps: f64,
+    /// Median per-request latency (frame out to reply parsed), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile per-request latency, milliseconds.
+    pub p95_ms: f64,
+}
+
+/// The socket-path scenario: the closed-loop Markov load replayed through a
+/// real `tdm-server` TCP listener on loopback — length-prefixed JSON frames,
+/// tenant authentication, per-request database decode — next to an
+/// in-process baseline submitting the identical request stream straight into
+/// a [`MiningService`].
+#[derive(Debug, Clone)]
+pub struct SocketBench {
+    /// Symbols in the Markov stream every request ships inline.
+    pub symbols: usize,
+    /// In-process baseline QPS at 1 client (same requests, no wire).
+    pub inprocess_qps_1: f64,
+    /// The scaling headline: socket QPS at the largest rung over socket QPS
+    /// at 1 client (0.0 when either rung was not measured).
+    pub qps_16_clients_vs_1: f64,
+    /// The overhead headline: in-process QPS over socket QPS at 1 client
+    /// (> 1 = the wire costs; framing + JSON + per-request database decode).
+    pub vs_inprocess_overhead: f64,
+    /// Per-rung socket measurements.
+    pub points: Vec<SocketPoint>,
+}
+
+/// Runs the socket-path scenario (see [`SocketBench`]) on the Markov
+/// workload: an in-process 1-client baseline, then the same closed loop
+/// through a loopback `tdm-server` at each rung in `cfg.client_counts`.
+/// Every reply's `result` object is checked byte-identical to the serial
+/// ground truth pushed through the same wire serializer.
+fn run_socket(cfg: &ServeBenchConfig, db: &Arc<EventDb>) -> SocketBench {
+    let per_client = cfg.requests_per_client.max(1);
+    let letters: String = db.symbols().iter().map(|&s| (b'A' + s) as char).collect();
+    let serial = Miner::new(cfg.mining)
+        .mine(db.as_ref(), &mut SequentialBackend::default())
+        .expect("serial reference mining failed");
+    // The ground truth, encoded through the very serializer the server uses:
+    // replies must match byte for byte.
+    let want = wire::mining_result_value(&serial, &Alphabet::latin26()).encode();
+    let backends = ["sharded", "mapreduce", "activeset"];
+
+    // In-process baseline: the identical request stream (same db, same
+    // config, same backend rotation) submitted straight into a service.
+    let inprocess_qps_1 = {
+        let service = MiningService::new(ServiceConfig {
+            workers: cfg.workers,
+            max_in_flight: default_workers(),
+            ..Default::default()
+        });
+        let requests: Vec<MiningRequest> = [
+            BackendChoice::Sharded,
+            BackendChoice::MapReduce,
+            BackendChoice::ActiveSet,
+        ]
+        .iter()
+        .map(|&b| {
+            let req = MiningRequest::new(Arc::clone(db), cfg.mining).backend(b);
+            req.key();
+            req
+        })
+        .collect();
+        let started = Instant::now();
+        for round in 0..per_client {
+            let resp = service
+                .submit(&requests[round % requests.len()])
+                .expect("in-process baseline request failed");
+            assert_eq!(resp.result, serial, "in-process baseline diverged");
+        }
+        per_client as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    };
+
+    let mut points = Vec::new();
+    for &clients in &cfg.client_counts {
+        let clients = clients.max(1);
+        // Persistent connections pin a handler each for the whole rung, so
+        // the handler pool must match the client count.
+        let server = Server::bind(ServerConfig {
+            handler_threads: clients,
+            backlog: clients,
+            service: ServiceConfig {
+                workers: cfg.workers,
+                max_in_flight: clients.max(default_workers()),
+                ..Default::default()
+            },
+            tenants: vec![TenantConfig::new("bench", "bench")],
+            ..Default::default()
+        })
+        .expect("socket bench listener failed to bind");
+        let addr = server.addr();
+        let latencies = Arc::new(Mutex::new(Vec::<f64>::new()));
+        let started = Instant::now();
+        std::thread::scope(|s| {
+            for client in 0..clients {
+                let latencies = Arc::clone(&latencies);
+                let letters = &letters;
+                let want = &want;
+                s.spawn(move || {
+                    let mut conn =
+                        Client::connect(addr).expect("socket bench client failed to connect");
+                    let mut local = Vec::with_capacity(per_client);
+                    for round in 0..per_client {
+                        let request = mine_request(
+                            "bench",
+                            "bench",
+                            letters,
+                            cfg.mining.alpha,
+                            cfg.mining.max_level,
+                            Some(backends[(client + round) % backends.len()]),
+                            None,
+                            None,
+                        );
+                        let t = Instant::now();
+                        let reply = conn.call(&request).expect("socket bench request failed");
+                        local.push(t.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(
+                            reply.get("type").and_then(Value::as_str),
+                            Some("mine_result"),
+                            "socket bench reply was not a result: {}",
+                            reply.encode()
+                        );
+                        let got = reply
+                            .get("result")
+                            .expect("mine_result without a result object")
+                            .encode();
+                        assert_eq!(&got, want, "socket reply diverged from serial mining");
+                    }
+                    latencies.lock().expect("socket latencies").extend(local);
+                });
+            }
+        });
+        let wall_s = started.elapsed().as_secs_f64();
+        server.shutdown();
+        let mut lat = Arc::try_unwrap(latencies)
+            .expect("latency collector still shared")
+            .into_inner()
+            .expect("socket latencies");
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        points.push(SocketPoint {
+            clients,
+            requests: lat.len(),
+            wall_s,
+            qps: lat.len() as f64 / wall_s.max(1e-9),
+            p50_ms: percentile(&lat, 0.50),
+            p95_ms: percentile(&lat, 0.95),
+        });
+    }
+
+    let qps_of = |n: usize| {
+        points
+            .iter()
+            .find(|p| p.clients == n)
+            .map(|p| p.qps)
+            .unwrap_or(0.0)
+    };
+    let qps_16_clients_vs_1 = if qps_of(1) > 0.0 && qps_of(16) > 0.0 {
+        qps_of(16) / qps_of(1)
+    } else {
+        0.0
+    };
+    let vs_inprocess_overhead = if qps_of(1) > 0.0 {
+        inprocess_qps_1 / qps_of(1)
+    } else {
+        0.0
+    };
+    SocketBench {
+        symbols: db.len(),
+        inprocess_qps_1,
+        qps_16_clients_vs_1,
+        vs_inprocess_overhead,
+        points,
+    }
+}
+
 /// One open-loop run: requests arrive on a deterministic Poisson-like
 /// schedule at a target rate (instead of closed-loop resubmission), so
 /// queueing delay at the admission gate is visible separately from service
@@ -391,6 +588,12 @@ pub struct ServeBench {
     /// The streaming headline: full-prefix rescan wall over incremental
     /// append wall for the same append schedule ([`StreamingPoint::ratio`]).
     pub incremental_vs_rescan_ratio: f64,
+    /// The socket-path scaling headline: socket QPS at 16 clients over
+    /// socket QPS at 1 client ([`SocketBench::qps_16_clients_vs_1`]).
+    pub socket_qps_16_clients_vs_1: f64,
+    /// The socket-path overhead headline: in-process QPS over socket QPS at
+    /// 1 client ([`SocketBench::vs_inprocess_overhead`]).
+    pub socket_vs_inprocess_overhead: f64,
     /// Per-rung results.
     pub points: Vec<LoadPoint>,
     /// The co-mining scenario measurements.
@@ -399,6 +602,8 @@ pub struct ServeBench {
     pub saturated: SaturatedPoint,
     /// The streaming-ingestion scenario measurements.
     pub streaming: StreamingPoint,
+    /// The socket-path scenario measurements.
+    pub socket: SocketBench,
     /// Open-loop measurements, when requested (`reproduce
     /// --serve-open-loop`).
     pub open_loop: Option<OpenLoopReport>,
@@ -791,6 +996,7 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
     let comine = run_comine(cfg, &workloads[0].1);
     let saturated = run_saturated(cfg, &workloads[0].1);
     let streaming = run_streaming(&workloads[0].1);
+    let socket = run_socket(cfg, &workloads[0].1);
     ServeBench {
         available_parallelism: default_workers(),
         workers: if cfg.workers == 0 {
@@ -806,10 +1012,13 @@ pub fn run(cfg: &ServeBenchConfig) -> ServeBench {
         comine_vs_solo_scan_ratio: comine.ratio,
         saturated_fuse_vs_serial: saturated.ratio,
         incremental_vs_rescan_ratio: streaming.ratio,
+        socket_qps_16_clients_vs_1: socket.qps_16_clients_vs_1,
+        socket_vs_inprocess_overhead: socket.vs_inprocess_overhead,
         points,
         comine,
         saturated,
         streaming,
+        socket,
         open_loop: None,
     }
 }
@@ -839,6 +1048,14 @@ impl ServeBench {
         s.push_str(&format!(
             "  \"incremental_vs_rescan_ratio\": {:.4},\n",
             self.incremental_vs_rescan_ratio
+        ));
+        s.push_str(&format!(
+            "  \"socket_qps_16_clients_vs_1\": {:.4},\n",
+            self.socket_qps_16_clients_vs_1
+        ));
+        s.push_str(&format!(
+            "  \"socket_vs_inprocess_overhead\": {:.4},\n",
+            self.socket_vs_inprocess_overhead
         ));
         s.push_str(&format!(
             "  \"comine\": {{\"clients\": {}, \"solo_wall_s\": {:.4}, \"fused_wall_s\": {:.4}, \
@@ -875,6 +1092,24 @@ impl ServeBench {
             self.streaming.rescan_wall_s,
             self.streaming.ratio
         ));
+        s.push_str(&format!(
+            "  \"socket\": {{\"symbols\": {}, \"inprocess_qps_1\": {:.3}, \"points\": [",
+            self.socket.symbols, self.socket.inprocess_qps_1
+        ));
+        for (i, p) in self.socket.points.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{{\"clients\": {}, \"requests\": {}, \"wall_s\": {:.4}, \"qps\": {:.3}, \
+                 \"p50_ms\": {:.3}, \"p95_ms\": {:.3}}}",
+                if i == 0 { "" } else { ", " },
+                p.clients,
+                p.requests,
+                p.wall_s,
+                p.qps,
+                p.p50_ms,
+                p.p95_ms
+            ));
+        }
+        s.push_str("]},\n");
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
                 "  \"open_loop\": {{\"rate_hz\": {:.3}, \"requests\": {}, \"wall_s\": {:.4}, \
@@ -971,6 +1206,20 @@ impl ServeBench {
             self.streaming.incremental_wall_s * 1e3,
             self.incremental_vs_rescan_ratio
         ));
+        s.push_str(&format!(
+            "  socket path ({} symbols/request): in-process {:.1} qps vs",
+            self.socket.symbols, self.socket.inprocess_qps_1
+        ));
+        for p in &self.socket.points {
+            s.push_str(&format!(
+                " [{} clients: {:.1} qps p50 {:.2} ms]",
+                p.clients, p.qps, p.p50_ms
+            ));
+        }
+        s.push_str(&format!(
+            " = {:.2}x overhead, {:.2}x 16-vs-1\n",
+            self.socket_vs_inprocess_overhead, self.socket_qps_16_clients_vs_1
+        ));
         if let Some(ol) = &self.open_loop {
             s.push_str(&format!(
                 "  open loop @ {:.1} req/s: queue mean {:.2} ms p95 {:.2} ms | \
@@ -1043,6 +1292,19 @@ mod tests {
         assert!(b.streaming.episodes > 0);
         assert!(b.incremental_vs_rescan_ratio > 0.0);
         assert!(b.incremental_vs_rescan_ratio.is_finite());
+        // The socket scenario ran every rung through a real loopback
+        // listener (replies were checked byte-identical inside run_socket).
+        assert_eq!(b.socket.points.len(), 2);
+        for p in &b.socket.points {
+            assert_eq!(p.requests, p.clients * 2);
+            assert!(p.qps > 0.0);
+            assert!(p.p95_ms >= p.p50_ms);
+        }
+        assert!(b.socket.inprocess_qps_1 > 0.0);
+        assert!(b.socket_vs_inprocess_overhead > 0.0);
+        assert!(b.socket_vs_inprocess_overhead.is_finite());
+        // No 16-client rung configured: degrades to 0, not NaN.
+        assert_eq!(b.socket_qps_16_clients_vs_1, 0.0);
     }
 
     #[test]
@@ -1062,6 +1324,9 @@ mod tests {
         assert!(j.contains("\"comine_vs_solo_scan_ratio\""));
         assert!(j.contains("\"saturated_fuse_vs_serial\""));
         assert!(j.contains("\"incremental_vs_rescan_ratio\""));
+        assert!(j.contains("\"socket_qps_16_clients_vs_1\""));
+        assert!(j.contains("\"socket_vs_inprocess_overhead\""));
+        assert!(j.contains("\"inprocess_qps_1\""));
         assert!(j.contains("\"rescan_wall_s\""));
         assert!(j.contains("\"co_cache_hits\""));
         assert!(j.contains("\"fused_requests\""));

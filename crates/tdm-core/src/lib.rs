@@ -82,8 +82,8 @@ pub use miner::{AutoBackend, Miner, MinerConfig, SequentialBackend};
 pub use semantics::CountSemantics;
 pub use sequence::EventDb;
 pub use session::{
-    BackendError, CoSession, CoSessionBuilder, CountRequest, Counts, Executor, MineError,
-    MiningSession, MiningSessionBuilder,
+    BackendError, CancelToken, CoSession, CoSessionBuilder, CountRequest, Counts, Executor,
+    MineError, MiningSession, MiningSessionBuilder,
 };
 pub use stats::{LevelResult, MiningResult};
 pub use streaming::StreamingSession;

@@ -49,7 +49,9 @@
 //! assert_eq!(session.compiles(), result.levels.len());
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::candidate::{apriori_join, level1};
 use crate::engine::{CandidateUnion, CompiledCandidates, OccurrenceIndex, MIN_SHARD_STREAM};
@@ -106,6 +108,84 @@ impl PoolSlot {
     }
 }
 
+/// A cooperative cancellation handle checked by the level loops
+/// ([`MiningSession::mine_with`], [`CoSession::co_mine`]) **between** level
+/// scans: an abandoned request stops before compiling or counting its next
+/// level instead of running the full loop for nobody.
+///
+/// The flag is shared across clones (an `Arc<AtomicBool>`), so a serving
+/// layer can hand one copy to the session and keep another to fire from a
+/// watchdog or disconnect handler. The deadline, by contrast, is a plain
+/// per-copy value: [`deadline_within`](CancelToken::deadline_within) returns
+/// a *tightened* copy without affecting other holders.
+///
+/// ```
+/// use std::time::Duration;
+/// use tdm_core::session::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled()); // the flag is shared
+///
+/// let expired = CancelToken::new().deadline_within(Duration::ZERO);
+/// assert!(expired.is_cancelled()); // the deadline already passed
+/// ```
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A fresh token: not cancelled, no deadline.
+    pub fn new() -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A copy of this token whose deadline is at most `timeout` from now
+    /// (tightening an earlier deadline, never loosening it). The cancel flag
+    /// stays shared with the original.
+    pub fn deadline_within(&self, timeout: Duration) -> Self {
+        let at = Instant::now()
+            .checked_add(timeout)
+            .unwrap_or_else(|| Instant::now() + Duration::from_secs(86_400));
+        CancelToken {
+            flag: Arc::clone(&self.flag),
+            deadline: Some(match self.deadline {
+                Some(existing) => existing.min(at),
+                None => at,
+            }),
+        }
+    }
+
+    /// Fires the shared cancel flag: every clone of this token reports
+    /// cancelled from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// True when the flag was fired or this copy's deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire) || self.deadline.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// This copy's deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
 /// An error raised by a counting backend's execute phase.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BackendError {
@@ -120,6 +200,9 @@ pub enum BackendError {
     Launch(String),
     /// Any other execution failure, with a human-readable reason.
     Failed(String),
+    /// The request's [`CancelToken`] fired (deadline passed or explicitly
+    /// cancelled) before this level's scan started; later levels never ran.
+    Cancelled,
 }
 
 impl std::fmt::Display for BackendError {
@@ -130,6 +213,12 @@ impl std::fmt::Display for BackendError {
             }
             BackendError::Launch(e) => write!(f, "kernel launch failed: {e}"),
             BackendError::Failed(e) => write!(f, "backend execution failed: {e}"),
+            BackendError::Cancelled => {
+                write!(
+                    f,
+                    "request cancelled (deadline passed) before the level scan"
+                )
+            }
         }
     }
 }
@@ -447,6 +536,7 @@ impl<'db> MiningSessionBuilder<'db> {
             workers,
             pool,
             priority: Priority::Normal,
+            cancel: None,
             compiles: 0,
         }
     }
@@ -478,6 +568,9 @@ pub struct MiningSession<'db> {
     workers: usize,
     pool: PoolSlot,
     priority: Priority,
+    /// Cooperative cancellation for the level loop; checked before each
+    /// level's compile+scan. `None` (the default) never cancels.
+    cancel: Option<CancelToken>,
     compiles: usize,
 }
 
@@ -554,6 +647,19 @@ impl<'db> MiningSession<'db> {
     /// The scheduling class new counting calls run at.
     pub fn job_priority(&self) -> Priority {
         self.priority
+    }
+
+    /// Installs (or clears) the cooperative cancellation token the level loop
+    /// checks before each level's compile+scan. A serving layer sets a fresh
+    /// token per request — including `None` for requests without deadlines,
+    /// so a parked, reused session never inherits a stale token.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// How many candidate sets this session has compiled — exactly one per
@@ -712,6 +818,16 @@ impl<'db> MiningSession<'db> {
                 if level > maxl {
                     break;
                 }
+            }
+            // Cooperative cancellation: an abandoned request (deadline passed,
+            // client gone) stops here, before compiling or scanning the next
+            // level — completed levels are simply discarded with the error.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(MineError {
+                    level,
+                    backend: executor.name().to_string(),
+                    source: BackendError::Cancelled,
+                });
             }
             let counts = self.count_level(level, &candidates, executor)?;
             let frequent: Vec<(Episode, u64)> = candidates
@@ -873,6 +989,7 @@ impl CoSessionBuilder {
             workers,
             pool,
             priority: Priority::Normal,
+            cancel: None,
             compiles: 0,
         }
     }
@@ -950,6 +1067,9 @@ pub struct CoSession {
     workers: usize,
     pool: PoolSlot,
     priority: Priority,
+    /// Cooperative cancellation for the lockstep loop; checked before each
+    /// union compile+scan. `None` (the default) never cancels.
+    cancel: Option<CancelToken>,
     compiles: usize,
 }
 
@@ -1015,6 +1135,20 @@ impl CoSession {
     /// The scheduling class union scans run at.
     pub fn job_priority(&self) -> Priority {
         self.priority
+    }
+
+    /// Installs (or clears) the cooperative cancellation token the lockstep
+    /// loop checks before each union compile+scan (see
+    /// [`MiningSession::set_cancel_token`]). Cancelling fails the whole
+    /// batch — every member shares the union scan, so every member shares the
+    /// cancellation.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// How many union candidate sets this session has compiled — exactly one
@@ -1131,6 +1265,15 @@ impl CoSession {
             if sets.is_empty() {
                 break;
             }
+            // Cooperative cancellation, before the union compile+scan (the
+            // same seam as the solo loop's check).
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(MineError {
+                    level,
+                    backend: executor.name().to_string(),
+                    source: BackendError::Cancelled,
+                });
+            }
 
             // Plan: one union, one in-place compile — however many members.
             self.union.rebuild(&sets);
@@ -1196,5 +1339,129 @@ impl CoSession {
             level += 1;
         }
         Ok(members.into_iter().map(|m| m.result).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Alphabet;
+
+    /// Counts executes so tests can prove which levels ran.
+    struct SpyBackend {
+        executes: usize,
+    }
+
+    impl Executor for SpyBackend {
+        fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+            self.executes += 1;
+            Ok(req
+                .compiled()
+                .count(req.stream(), &mut crate::engine::CountScratch::new()))
+        }
+        fn name(&self) -> &str {
+            "spy"
+        }
+    }
+
+    fn db() -> EventDb {
+        EventDb::from_str_symbols(&Alphabet::latin26(), &"ABCABC".repeat(30)).unwrap()
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_the_first_scan() {
+        let db = db();
+        let mut session = MiningSession::builder(&db).build();
+        let token = CancelToken::new();
+        token.cancel();
+        session.set_cancel_token(Some(token));
+        let mut spy = SpyBackend { executes: 0 };
+        let err = session.mine(&mut spy).unwrap_err();
+        assert_eq!(err.level, 1);
+        assert_eq!(err.source, BackendError::Cancelled);
+        assert_eq!(spy.executes, 0, "no level may scan after cancellation");
+        assert_eq!(session.compiles(), 0);
+    }
+
+    #[test]
+    fn cancelling_between_levels_stops_the_loop_mid_way() {
+        let db = db();
+        let mut session = MiningSession::builder(&db)
+            .config(MinerConfig {
+                alpha: 0.0001,
+                ..Default::default()
+            })
+            .build();
+        let token = CancelToken::new();
+        session.set_cancel_token(Some(token.clone()));
+        let mut spy = SpyBackend { executes: 0 };
+        // Fire the shared flag from the per-level hook: level 1 completes,
+        // level 2 must never execute.
+        let err = session
+            .mine_with(&mut spy, |lr| {
+                if lr.level == 1 {
+                    token.cancel();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err.level, 2);
+        assert_eq!(err.source, BackendError::Cancelled);
+        assert_eq!(spy.executes, 1, "only level 1 may have scanned");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_and_clearing_the_token_recovers() {
+        let db = db();
+        let mut session = MiningSession::builder(&db).build();
+        session.set_cancel_token(Some(CancelToken::new().deadline_within(Duration::ZERO)));
+        let err = session.mine(&mut SpyBackend { executes: 0 }).unwrap_err();
+        assert_eq!(err.source, BackendError::Cancelled);
+        // The session is not poisoned: clearing the token mines normally.
+        session.set_cancel_token(None);
+        let result = session.mine(&mut SpyBackend { executes: 0 }).unwrap();
+        assert!(result.total_frequent() > 0);
+    }
+
+    #[test]
+    fn deadline_within_tightens_but_never_loosens() {
+        let tight = CancelToken::new().deadline_within(Duration::ZERO);
+        let still_tight = tight.deadline_within(Duration::from_secs(3600));
+        assert!(
+            still_tight.is_cancelled(),
+            "a later deadline must not loosen"
+        );
+        let loose = CancelToken::new().deadline_within(Duration::from_secs(3600));
+        assert!(!loose.is_cancelled());
+        assert!(loose.deadline().is_some());
+    }
+
+    #[test]
+    fn co_session_cancellation_fails_the_whole_batch() {
+        let shared = Arc::new(db());
+        let fast = MinerConfig {
+            alpha: 0.01,
+            max_level: Some(2),
+            ..Default::default()
+        };
+        let deep = MinerConfig {
+            alpha: 0.001,
+            max_level: Some(3),
+            ..Default::default()
+        };
+        let mut group = CoSession::builder(Arc::clone(&shared))
+            .config(fast)
+            .config(deep)
+            .build();
+        let token = CancelToken::new();
+        token.cancel();
+        group.set_cancel_token(Some(token));
+        let mut spy = SpyBackend { executes: 0 };
+        let err = group.co_mine(&mut spy).unwrap_err();
+        assert_eq!(err.source, BackendError::Cancelled);
+        assert_eq!(spy.executes, 0);
+        // Clearing recovers the parked batch plan.
+        group.set_cancel_token(None);
+        let results = group.co_mine(&mut spy).unwrap();
+        assert_eq!(results.len(), 2);
     }
 }

@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 
 use tdm_baselines::{ActiveSetBackend, MapReduceBackend, SerialScanBackend, ShardedScanBackend};
 use tdm_core::miner::SequentialBackend;
-use tdm_core::session::{Executor, MineError};
+use tdm_core::session::{BackendError, CancelToken, Executor, MineError};
 use tdm_core::stats::MiningResult;
 use tdm_core::{EventDb, MinerConfig};
 use tdm_mapreduce::pool::{default_workers, Pool, Priority};
@@ -64,6 +64,12 @@ pub struct MiningRequest {
     config: MinerConfig,
     backend: BackendChoice,
     priority: Priority,
+    /// Wall-clock budget from submission: past it, the level loop stops at
+    /// the next level boundary with [`ServeError::Cancelled`].
+    deadline: Option<Duration>,
+    /// Caller-held cancellation handle (disconnect watchdogs, client aborts);
+    /// combined with `deadline` into one token at submission.
+    cancel: Option<CancelToken>,
     /// Memoized [`SessionKey`] (hash of the full db content + config);
     /// computable once because the fields above are immutable after build.
     /// `OnceLock`'s `Clone` carries a computed key over to clones.
@@ -79,6 +85,8 @@ impl MiningRequest {
             config,
             backend: BackendChoice::default(),
             priority: Priority::Normal,
+            deadline: None,
+            cancel: None,
             key: std::sync::OnceLock::new(),
         }
     }
@@ -95,6 +103,27 @@ impl MiningRequest {
     /// queued scans of already-admitted normal requests).
     pub fn priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets a wall-clock deadline, measured from submission: when it passes,
+    /// the mining loop stops **at the next level boundary** (the level loop
+    /// checks a [`CancelToken`] before every level's compile+scan), the
+    /// in-flight slot is released, and the caller gets
+    /// [`ServeError::Cancelled`] naming the level that never ran. A deadline
+    /// expiring while the request is still queued at the admission gate
+    /// cancels it on the level-1 check, immediately after admission.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a caller-held [`CancelToken`]: firing it (from a disconnect
+    /// handler, a watchdog, another thread) cancels the request at the next
+    /// level boundary exactly like an expired [`deadline`](Self::deadline).
+    /// Both may be set; whichever fires first cancels.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -171,6 +200,14 @@ pub enum ServeError {
         /// The configured `max_pending` bound.
         limit: usize,
     },
+    /// The request's deadline passed (or its [`CancelToken`] fired) and the
+    /// level loop stopped at a level boundary: `level` is the first level
+    /// that never ran. Completed levels were discarded; the in-flight slot
+    /// was released the moment the loop returned.
+    Cancelled {
+        /// The first level whose compile+scan was skipped.
+        level: usize,
+    },
     /// The counting backend failed inside the mining loop (level, backend
     /// name, and cause inside).
     Mine(MineError),
@@ -185,6 +222,12 @@ impl std::fmt::Display for ServeError {
                     "service overloaded: {pending} requests pending (limit {limit})"
                 )
             }
+            ServeError::Cancelled { level } => {
+                write!(
+                    f,
+                    "request cancelled before level {level} (deadline passed)"
+                )
+            }
             ServeError::Mine(e) => write!(f, "mining failed: {e}"),
         }
     }
@@ -194,8 +237,20 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Mine(e) => Some(e),
-            ServeError::Overloaded { .. } => None,
+            ServeError::Overloaded { .. } | ServeError::Cancelled { .. } => None,
         }
+    }
+}
+
+/// Maps a level-loop failure onto the serving taxonomy: a
+/// [`BackendError::Cancelled`] becomes the typed [`ServeError::Cancelled`]
+/// (retryable by the client's own choice); everything else stays a
+/// [`ServeError::Mine`] execution failure.
+fn classify_mine_error(e: MineError) -> ServeError {
+    if e.source == BackendError::Cancelled {
+        ServeError::Cancelled { level: e.level }
+    } else {
+        ServeError::Mine(e)
     }
 }
 
@@ -264,6 +319,10 @@ pub struct ServiceStats {
     pub failed: u64,
     /// Requests rejected at the admission gate.
     pub rejected: u64,
+    /// Requests cancelled at a level boundary (deadline passed or a
+    /// [`CancelToken`] fired) — counted separately from `failed`: the
+    /// backend was healthy, the client just stopped waiting.
+    pub cancelled: u64,
     /// Session-cache counters (hits, misses, evictions, collisions).
     pub cache: CacheStats,
     /// Co-session-cache counters: parked `CoSession`s keyed by (db hash,
@@ -281,6 +340,7 @@ struct RequestCounters {
     completed: u64,
     failed: u64,
     rejected: u64,
+    cancelled: u64,
     comining: CoMiningStats,
 }
 
@@ -427,6 +487,15 @@ impl MiningService {
     ) -> Result<MiningResponse, ServeError> {
         let arrived = Instant::now();
         let key = request.key();
+        // One effective token per submission: the caller's handle (if any)
+        // tightened by the request deadline (if any), measured from *arrival*
+        // — time queued at the gate spends the budget too.
+        let cancel = match (&request.cancel, request.deadline) {
+            (Some(t), Some(d)) => Some(t.deadline_within(d)),
+            (Some(t), None) => Some(t.clone()),
+            (None, Some(d)) => Some(CancelToken::new().deadline_within(d)),
+            (None, None) => None,
+        };
 
         // Enter the batch board *before* the admission gate: a joiner rides
         // its leader's slot and must not consume one itself — that is what
@@ -482,7 +551,7 @@ impl MiningService {
             Entry::Joined(_) => unreachable!("joiners returned above"),
             Entry::Solo => {
                 let mining = Instant::now();
-                let (result, outcome) = self.mine_solo(request, executor, key);
+                let (result, outcome) = self.mine_solo(request, executor, key, cancel.as_ref());
                 (
                     result.map_err(ServeError::Mine),
                     outcome,
@@ -501,7 +570,7 @@ impl MiningService {
                         .expect("service counters")
                         .comining
                         .solo_fallbacks += 1;
-                    let (result, outcome) = self.mine_solo(request, executor, key);
+                    let (result, outcome) = self.mine_solo(request, executor, key, cancel.as_ref());
                     (
                         result.map_err(ServeError::Mine),
                         outcome,
@@ -514,7 +583,7 @@ impl MiningService {
                         .expect("service counters")
                         .comining
                         .waiting_room_joins += joiners.waiting_room_joins();
-                    let result = self.mine_fused(request, executor, joiners, vote);
+                    let result = self.mine_fused(request, executor, joiners, vote, cancel.as_ref());
                     (
                         result.map_err(ServeError::Mine),
                         CacheOutcome::CoMined,
@@ -538,6 +607,12 @@ impl MiningService {
         mine_time: Duration,
         key: SessionKey,
     ) -> Result<MiningResponse, ServeError> {
+        // Normalize cancellations on every path through here — solo, leader,
+        // and joiner-delivered batch errors alike ([`classify_mine_error`]).
+        let outcome_result = outcome_result.map_err(|e| match e {
+            ServeError::Mine(m) => classify_mine_error(m),
+            other => other,
+        });
         let mut counters = self.counters.lock().expect("service counters");
         match outcome_result {
             Ok(result) => {
@@ -556,6 +631,7 @@ impl MiningService {
             Err(e) => {
                 match &e {
                     ServeError::Overloaded { .. } => counters.rejected += 1,
+                    ServeError::Cancelled { .. } => counters.cancelled += 1,
                     ServeError::Mine(_) => counters.failed += 1,
                 }
                 drop(counters);
@@ -571,6 +647,7 @@ impl MiningService {
         request: &MiningRequest,
         executor: &mut dyn Executor,
         key: SessionKey,
+        token: Option<&CancelToken>,
     ) -> (Result<MiningResult, MineError>, CacheOutcome) {
         let cached =
             self.cache
@@ -592,6 +669,9 @@ impl MiningService {
         // The request's class rides through to the pool's job lanes: the
         // parallel executors submit this session's scans at this priority.
         entry.session_mut().set_job_priority(request.priority);
+        // Always (re)set the token — Some or None — so a parked session never
+        // carries a stale deadline into the next request.
+        entry.session_mut().set_cancel_token(token.cloned());
         let outcome_result = entry.session_mut().mine(executor);
 
         // Park the session again even after a backend error: the plan state
@@ -624,6 +704,7 @@ impl MiningService {
         executor: &mut dyn Executor,
         mut joiners: Deliveries,
         vote: Option<BackendChoice>,
+        token: Option<&CancelToken>,
     ) -> Result<MiningResult, MineError> {
         // Batch order: leader first, then joiners in join (= delivery) order.
         let mut batch_configs = Vec::with_capacity(1 + joiners.len());
@@ -671,6 +752,10 @@ impl MiningService {
         entry
             .session_mut()
             .set_job_priority(joiners.max_priority(request.priority));
+        // The *leader's* token governs the whole batch: joiners wait with
+        // their own timeout and hold no slot, so only the scanning request
+        // can usefully cancel the fused level loop.
+        entry.session_mut().set_cancel_token(token.cloned());
         let mining = Instant::now();
         let outcome = entry.session_mut().co_mine(executor);
         let mine_time = mining.elapsed();
@@ -720,6 +805,7 @@ impl MiningService {
             completed: counters.completed,
             failed: counters.failed,
             rejected: counters.rejected,
+            cancelled: counters.cancelled,
             cache: self.cache.lock().expect("session cache").stats(),
             co_cache: self.co_cache.lock().expect("co-session cache").stats(),
             comining: counters.comining,
@@ -1110,5 +1196,81 @@ mod tests {
         });
         let stats = service.stats();
         assert_eq!(stats.completed + stats.rejected, 4);
+    }
+
+    /// A correct executor that dawdles: each level scan counts for real but
+    /// takes at least `delay`, so a short deadline expires between levels.
+    struct Dawdler {
+        delay: Duration,
+        executes: usize,
+    }
+    impl Executor for Dawdler {
+        fn execute(
+            &mut self,
+            req: &tdm_core::session::CountRequest<'_>,
+        ) -> Result<tdm_core::session::Counts, tdm_core::session::BackendError> {
+            std::thread::sleep(self.delay);
+            self.executes += 1;
+            let mut scratch = tdm_core::engine::CountScratch::new();
+            Ok(req.compiled().count(req.stream(), &mut scratch))
+        }
+        fn name(&self) -> &str {
+            "dawdler"
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_cancels_mid_loop_and_releases_the_slot() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            ..Default::default()
+        });
+        let db = db_of(&"ABCD".repeat(50));
+        let config = MinerConfig {
+            alpha: 0.01,
+            max_level: Some(6),
+            ..Default::default()
+        };
+        let mut spy = Dawdler {
+            delay: Duration::from_millis(40),
+            executes: 0,
+        };
+        let req = MiningRequest::new(Arc::clone(&db), config).deadline(Duration::from_millis(10));
+        let err = service.submit_with(&req, &mut spy).unwrap_err();
+        match err {
+            ServeError::Cancelled { level } => assert!(level >= 1, "level {level}"),
+            other => panic!("wrong error: {other:?}"),
+        }
+        // Later levels never executed: at most one scan fit the 10ms budget.
+        assert!(spy.executes <= 1, "executed {} levels", spy.executes);
+        assert_eq!(service.stats().cancelled, 1);
+
+        // The in-flight slot was released (max_in_flight=1: a stuck slot
+        // would deadlock) and the parked session carries no stale token.
+        let ok = service
+            .submit(&MiningRequest::new(db, config))
+            .expect("slot released and token cleared");
+        assert_eq!(ok.stats.cache, CacheOutcome::Hit);
+        assert_eq!(service.stats().completed, 1);
+    }
+
+    #[test]
+    fn caller_held_token_cancels_before_the_first_scan() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let db = db_of(&"AB".repeat(40));
+        let token = tdm_core::CancelToken::new();
+        token.cancel();
+        let mut spy = Dawdler {
+            delay: Duration::ZERO,
+            executes: 0,
+        };
+        let req = MiningRequest::new(db, cfg()).cancel_token(token);
+        let err = service.submit_with(&req, &mut spy).unwrap_err();
+        assert_eq!(err, ServeError::Cancelled { level: 1 });
+        assert_eq!(spy.executes, 0, "no scan may run after cancellation");
     }
 }

@@ -1,0 +1,108 @@
+//! The `tdm-server` binary: serve episode mining over TCP.
+//!
+//! ```text
+//! tdm-server [--addr HOST:PORT] [--workers N] [--handlers N]
+//!            [--tenant NAME:KEY[:RATE[:QUOTA]]]...
+//! ```
+//!
+//! With no `--tenant`, a single `demo:demo` tenant (no limits) is created.
+
+use std::time::Duration;
+
+use tdm_server::{Server, ServerConfig, TenantConfig};
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    let mut tenants: Vec<TenantConfig> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = expect_value(&mut args, "--addr"),
+            "--workers" => {
+                config.service.workers = expect_value(&mut args, "--workers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--workers takes an integer"))
+            }
+            "--handlers" => {
+                config.handler_threads = expect_value(&mut args, "--handlers")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--handlers takes an integer"))
+            }
+            "--tenant" => {
+                let spec = expect_value(&mut args, "--tenant");
+                tenants.push(parse_tenant(&spec));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other:?}")),
+        }
+    }
+    if tenants.is_empty() {
+        tenants.push(TenantConfig::new("demo", "demo"));
+    }
+    config.tenants = tenants;
+
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("tdm-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("tdm-server listening on {}", server.addr());
+    // Serve until killed; print a stats line periodically so an operator
+    // sees throughput without speaking the protocol.
+    loop {
+        std::thread::sleep(Duration::from_secs(60));
+        let stats = server.service().stats();
+        let counters = server.counters();
+        println!(
+            "served={} failed={} rejected={} cancelled={} connections={} frames={} protocol_errors={}",
+            stats.completed,
+            stats.failed,
+            stats.rejected,
+            stats.cancelled,
+            counters.connections,
+            counters.frames,
+            counters.protocol_errors,
+        );
+    }
+}
+
+fn expect_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next()
+        .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+}
+
+/// `NAME:KEY[:RATE[:QUOTA]]` — e.g. `acme:s3cret:50:4`.
+fn parse_tenant(spec: &str) -> TenantConfig {
+    let mut parts = spec.split(':');
+    let (Some(name), Some(key)) = (parts.next(), parts.next()) else {
+        usage(&format!("--tenant {spec:?} is not NAME:KEY[:RATE[:QUOTA]]"));
+    };
+    let mut tenant = TenantConfig::new(name, key);
+    if let Some(rate) = parts.next() {
+        let rate: f64 = rate
+            .parse()
+            .unwrap_or_else(|_| usage("tenant RATE must be a number"));
+        tenant = tenant.rate(rate, (rate / 2.0).max(1.0));
+    }
+    if let Some(quota) = parts.next() {
+        tenant = tenant.quota(
+            quota
+                .parse()
+                .unwrap_or_else(|_| usage("tenant QUOTA must be an integer")),
+        );
+    }
+    tenant
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("tdm-server: {problem}");
+    }
+    eprintln!(
+        "usage: tdm-server [--addr HOST:PORT] [--workers N] [--handlers N] \
+         [--tenant NAME:KEY[:RATE[:QUOTA]]]..."
+    );
+    std::process::exit(2);
+}

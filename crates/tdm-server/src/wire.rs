@@ -1,0 +1,487 @@
+//! The wire protocol: length-prefixed JSON frames and the request/response
+//! vocabulary.
+//!
+//! A frame is a 4-byte big-endian length prefix followed by that many bytes
+//! of UTF-8 JSON. Both directions use the same framing; one request frame
+//! yields exactly one response frame, and requests on one connection are
+//! served in order. The length prefix is attacker-controlled input: frames
+//! longer than the server's cap are refused with a typed error before any
+//! payload is read.
+//!
+//! Requests are JSON objects dispatched on `"type"`:
+//!
+//! * `"mine"` — mine a database (inline `"events"` letters or a named
+//!   `"workload"`) under a [`MinerConfig`]; responds
+//!   with `"mine_result"`.
+//! * `"stats"` — a point-in-time metrics snapshot; responds with `"stats"`.
+//! * `"register"` — register a streaming tenant (seed events + config +
+//!   triggers); responds with `"registered"`.
+//! * `"ingest"` — append symbols to a registered stream; responds with
+//!   `"ingest"` (`"buffered"` or `"flushed"` + the re-mine result).
+//!
+//! Every request carries `"tenant"` and `"api_key"`. Failures of any kind
+//! are `"error"` responses with a machine-readable `"code"` (see
+//! [`codes`]); an overloaded rejection carries the queue depth it observed
+//! and a [`retry_after_hint`] so closed-loop clients back off proportionally
+//! to the congestion they caused.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use tdm_core::{Alphabet, MinerConfig, MiningResult};
+use tdm_serve::{
+    CacheOutcome, CacheStats, CoMiningStats, IngestStats, MiningResponse, ServeError, ServiceStats,
+};
+
+use crate::json::Value;
+
+/// Default cap on a frame's payload length (1 MiB). Covers ~1M inline event
+/// letters; anything larger is a protocol error, not a buffer to allocate.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Why reading a frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// No bytes arrived within the socket's read timeout while waiting for
+    /// the *start* of a frame — the connection is idle, not broken. Servers
+    /// use this to poll their shutdown flag between requests.
+    Idle,
+    /// The connection died mid-frame (EOF or timeout inside the prefix or
+    /// payload).
+    Truncated,
+    /// The length prefix exceeded the negotiated cap. Nothing was read past
+    /// the prefix.
+    Oversized {
+        /// The length the prefix declared.
+        declared: usize,
+        /// The cap it exceeded.
+        max: usize,
+    },
+    /// Any other socket error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the connection"),
+            FrameError::Idle => write!(f, "no frame within the read timeout"),
+            FrameError::Truncated => write!(f, "connection ended mid-frame"),
+            FrameError::Oversized { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame, distinguishing a clean close and an idle timeout (both
+/// only *before* the first prefix byte) from a mid-frame truncation.
+pub fn read_frame(stream: &mut impl Read, max: usize) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // The first byte separates Closed/Idle from Truncated.
+    loop {
+        match stream.read(&mut prefix[..1]) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Idle),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    read_exactly(stream, &mut prefix[1..])?;
+    let declared = u32::from_be_bytes(prefix) as usize;
+    if declared > max {
+        return Err(FrameError::Oversized { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    read_exactly(stream, &mut payload)?;
+    Ok(payload)
+}
+
+/// `read_exact`, but timeouts and EOF mid-frame both map to `Truncated`.
+fn read_exactly(stream: &mut impl Read, mut buf: &mut [u8]) -> Result<(), FrameError> {
+    while !buf.is_empty() {
+        match stream.read(buf) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => buf = &mut buf[n..],
+            Err(e) if is_timeout(&e) => return Err(FrameError::Truncated),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Writes one frame (prefix + payload) and flushes.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large for u32"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// The machine-readable `"code"` values an `"error"` response may carry.
+pub mod codes {
+    /// The frame was not a well-formed request (bad JSON, missing fields,
+    /// unknown `"type"`, events outside the alphabet, …).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Unknown tenant or wrong API key.
+    pub const UNAUTHORIZED: &str = "unauthorized";
+    /// The tenant's token bucket is empty; retry after `retry_after_ms`.
+    pub const RATE_LIMITED: &str = "rate_limited";
+    /// The tenant's in-flight quota is exhausted; retry after
+    /// `retry_after_ms`. Other tenants are unaffected.
+    pub const QUOTA: &str = "quota";
+    /// The service's waiting room is full; carries `pending`, `limit`, and
+    /// `retry_after_ms`.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline passed; the level loop was cancelled at
+    /// `level` and the in-flight slot released.
+    pub const DEADLINE: &str = "deadline";
+    /// The mining backend failed.
+    pub const MINE_FAILED: &str = "mine_failed";
+    /// An ingest call named an unregistered stream.
+    pub const UNKNOWN_STREAM: &str = "unknown_stream";
+    /// The declared frame length exceeded the server's cap (sent just
+    /// before the server closes the connection).
+    pub const OVERSIZED_FRAME: &str = "oversized_frame";
+}
+
+/// How long an overloaded/throttled client should wait before retrying.
+///
+/// The hint scales linearly with the queue depth the rejection observed —
+/// the deeper the waiting room, the longer the drain, and under aging
+/// admission the queue drains in near-arrival order, so depth is an honest
+/// proxy for position. Clamped to [[`RETRY_FLOOR_MS`], [`RETRY_CAP_MS`]]:
+/// never zero (a tight retry loop re-rejects instantly) and never so long
+/// that a recovered server sits idle.
+pub fn retry_after_hint(pending: usize, limit: usize) -> u64 {
+    // ~25ms of drain per queued request ahead of this one; an unbounded
+    // waiting room (limit 0) still hints from its observed depth.
+    let _ = limit;
+    let per_slot: u64 = 25;
+    (per_slot * (pending as u64 + 1)).clamp(RETRY_FLOOR_MS, RETRY_CAP_MS)
+}
+
+/// Minimum retry hint ([`retry_after_hint`]).
+pub const RETRY_FLOOR_MS: u64 = 25;
+/// Maximum retry hint ([`retry_after_hint`]).
+pub const RETRY_CAP_MS: u64 = 5_000;
+
+/// Builds an `"error"` response value.
+pub fn error_value(code: &str, message: impl Into<String>) -> Value {
+    Value::Object(vec![
+        ("type".into(), Value::str("error")),
+        ("code".into(), Value::str(code)),
+        ("message".into(), Value::String(message.into())),
+    ])
+}
+
+/// Maps a serving-layer failure to its wire error, attaching the retry-after
+/// hint to overload rejections and the cancellation level to deadline
+/// errors.
+pub fn serve_error_value(e: &ServeError) -> Value {
+    match e {
+        ServeError::Overloaded { pending, limit } => {
+            let mut v = error_value(codes::OVERLOADED, e.to_string());
+            push(&mut v, "pending", Value::u64(*pending as u64));
+            push(&mut v, "limit", Value::u64(*limit as u64));
+            push(
+                &mut v,
+                "retry_after_ms",
+                Value::u64(retry_after_hint(*pending, *limit)),
+            );
+            v
+        }
+        ServeError::Cancelled { level } => {
+            let mut v = error_value(codes::DEADLINE, e.to_string());
+            push(&mut v, "level", Value::u64(*level as u64));
+            v
+        }
+        ServeError::Mine(_) => error_value(codes::MINE_FAILED, e.to_string()),
+    }
+}
+
+fn push(v: &mut Value, key: &str, item: Value) {
+    if let Value::Object(pairs) = v {
+        pairs.push((key.into(), item));
+    }
+}
+
+/// Renders a [`MiningResult`] as wire JSON. Episode items are spelled with
+/// the alphabet's symbol names, so the document is bit-reproducible from
+/// the result alone — the e2e suite compares serial mining to socket
+/// responses *through this same encoding*.
+pub fn mining_result_value(result: &MiningResult, alphabet: &Alphabet) -> Value {
+    let levels = result
+        .levels
+        .iter()
+        .map(|level| {
+            let frequent = level
+                .frequent
+                .iter()
+                .map(|(episode, count)| {
+                    let name: String = episode
+                        .items()
+                        .iter()
+                        .map(|&id| alphabet.name(tdm_core::Symbol(id)))
+                        .collect();
+                    Value::Array(vec![Value::String(name), Value::u64(*count)])
+                })
+                .collect();
+            Value::Object(vec![
+                ("level".into(), Value::u64(level.level as u64)),
+                ("candidates".into(), Value::u64(level.candidates as u64)),
+                ("frequent".into(), Value::Array(frequent)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("db_len".into(), Value::u64(result.db_len as u64)),
+        ("levels".into(), Value::Array(levels)),
+    ])
+}
+
+/// Renders a full `"mine_result"` response (result + serving measurements).
+pub fn mine_response_value(response: &MiningResponse, alphabet: &Alphabet) -> Value {
+    let cache = match response.stats.cache {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::CoMined => "comined",
+    };
+    Value::Object(vec![
+        ("type".into(), Value::str("mine_result")),
+        (
+            "result".into(),
+            mining_result_value(&response.result, alphabet),
+        ),
+        ("cache".into(), Value::str(cache)),
+        (
+            "queue_wait_us".into(),
+            Value::u64(duration_us(response.stats.queue_wait)),
+        ),
+        (
+            "mine_time_us".into(),
+            Value::u64(duration_us(response.stats.mine_time)),
+        ),
+    ])
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+fn cache_stats_value(stats: &CacheStats) -> Value {
+    Value::Object(vec![
+        ("hits".into(), Value::u64(stats.hits)),
+        ("misses".into(), Value::u64(stats.misses)),
+        ("evictions".into(), Value::u64(stats.evictions)),
+        ("collisions".into(), Value::u64(stats.collisions)),
+    ])
+}
+
+fn comining_stats_value(stats: &CoMiningStats) -> Value {
+    Value::Object(vec![
+        ("batches".into(), Value::u64(stats.batches)),
+        ("fused_requests".into(), Value::u64(stats.fused_requests)),
+        ("solo_fallbacks".into(), Value::u64(stats.solo_fallbacks)),
+        (
+            "waiting_room_joins".into(),
+            Value::u64(stats.waiting_room_joins),
+        ),
+        (
+            "backend_votes_overridden".into(),
+            Value::u64(stats.backend_votes_overridden),
+        ),
+    ])
+}
+
+/// Renders [`ServiceStats`] + [`IngestStats`] as the `"stats"` response
+/// body (the server adds its own connection counters alongside).
+pub fn stats_value(service: &ServiceStats, ingest: &IngestStats) -> Value {
+    Value::Object(vec![
+        (
+            "service".into(),
+            Value::Object(vec![
+                ("completed".into(), Value::u64(service.completed)),
+                ("failed".into(), Value::u64(service.failed)),
+                ("rejected".into(), Value::u64(service.rejected)),
+                ("cancelled".into(), Value::u64(service.cancelled)),
+                ("cache".into(), cache_stats_value(&service.cache)),
+                ("co_cache".into(), cache_stats_value(&service.co_cache)),
+                ("comining".into(), comining_stats_value(&service.comining)),
+            ]),
+        ),
+        (
+            "ingest".into(),
+            Value::Object(vec![
+                ("appends".into(), Value::u64(ingest.appends)),
+                (
+                    "appended_symbols".into(),
+                    Value::u64(ingest.appended_symbols),
+                ),
+                (
+                    "deferred_appends".into(),
+                    Value::u64(ingest.deferred_appends),
+                ),
+                ("windows_sealed".into(), Value::u64(ingest.windows_sealed)),
+                ("remines".into(), Value::u64(ingest.remines)),
+                ("fused_remines".into(), Value::u64(ingest.fused_remines)),
+            ]),
+        ),
+    ])
+}
+
+/// Reads the `MinerConfig` fields off a request object (`"alpha"`,
+/// `"max_level"`, `"distinct_items_only"`), with the core defaults for
+/// absent fields.
+pub fn config_from(v: &Value) -> Result<MinerConfig, &'static str> {
+    let mut config = MinerConfig::default();
+    if let Some(alpha) = v.get("alpha") {
+        config.alpha = alpha.as_f64().ok_or("\"alpha\" must be a number")?;
+        if !(0.0..=1.0).contains(&config.alpha) {
+            return Err("\"alpha\" must be within [0, 1]");
+        }
+    }
+    if let Some(level) = v.get("max_level") {
+        let level = level.as_u64().ok_or("\"max_level\" must be an integer")?;
+        config.max_level = Some(usize::try_from(level).map_err(|_| "\"max_level\" too large")?);
+    }
+    if let Some(flag) = v.get("distinct_items_only") {
+        config.distinct_items_only = flag
+            .as_bool()
+            .ok_or("\"distinct_items_only\" must be a boolean")?;
+    }
+    Ok(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"type\":\"stats\"}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap(),
+            b"{\"type\":\"stats\"}"
+        );
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn oversized_prefix_is_refused_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"whatever");
+        match read_frame(&mut io::Cursor::new(wire), 1024) {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("wrong outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_distinguished_from_clean_close() {
+        // A prefix that promises more payload than follows.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&8u32.to_be_bytes());
+        wire.extend_from_slice(b"hi");
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(wire), 1024),
+            Err(FrameError::Truncated)
+        ));
+        // A prefix cut mid-way.
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(vec![0u8, 0]), 1024),
+            Err(FrameError::Truncated)
+        ));
+        // Nothing at all: clean close.
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(Vec::new()), 1024),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn retry_hint_grows_with_depth_and_stays_clamped() {
+        // An empty queue still backs off a little.
+        assert_eq!(retry_after_hint(0, 8), RETRY_FLOOR_MS);
+        // Monotone in observed depth.
+        let mut last = 0;
+        for pending in 0..64 {
+            let hint = retry_after_hint(pending, 8);
+            assert!(hint >= last, "hint regressed at depth {pending}");
+            last = hint;
+        }
+        // Deep queues saturate at the cap instead of stranding the client.
+        assert_eq!(retry_after_hint(10_000, 8), RETRY_CAP_MS);
+        // The unbounded-waiting-room sentinel (limit 0) still maps sanely.
+        assert_eq!(retry_after_hint(3, 0), 100);
+    }
+
+    #[test]
+    fn overloaded_wire_error_carries_depth_and_retry_hint() {
+        let v = serve_error_value(&ServeError::Overloaded {
+            pending: 7,
+            limit: 8,
+        });
+        assert_eq!(v.get("type").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("code").unwrap().as_str(), Some(codes::OVERLOADED));
+        assert_eq!(v.get("pending").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("limit").unwrap().as_u64(), Some(8));
+        assert_eq!(
+            v.get("retry_after_ms").unwrap().as_u64(),
+            Some(retry_after_hint(7, 8))
+        );
+        // The document survives an encode/parse cycle intact.
+        let reparsed = json::parse(&v.encode()).unwrap();
+        assert_eq!(reparsed.get("retry_after_ms").unwrap().as_u64(), Some(200));
+    }
+
+    #[test]
+    fn deadline_wire_error_carries_the_cancellation_level() {
+        let v = serve_error_value(&ServeError::Cancelled { level: 3 });
+        assert_eq!(v.get("code").unwrap().as_str(), Some(codes::DEADLINE));
+        assert_eq!(v.get("level").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn config_parsing_validates_fields() {
+        let v = json::parse(r#"{"alpha":0.05,"max_level":3,"distinct_items_only":false}"#).unwrap();
+        let config = config_from(&v).unwrap();
+        assert_eq!(config.alpha, 0.05);
+        assert_eq!(config.max_level, Some(3));
+        assert!(!config.distinct_items_only);
+        // Defaults apply when absent.
+        let defaults = config_from(&json::parse("{}").unwrap()).unwrap();
+        assert_eq!(defaults.max_level, None);
+        // Out-of-range and mistyped fields are refused.
+        assert!(config_from(&json::parse(r#"{"alpha":1.5}"#).unwrap()).is_err());
+        assert!(config_from(&json::parse(r#"{"max_level":-1}"#).unwrap()).is_err());
+        assert!(config_from(&json::parse(r#"{"distinct_items_only":1}"#).unwrap()).is_err());
+    }
+}

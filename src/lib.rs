@@ -20,7 +20,10 @@
 //! * [`serve`] (`tdm-serve`) — the multi-tenant serving layer: concurrent
 //!   mining sessions over one shared worker pool, with an LRU session cache,
 //!   fair (aging) admission, and cross-request co-mining — concurrent
-//!   same-database requests fused into one union scan per level.
+//!   same-database requests fused into one union scan per level;
+//! * [`server`] (`tdm-server`) — the TCP front-end over that layer: a
+//!   length-prefixed JSON protocol with per-tenant API keys, token-bucket
+//!   rate limits, in-flight quotas, and level-loop deadline cancellation.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use tdm_core as core;
 pub use tdm_gpu as gpu;
 pub use tdm_mapreduce as mapreduce;
 pub use tdm_serve as serve;
+pub use tdm_server as server;
 pub use tdm_workloads as workloads;
 
 /// The most common imports, for `use temporal_mining::prelude::*;`.

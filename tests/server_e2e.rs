@@ -1,0 +1,568 @@
+//! Loopback end-to-end suite for the TCP front-end: everything the
+//! in-process serving layer guarantees must survive a real socket.
+//!
+//! * 16 concurrent TCP clients across 3 tenants, mixed workloads, configs,
+//!   and backends — every wire response **bit-identical** to a serial
+//!   `Miner::mine` of the same request, compared through the same encoder;
+//! * same-database requests landing within the co-mine window **fuse over
+//!   the wire** (leader queued at a saturated gate, joiners in the waiting
+//!   room), proven via `"stats"`: `comining.batches`,
+//!   `comining.waiting_room_joins`;
+//! * session-cache hits keep **stable compiled-buffer addresses across
+//!   connections** (an executor-factory spy records every address);
+//! * a 10 ms-deadline request against a slow executor is **cancelled
+//!   mid-level-loop**: later levels never execute, the slot is released,
+//!   and the client gets the typed `"deadline"` error;
+//! * tenant A exhausting its in-flight quota cannot starve tenant B.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use tdm_server::client::{mine_request, stats_request};
+use tdm_server::json::Value;
+use tdm_server::{wire, Client, Server, ServerConfig, TenantConfig};
+use temporal_mining::prelude::*;
+use temporal_mining::workloads::{markov_letters, uniform_letters};
+
+const TENANTS: [(&str, &str); 3] = [("acme", "key-a"), ("beta", "key-b"), ("corp", "key-c")];
+
+fn tenant_configs() -> Vec<TenantConfig> {
+    TENANTS
+        .iter()
+        .map(|(name, key)| TenantConfig::new(*name, *key))
+        .collect()
+}
+
+/// Renders a database back to the wire's letter spelling.
+fn letters(db: &EventDb) -> String {
+    db.symbols().iter().map(|&id| (b'A' + id) as char).collect()
+}
+
+/// The serial ground truth, encoded through the same wire encoder the
+/// server uses — equality of the encoded text is bit-identity.
+fn serial_result_json(db: &EventDb, config: MinerConfig) -> String {
+    let result = Miner::new(config)
+        .mine(db, &mut temporal_mining::core::SequentialBackend::default())
+        .unwrap();
+    wire::mining_result_value(&result, &Alphabet::latin26()).encode()
+}
+
+#[test]
+fn sixteen_concurrent_clients_across_three_tenants_are_bit_identical() {
+    let server = Server::bind(ServerConfig {
+        handler_threads: 16,
+        backlog: 16,
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        tenants: tenant_configs(),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let backends = [
+        "sharded",
+        "mapreduce",
+        "activeset",
+        "sequential",
+        "serialscan",
+    ];
+    let alphas = [0.01, 0.02, 0.05, 0.1];
+    let cases: Vec<(EventDb, MinerConfig, &str, &str, &str)> = (0..16)
+        .map(|i| {
+            let db = markov_letters(3_000 + 500 * i, i as u64, 0.6);
+            let config = MinerConfig {
+                alpha: alphas[i % alphas.len()],
+                max_level: Some(3),
+                ..Default::default()
+            };
+            let (tenant, key) = TENANTS[i % TENANTS.len()];
+            (db, config, backends[i % backends.len()], tenant, key)
+        })
+        .collect();
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = cases
+            .iter()
+            .map(|(db, config, backend, tenant, key)| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let reply = client
+                        .call(&mine_request(
+                            tenant,
+                            key,
+                            &letters(db),
+                            config.alpha,
+                            config.max_level,
+                            Some(backend),
+                            None,
+                            None,
+                        ))
+                        .unwrap();
+                    assert_eq!(
+                        reply.get("type").and_then(Value::as_str),
+                        Some("mine_result"),
+                        "unexpected reply: {}",
+                        reply.encode()
+                    );
+                    reply.get("result").unwrap().encode()
+                })
+            })
+            .collect();
+        for (handle, (db, config, backend, tenant, _)) in handles.into_iter().zip(&cases) {
+            let wire_json = handle.join().unwrap();
+            assert_eq!(
+                wire_json,
+                serial_result_json(db, *config),
+                "{tenant}/{backend} diverged from serial mining"
+            );
+        }
+    });
+
+    let stats = server.service().stats();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.failed + stats.rejected + stats.cancelled, 0);
+    server.shutdown();
+}
+
+#[test]
+fn same_db_requests_fuse_over_the_wire_and_stats_show_it() {
+    // One admission slot: a blocker holds it, the fused batch's leader
+    // queues at the gate, and the joiners join in the waiting room.
+    let server = Server::bind(ServerConfig {
+        handler_threads: 8,
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            comine_window: Duration::from_millis(300),
+            comine_max_batch: 4,
+            ..Default::default()
+        },
+        tenants: tenant_configs(),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let blocker_db = uniform_letters(40_000, 7);
+    let fused_db = markov_letters(8_000, 11, 0.6);
+    let fused_alphas = [0.05, 0.02, 0.01];
+
+    std::thread::scope(|s| {
+        // The blocker leads its own (solo) batch and holds the only slot.
+        let blocker = s.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .call(&mine_request(
+                    "acme",
+                    "key-a",
+                    &letters(&blocker_db),
+                    0.02,
+                    Some(3),
+                    None,
+                    None,
+                    None,
+                ))
+                .unwrap()
+        });
+        let polling = Instant::now();
+        while server.service().open_batches() < 1 {
+            assert!(
+                polling.elapsed() < Duration::from_secs(10),
+                "blocker never led"
+            );
+            std::thread::yield_now();
+        }
+
+        // The fused batch's leader registers on the board while queued.
+        let leader = s.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .call(&mine_request(
+                    "beta",
+                    "key-b",
+                    &letters(&fused_db),
+                    fused_alphas[0],
+                    Some(3),
+                    None,
+                    None,
+                    None,
+                ))
+                .unwrap()
+        });
+        let polling = Instant::now();
+        while server.service().open_batches() < 2 {
+            assert!(
+                polling.elapsed() < Duration::from_secs(10),
+                "leader never led"
+            );
+            std::thread::yield_now();
+        }
+
+        // Two more tenants' requests for the same database join it.
+        let joiners: Vec<_> = fused_alphas[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, &alpha)| {
+                let fused_db = &fused_db;
+                s.spawn(move || {
+                    let (tenant, key) = TENANTS[(i + 2) % TENANTS.len()];
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .call(&mine_request(
+                            tenant,
+                            key,
+                            &letters(fused_db),
+                            alpha,
+                            Some(3),
+                            None,
+                            None,
+                            None,
+                        ))
+                        .unwrap()
+                })
+            })
+            .collect();
+
+        assert_eq!(
+            blocker.join().unwrap().get("type").and_then(Value::as_str),
+            Some("mine_result")
+        );
+        let fused_replies: Vec<Value> = std::iter::once(leader.join().unwrap())
+            .chain(joiners.into_iter().map(|j| j.join().unwrap()))
+            .collect();
+        for (reply, alpha) in fused_replies.iter().zip(fused_alphas) {
+            assert_eq!(
+                reply.get("cache").and_then(Value::as_str),
+                Some("comined"),
+                "alpha {alpha} was not served from the fused scan: {}",
+                reply.encode()
+            );
+            let config = MinerConfig {
+                alpha,
+                max_level: Some(3),
+                ..Default::default()
+            };
+            assert_eq!(
+                reply.get("result").unwrap().encode(),
+                serial_result_json(&fused_db, config),
+                "fused result for alpha {alpha} diverged from serial mining"
+            );
+        }
+    });
+
+    // The proof that fusion happened *over the wire*, read over the wire.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.call(&stats_request("acme", "key-a")).unwrap();
+    let comining = stats
+        .get("service")
+        .and_then(|s| s.get("comining"))
+        .expect("stats carry comining counters");
+    assert_eq!(comining.get("batches").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        comining.get("fused_requests").and_then(Value::as_u64),
+        Some(3)
+    );
+    assert_eq!(
+        comining.get("waiting_room_joins").and_then(Value::as_u64),
+        Some(2),
+        "joins should have landed while the leader was queued at the gate"
+    );
+    server.shutdown();
+}
+
+/// An executor that counts for real but records every compiled-candidate
+/// address; each request's trace lands in the shared log when the executor
+/// drops.
+struct AddressSpy {
+    inner: ActiveSetBackend,
+    addrs: Vec<usize>,
+    log: Arc<Mutex<Vec<Vec<usize>>>>,
+}
+
+impl Executor for AddressSpy {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        self.addrs
+            .push(req.compiled() as *const CompiledCandidates as usize);
+        self.inner.execute(req)
+    }
+    fn name(&self) -> &str {
+        "address-spy"
+    }
+}
+
+impl Drop for AddressSpy {
+    fn drop(&mut self) {
+        self.log
+            .lock()
+            .unwrap()
+            .push(std::mem::take(&mut self.addrs));
+    }
+}
+
+#[test]
+fn cache_hits_keep_stable_compiled_buffers_across_connections() {
+    let log: Arc<Mutex<Vec<Vec<usize>>>> = Arc::new(Mutex::new(Vec::new()));
+    let factory_log = Arc::clone(&log);
+    let server = Server::bind(ServerConfig {
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 2,
+            ..Default::default()
+        },
+        tenants: tenant_configs(),
+        executor_factory: Some(Arc::new(move || {
+            Box::new(AddressSpy {
+                inner: ActiveSetBackend::default(),
+                addrs: Vec::new(),
+                log: Arc::clone(&factory_log),
+            })
+        })),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let db = markov_letters(12_000, 3, 0.6);
+    let request = mine_request(
+        "acme",
+        "key-a",
+        &letters(&db),
+        0.02,
+        Some(3),
+        None,
+        None,
+        None,
+    );
+
+    // Same request over three *separate connections*: a miss, then hits.
+    let mut outcomes = Vec::new();
+    for _ in 0..3 {
+        let mut client = Client::connect(server.addr()).unwrap();
+        let reply = client.call(&request).unwrap();
+        assert_eq!(
+            reply.get("type").and_then(Value::as_str),
+            Some("mine_result")
+        );
+        outcomes.push(
+            reply
+                .get("cache")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string(),
+        );
+        client.finish().unwrap();
+    }
+    assert_eq!(outcomes, ["miss", "hit", "hit"]);
+
+    let traces = log.lock().unwrap();
+    assert_eq!(traces.len(), 3);
+    assert!(!traces[0].is_empty());
+    assert_eq!(
+        traces[1], traces[0],
+        "compiled buffers moved between connections"
+    );
+    assert_eq!(
+        traces[2], traces[0],
+        "compiled buffers moved between connections"
+    );
+    server.shutdown();
+}
+
+/// Counts level executions and dawdles through each, so a short deadline
+/// reliably expires between levels.
+struct SlowSpy {
+    delay: Duration,
+    executes: Arc<AtomicUsize>,
+}
+
+impl Executor for SlowSpy {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        std::thread::sleep(self.delay);
+        self.executes.fetch_add(1, Ordering::SeqCst);
+        let mut scratch = CountScratch::new();
+        Ok(req.compiled().count(req.stream(), &mut scratch))
+    }
+    fn name(&self) -> &str {
+        "slow-spy"
+    }
+}
+
+#[test]
+fn deadline_cancels_mid_level_loop_over_the_wire() {
+    let executes = Arc::new(AtomicUsize::new(0));
+    let spy_executes = Arc::clone(&executes);
+    let server = Server::bind(ServerConfig {
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 1,
+            max_in_flight: 1,
+            ..Default::default()
+        },
+        tenants: tenant_configs(),
+        executor_factory: Some(Arc::new(move || {
+            Box::new(SlowSpy {
+                delay: Duration::from_millis(40),
+                executes: Arc::clone(&spy_executes),
+            })
+        })),
+        ..Default::default()
+    })
+    .unwrap();
+
+    let db = markov_letters(4_000, 9, 0.6);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client
+        .call(&mine_request(
+            "acme",
+            "key-a",
+            &letters(&db),
+            0.01,
+            Some(6),
+            None,
+            None,
+            Some(10), // 10ms deadline vs 40ms per level
+        ))
+        .unwrap();
+    assert_eq!(reply.get("type").and_then(Value::as_str), Some("error"));
+    assert_eq!(reply.get("code").and_then(Value::as_str), Some("deadline"));
+    let cancelled_level = reply.get("level").and_then(Value::as_u64).unwrap();
+    assert!(cancelled_level >= 1);
+    // Later levels never executed: at most one scan fit the 10ms budget.
+    assert!(executes.load(Ordering::SeqCst) <= 1);
+
+    // The in-flight slot was released (max_in_flight=1: a leaked slot would
+    // wedge this) and the parked session carries no stale token.
+    let reply = client
+        .call(&mine_request(
+            "acme",
+            "key-a",
+            &letters(&db),
+            0.01,
+            Some(6),
+            None,
+            None,
+            None,
+        ))
+        .unwrap();
+    assert_eq!(
+        reply.get("type").and_then(Value::as_str),
+        Some("mine_result"),
+        "slot not released after cancellation: {}",
+        reply.encode()
+    );
+    let stats = server.service().stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+    server.shutdown();
+}
+
+#[test]
+fn tenant_quota_cannot_starve_other_tenants() {
+    let server = Server::bind(ServerConfig {
+        handler_threads: 4,
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 2,
+            max_in_flight: 4,
+            ..Default::default()
+        },
+        tenants: vec![
+            TenantConfig::new("acme", "key-a").quota(1),
+            TenantConfig::new("beta", "key-b"),
+        ],
+        executor_factory: Some(Arc::new(|| {
+            Box::new(SlowSpy {
+                delay: Duration::from_millis(150),
+                executes: Arc::new(AtomicUsize::new(0)),
+            })
+        })),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let slow_db = markov_letters(6_000, 13, 0.6);
+    let quick_db = markov_letters(2_000, 17, 0.6);
+    std::thread::scope(|s| {
+        // acme's blocker occupies its whole quota for ~4 × 150ms.
+        let blocker = s.spawn(|| {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .call(&mine_request(
+                    "acme",
+                    "key-a",
+                    &letters(&slow_db),
+                    0.01,
+                    Some(4),
+                    None,
+                    None,
+                    None,
+                ))
+                .unwrap()
+        });
+        let start = Instant::now();
+        while server.tenant_in_flight() == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "blocker never admitted"
+            );
+            std::thread::yield_now();
+        }
+
+        // acme's second request is refused immediately with a typed quota
+        // error carrying a retry hint…
+        let mut acme = Client::connect(addr).unwrap();
+        let denied = acme
+            .call(&mine_request(
+                "acme",
+                "key-a",
+                &letters(&quick_db),
+                0.05,
+                Some(1),
+                None,
+                None,
+                None,
+            ))
+            .unwrap();
+        assert_eq!(denied.get("code").and_then(Value::as_str), Some("quota"));
+        assert_eq!(denied.get("in_flight").and_then(Value::as_u64), Some(1));
+        assert_eq!(denied.get("quota").and_then(Value::as_u64), Some(1));
+        assert!(
+            denied
+                .get("retry_after_ms")
+                .and_then(Value::as_u64)
+                .unwrap()
+                > 0
+        );
+
+        // …while beta mines happily during acme's saturation.
+        let mut beta = Client::connect(addr).unwrap();
+        let served = beta
+            .call(&mine_request(
+                "beta",
+                "key-b",
+                &letters(&quick_db),
+                0.05,
+                Some(1),
+                None,
+                None,
+                None,
+            ))
+            .unwrap();
+        assert_eq!(
+            served.get("type").and_then(Value::as_str),
+            Some("mine_result"),
+            "beta starved by acme's quota: {}",
+            served.encode()
+        );
+
+        assert_eq!(
+            blocker.join().unwrap().get("type").and_then(Value::as_str),
+            Some("mine_result")
+        );
+    });
+
+    // Quota slots drain back to idle once the blocker finishes.
+    assert_eq!(server.tenant_in_flight(), 0);
+    server.shutdown();
+}

@@ -32,6 +32,15 @@
 #     stream head must beat recounting the whole grown prefix. The floor is
 #     an order of magnitude under the committed artifact: it catches the
 #     incremental path silently degrading to a rescan, not timing noise.
+#   * `socket_qps_16_clients_vs_1` < MIN_SOCKET_SCALING — the tdm-server
+#     socket path: 16 concurrent TCP clients must not collapse below a
+#     fraction of 1-client throughput. The floor catches the handler pool
+#     serializing connections, not contention noise.
+#   * `socket_vs_inprocess_overhead` > MAX_SOCKET_OVERHEAD — a ceiling, not
+#     a floor: the wire (framing + JSON + per-request database decode) may
+#     cost a multiple of in-process submission, but a blow-up past the cap
+#     means something pathological (per-request reconnects, quadratic
+#     encoding), not ordinary serialization cost.
 #
 # The JSONs are hand-rolled reports from `reproduce` (the workspace builds
 # offline without a JSON crate), so the parse here is a plain key grep —
@@ -52,6 +61,11 @@ MIN_BEST="${MIN_BEST:-1.0}"
 MIN_COMINE="${MIN_COMINE:-1.2}"
 MIN_SATURATED="${MIN_SATURATED:-2.0}"
 MIN_INCREMENTAL="${MIN_INCREMENTAL:-2.0}"
+# Socket-path guards: scaling floor well under the committed 1-core artifact
+# (16 clients on 1 core can only tie, not win), overhead ceiling well over
+# it (the wire should cost a small multiple, never orders of magnitude).
+MIN_SOCKET_SCALING="${MIN_SOCKET_SCALING:-0.3}"
+MAX_SOCKET_OVERHEAD="${MAX_SOCKET_OVERHEAD:-40.0}"
 
 [ -f "$BENCH" ] || { echo "bench_guard: $BENCH not found" >&2; exit 1; }
 
@@ -74,6 +88,19 @@ guard() {
     fi
 }
 
+guard_max() {
+    # guard_max KEY VALUE CEILING
+    if [ -z "$2" ]; then
+        echo "bench_guard: $1 missing" >&2
+        fail=1
+    elif awk -v v="$2" -v max="$3" 'BEGIN { exit !(v+0 > max+0) }'; then
+        echo "bench_guard: FAIL $1 = $2 > $3" >&2
+        fail=1
+    else
+        echo "bench_guard: ok   $1 = $2 (ceiling $3)"
+    fi
+}
+
 guard level2_best_vs_seed "$(extract level2_best_vs_seed "$BENCH")" "$MIN_BEST"
 guard level2_sharded_vs_seed "$(extract level2_sharded_vs_seed "$BENCH")" "$MIN_SHARDED"
 
@@ -82,6 +109,8 @@ if [ -n "$SERVE" ]; then
     guard comine_vs_solo_scan_ratio "$(extract comine_vs_solo_scan_ratio "$SERVE")" "$MIN_COMINE"
     guard saturated_fuse_vs_serial "$(extract saturated_fuse_vs_serial "$SERVE")" "$MIN_SATURATED"
     guard incremental_vs_rescan_ratio "$(extract incremental_vs_rescan_ratio "$SERVE")" "$MIN_INCREMENTAL"
+    guard socket_qps_16_clients_vs_1 "$(extract socket_qps_16_clients_vs_1 "$SERVE")" "$MIN_SOCKET_SCALING"
+    guard_max socket_vs_inprocess_overhead "$(extract socket_vs_inprocess_overhead "$SERVE")" "$MAX_SOCKET_OVERHEAD"
 fi
 
 exit "$fail"
