@@ -12,8 +12,10 @@
 //!    (framing is self-synchronizing). An oversized length prefix gets a
 //!    typed error and then the connection closes (the stream position is
 //!    unrecoverable).
-//! 3. A `"mine"` request passes the tenant gates in order — API key, token
-//!    bucket, in-flight quota — then enters the shared service through the
+//! 3. A `"mine"` request passes the tenant gates in order — API key,
+//!    in-flight quota, token bucket (quota first, so a refusal at the
+//!    quota burns no rate-limit token) — then enters the shared service
+//!    through the
 //!    same pre-admission batch board in-process callers use, so wire
 //!    requests fuse with each other (and with in-process requests) whenever
 //!    they share a database. `"deadline_ms"` becomes a [`CancelToken`]
@@ -25,7 +27,7 @@
 //! [`CancelToken`]: tdm_core::CancelToken
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -220,7 +222,19 @@ impl Server {
         self.state.shutdown.store(true, Ordering::Release);
         // Unblock the acceptor's blocking `accept` with a wake-up
         // connection; it observes the flag and exits, dropping the sender.
-        let _ = TcpStream::connect(self.addr);
+        // The bound address may be unspecified (0.0.0.0/::) — which some
+        // platforms refuse to connect to — so aim at loopback on the bound
+        // port first, falling back to the literal address for listeners
+        // bound to a specific non-loopback interface.
+        let wake_timeout = Duration::from_millis(250);
+        let loopback: SocketAddr = if self.addr.is_ipv6() {
+            (Ipv6Addr::LOCALHOST, self.addr.port()).into()
+        } else {
+            (Ipv4Addr::LOCALHOST, self.addr.port()).into()
+        };
+        if TcpStream::connect_timeout(&loopback, wake_timeout).is_err() && loopback != self.addr {
+            let _ = TcpStream::connect_timeout(&self.addr, wake_timeout);
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -377,7 +391,7 @@ fn dispatch(state: &ServerState, request: &Value) -> Result<Value, Value> {
     match kind {
         "mine" => serve_mine(state, tenant, request),
         "stats" => Ok(serve_stats(state)),
-        "register" => serve_register(state, request),
+        "register" => serve_register(state, tenant, request),
         "ingest" => serve_ingest(state, tenant, request),
         _ => Err(wire::error_value(
             codes::BAD_REQUEST,
@@ -387,14 +401,18 @@ fn dispatch(state: &ServerState, request: &Value) -> Result<Value, Value> {
 }
 
 fn serve_mine(state: &ServerState, tenant: &str, request: &Value) -> Result<Value, Value> {
-    // Gates in cost order: the token bucket is cheap, the quota pins a slot.
-    if let Err(denial) = state.tenants.take_token(tenant) {
-        return Ok(denial.to_value());
-    }
+    // Quota before token bucket: a tenant at its quota is refused without
+    // burning a rate-limit token (otherwise sustained quota pressure would
+    // drain the bucket and rate-limit the client just as capacity frees
+    // up). A rate-limited request pins its quota slot only for the bucket
+    // check — the permit drops on the early return.
     let _quota = match state.tenants.take_quota(tenant) {
         Ok(permit) => permit,
         Err(denial) => return Ok(denial.to_value()),
     };
+    if let Err(denial) = state.tenants.take_token(tenant) {
+        return Ok(denial.to_value());
+    }
 
     let db = Arc::new(request_db(state, request)?);
     let config =
@@ -449,8 +467,18 @@ fn serve_mine(state: &ServerState, tenant: &str, request: &Value) -> Result<Valu
     })
 }
 
+/// Upper bound on a generated workload's `"n"`. Inline `"events"` are
+/// bounded by the frame cap (~1M letters); this keeps a named `"workload"`
+/// in the same ballpark — the field is attacker-controlled, and an
+/// unbounded `n` would let one authenticated frame demand a petabyte-scale
+/// allocation and OOM the whole server.
+pub const MAX_WORKLOAD_N: u64 = 4_000_000;
+
 /// Materializes the database a mine request names: inline `"events"`
-/// letters, or a named `"workload"` from the paper's generators.
+/// letters, or a named `"workload"` from the paper's generators. Generator
+/// preconditions (`n` bounded, `scale` in (0, 1], `persistence` in [0, 1))
+/// are enforced here as typed errors — the generators assert them, and a
+/// panic would drop the connection without a response.
 fn request_db(state: &ServerState, request: &Value) -> Result<EventDb, Value> {
     match (request.get("events"), request.get("workload")) {
         (Some(events), None) => {
@@ -465,15 +493,25 @@ fn request_db(state: &ServerState, request: &Value) -> Result<EventDb, Value> {
                 .get("kind")
                 .and_then(Value::as_str)
                 .ok_or_else(|| wire::error_value(codes::BAD_REQUEST, "workload needs \"kind\""))?;
-            let n = spec.get("n").and_then(Value::as_u64).unwrap_or(10_000) as usize;
+            let n = spec.get("n").and_then(Value::as_u64).unwrap_or(10_000);
+            if n > MAX_WORKLOAD_N {
+                return Err(wire::error_value(
+                    codes::BAD_REQUEST,
+                    format!("workload \"n\" of {n} exceeds the {MAX_WORKLOAD_N}-event cap"),
+                ));
+            }
+            let n = n as usize;
             let seed = spec.get("seed").and_then(Value::as_u64).unwrap_or(2009);
             match kind {
                 "paper" => {
-                    let scale = spec
-                        .get("scale")
-                        .and_then(Value::as_f64)
-                        .unwrap_or(1.0)
-                        .clamp(0.0, 1.0);
+                    let scale = spec.get("scale").and_then(Value::as_f64).unwrap_or(1.0);
+                    // Negated comparison so NaN is refused too.
+                    if !(scale > 0.0 && scale <= 1.0) {
+                        return Err(wire::error_value(
+                            codes::BAD_REQUEST,
+                            format!("workload \"scale\" must be in (0, 1], got {scale}"),
+                        ));
+                    }
                     Ok(tdm_workloads::paper_database_scaled(scale))
                 }
                 "uniform" => Ok(tdm_workloads::uniform_letters(n, seed)),
@@ -482,6 +520,14 @@ fn request_db(state: &ServerState, request: &Value) -> Result<EventDb, Value> {
                         .get("persistence")
                         .and_then(Value::as_f64)
                         .unwrap_or(0.6);
+                    if !(0.0..1.0).contains(&persistence) {
+                        return Err(wire::error_value(
+                            codes::BAD_REQUEST,
+                            format!(
+                                "workload \"persistence\" must be in [0, 1), got {persistence}"
+                            ),
+                        ));
+                    }
                     Ok(tdm_workloads::markov_letters(n, seed, persistence))
                 }
                 other => Err(wire::error_value(
@@ -534,7 +580,13 @@ fn serve_stats(state: &ServerState) -> Value {
     v
 }
 
-fn serve_register(state: &ServerState, request: &Value) -> Result<Value, Value> {
+fn serve_register(state: &ServerState, tenant: &str, request: &Value) -> Result<Value, Value> {
+    // Registration mutates shared service state (it seeds a stream and its
+    // CoSession), so it is metered like `ingest`; only `mine` work takes a
+    // quota slot.
+    if let Err(denial) = state.tenants.take_token(tenant) {
+        return Ok(denial.to_value());
+    }
     let stream = request
         .get("stream")
         .and_then(Value::as_str)

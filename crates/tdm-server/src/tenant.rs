@@ -86,6 +86,43 @@ pub enum Denial {
     },
 }
 
+/// Constant-time key equality. Ordinary `==` short-circuits at the first
+/// mismatching byte — a timing side channel that can leak key prefixes, and
+/// that would undercut keeping `UnknownTenant`/`BadKey` indistinguishable
+/// on the wire. Both keys are folded into fixed-width FNV-1a lanes and the
+/// lanes compared with one XOR-accumulate, so the comparison does the same
+/// work wherever (and whether) the keys differ; each key's digest cost
+/// depends only on that key's own length.
+fn keys_match(expected: &str, presented: &str) -> bool {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn digest(key: &str) -> [u64; 4] {
+        // Four lanes with distinct offset bases: 256 digest bits, so an
+        // accidental lane collision is not a practical concern.
+        let mut lanes: [u64; 4] = [
+            0xcbf2_9ce4_8422_2325,
+            0x9ae1_6a3b_2f90_404f,
+            0x6c62_272e_07bb_0142,
+            0x27d4_eb2f_1656_67c5,
+        ];
+        for &byte in key.as_bytes() {
+            for lane in &mut lanes {
+                *lane = (*lane ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        // Fold the length in so the digest is not purely byte-stream-based.
+        for lane in &mut lanes {
+            *lane = (*lane ^ key.len() as u64).wrapping_mul(FNV_PRIME);
+        }
+        lanes
+    }
+    let (a, b) = (digest(expected), digest(presented));
+    let mut diff = 0u64;
+    for i in 0..4 {
+        diff |= a[i] ^ b[i];
+    }
+    diff == 0
+}
+
 #[derive(Debug)]
 struct Bucket {
     tokens: f64,
@@ -143,7 +180,7 @@ impl TenantRegistry {
     /// Checks the tenant exists and the key matches. No token is consumed.
     pub fn authenticate(&self, name: &str, api_key: &str) -> Result<(), Denial> {
         let tenant = self.find(name).ok_or(Denial::UnknownTenant)?;
-        if tenant.config.api_key == api_key {
+        if keys_match(&tenant.config.api_key, api_key) {
             Ok(())
         } else {
             Err(Denial::BadKey)
@@ -282,6 +319,29 @@ mod tests {
             wrong_key.to_value().get("message"),
             wrong_tenant.to_value().get("message")
         );
+    }
+
+    #[test]
+    fn key_comparison_is_exact_across_lengths_and_prefixes() {
+        let reg = TenantRegistry::new(vec![TenantConfig::new("acme", "correct-horse")]);
+        assert_eq!(reg.authenticate("acme", "correct-horse"), Ok(()));
+        // Prefixes, extensions, near-misses, and the empty key all fail —
+        // the digest comparison must not be fooled by shared prefixes.
+        for wrong in [
+            "",
+            "c",
+            "correct-hors",
+            "correct-horsE",
+            "correct-horse ",
+            "correct-horse-battery",
+            "battery-staple",
+        ] {
+            assert_eq!(
+                reg.authenticate("acme", wrong),
+                Err(Denial::BadKey),
+                "{wrong:?}"
+            );
+        }
     }
 
     #[test]

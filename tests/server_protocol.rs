@@ -6,12 +6,14 @@
 //! no handler threads (active-connection and quota accounting return to
 //! idle after every abuse).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use tdm_server::client::{mine_request, stats_request};
 use tdm_server::json::Value;
 use tdm_server::{Client, Server, ServerConfig, TenantConfig};
+use temporal_mining::prelude::*;
 
 fn test_server(max_frame: usize) -> Server {
     Server::bind(ServerConfig {
@@ -184,6 +186,207 @@ fn truncated_frames_close_cleanly_without_leaking_handlers() {
     assert_drains_to_idle(&server);
     assert_still_serving(&server);
     server.shutdown();
+}
+
+#[test]
+fn absurd_workload_parameters_are_typed_errors_not_allocations_or_panics() {
+    let server = test_server(1 << 16);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let cases = [
+        // A petabyte-scale "n" must be refused before any allocation.
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"uniform","n":1000000000000000}}"#,
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"markov","n":1000000000000000}}"#,
+        // Generator preconditions come back as errors, not asserts that
+        // drop the connection without a response.
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"paper","scale":0}}"#,
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"paper","scale":-1}}"#,
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"paper","scale":2}}"#,
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"markov","n":100,"persistence":1}}"#,
+        r#"{"type":"mine","tenant":"acme","api_key":"key-a","workload":{"kind":"markov","n":100,"persistence":-0.5}}"#,
+    ];
+    for request in cases {
+        let reply = client.call_bytes(request.as_bytes()).unwrap();
+        assert_eq!(
+            reply.get("code").and_then(Value::as_str),
+            Some("bad_request"),
+            "request {request}: {}",
+            reply.encode()
+        );
+    }
+    // A sane workload on the same connection still mines.
+    let reply = client
+        .call_bytes(
+            br#"{"type":"mine","tenant":"acme","api_key":"key-a","max_level":2,"workload":{"kind":"markov","n":2000,"persistence":0.6}}"#,
+        )
+        .unwrap();
+    assert_eq!(
+        reply.get("type").and_then(Value::as_str),
+        Some("mine_result"),
+        "{}",
+        reply.encode()
+    );
+    drop(client);
+    assert_drains_to_idle(&server);
+    server.shutdown();
+}
+
+/// Dawdles through each level so a request reliably pins its tenant's
+/// in-flight quota slot for an observable window.
+struct Dawdler {
+    delay: Duration,
+}
+
+impl Executor for Dawdler {
+    fn execute(&mut self, req: &CountRequest<'_>) -> Result<Counts, BackendError> {
+        std::thread::sleep(self.delay);
+        let mut scratch = CountScratch::new();
+        Ok(req.compiled().count(req.stream(), &mut scratch))
+    }
+    fn name(&self) -> &str {
+        "dawdler"
+    }
+}
+
+#[test]
+fn quota_refusals_do_not_burn_rate_limit_tokens_and_register_is_metered() {
+    // Burst of 2 tokens with a negligible refill rate, quota of 1: the
+    // blocker spends token #1 and holds the only slot. Every refusal while
+    // it runs must be a quota error that consumes nothing, leaving token #2
+    // for the request that lands once the slot frees up.
+    let server = Server::bind(ServerConfig {
+        handler_threads: 4,
+        read_timeout: Duration::from_millis(50),
+        service: temporal_mining::serve::ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        },
+        tenants: vec![TenantConfig::new("acme", "key-a").rate(0.001, 2.0).quota(1)],
+        executor_factory: Some(Arc::new(|| {
+            Box::new(Dawdler {
+                delay: Duration::from_millis(150),
+            })
+        })),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    let events = "ABCA".repeat(500);
+    std::thread::scope(|s| {
+        let blocker_events = events.clone();
+        let blocker = s.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .call(&mine_request(
+                    "acme",
+                    "key-a",
+                    &blocker_events,
+                    0.01,
+                    Some(3),
+                    None,
+                    None,
+                    None,
+                ))
+                .unwrap()
+        });
+        let start = Instant::now();
+        while server.tenant_in_flight() == 0 {
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "blocker never took its quota slot"
+            );
+            std::thread::yield_now();
+        }
+
+        // Four refusals back to back: all must say "quota", never
+        // "rate_limited" — with the old token-first ordering the second
+        // refusal would burn the last token and the rest would flip to
+        // rate-limit errors.
+        let mut client = Client::connect(addr).unwrap();
+        for attempt in 0..4 {
+            let denied = client
+                .call(&mine_request(
+                    "acme",
+                    "key-a",
+                    &events,
+                    0.05,
+                    Some(1),
+                    None,
+                    None,
+                    None,
+                ))
+                .unwrap();
+            assert_eq!(
+                denied.get("code").and_then(Value::as_str),
+                Some("quota"),
+                "attempt {attempt}: {}",
+                denied.encode()
+            );
+        }
+        assert_eq!(
+            blocker.join().unwrap().get("type").and_then(Value::as_str),
+            Some("mine_result")
+        );
+
+        // The refusals consumed nothing: token #2 still serves a request.
+        let served = client
+            .call(&mine_request(
+                "acme",
+                "key-a",
+                &events,
+                0.01,
+                Some(3),
+                None,
+                None,
+                None,
+            ))
+            .unwrap();
+        assert_eq!(
+            served.get("type").and_then(Value::as_str),
+            Some("mine_result"),
+            "quota refusals burned the remaining token: {}",
+            served.encode()
+        );
+
+        // The bucket is now empty, and `register` is metered like `ingest`:
+        // it answers rate_limited instead of mutating shared state for free.
+        let denied = client
+            .call_bytes(
+                br#"{"type":"register","tenant":"acme","api_key":"key-a","stream":"s","seed":"ABAB"}"#,
+            )
+            .unwrap();
+        assert_eq!(
+            denied.get("code").and_then(Value::as_str),
+            Some("rate_limited"),
+            "{}",
+            denied.encode()
+        );
+    });
+    assert_drains_to_idle(&server);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_an_acceptor_bound_to_the_unspecified_address() {
+    // Binding to 0.0.0.0 means the wake-up connection cannot target the
+    // bound address literally on every platform; shutdown must aim at
+    // loopback instead of wedging in accept().
+    let server = Server::bind(ServerConfig {
+        addr: "0.0.0.0:0".into(),
+        tenants: vec![TenantConfig::new("acme", "key-a")],
+        ..Default::default()
+    })
+    .unwrap();
+    let done = std::thread::spawn(move || server.shutdown());
+    let start = Instant::now();
+    while !done.is_finished() {
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "shutdown wedged joining the acceptor of a 0.0.0.0 listener"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    done.join().unwrap();
 }
 
 proptest! {
