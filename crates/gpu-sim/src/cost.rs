@@ -34,6 +34,21 @@ pub struct CostModel {
     pub gmem_transaction_bytes: u32,
     /// Fixed kernel launch + driver overhead, in microseconds.
     pub launch_overhead_us: f64,
+    /// Overhead of advancing a *resident* device pipeline to its next stage, in
+    /// microseconds. A persistent-kernel pipeline (Everest-style serving) keeps
+    /// the stream and candidate buffers on the device and replaces the
+    /// driver-mediated launch with a doorbell write + pointer swap; this is the
+    /// cost [`crate::simulate_resident`] charges instead of
+    /// [`launch_overhead_us`](Self::launch_overhead_us).
+    pub advance_overhead_us: f64,
+    /// Cycles per mapped candidate slot to demultiplex a K-tenant union
+    /// launch's count buffer back into per-member counts (one gather + add per
+    /// slot; see [`union_demux_cycles`](Self::union_demux_cycles)).
+    pub demux_cycles_per_candidate: f64,
+    /// Host→device copy bandwidth in GB/s (PCIe 1.x/2.0-era pinned-memory
+    /// transfer), used to model the one-time stream upload of a resident
+    /// pipeline.
+    pub h2d_bandwidth_gbs: f64,
     /// Cycles for a `__syncthreads()` barrier to drain and release the block.
     pub barrier_cycles: f64,
     /// Number of shared-memory banks (16 on cc 1.x; conflicts resolved per
@@ -63,6 +78,9 @@ impl Default for CostModel {
             gmem_latency: 550.0,
             gmem_transaction_bytes: 64,
             launch_overhead_us: 15.0,
+            advance_overhead_us: 1.0,
+            demux_cycles_per_candidate: 2.0,
+            h2d_bandwidth_gbs: 3.0,
             barrier_cycles: 120.0,
             smem_banks: 16,
             model_texture_cache: true,
@@ -105,6 +123,22 @@ impl CostModel {
             ..Default::default()
         }
     }
+
+    /// Cycles to demultiplex a union launch's count buffer: one gather + add
+    /// per mapped candidate slot, summed over the union's K members. The demux
+    /// runs on the host after the D2H count readback, so it scales with the
+    /// total mapped slots, not with stream length.
+    pub fn union_demux_cycles(&self, mapped_slots: u64) -> f64 {
+        self.demux_cycles_per_candidate * mapped_slots as f64
+    }
+
+    /// Milliseconds to copy `bytes` host→device at
+    /// [`h2d_bandwidth_gbs`](Self::h2d_bandwidth_gbs) (plus one launch-sized
+    /// driver round trip to enqueue the copy).
+    pub fn h2d_copy_ms(&self, bytes: u64) -> f64 {
+        let transfer_s = bytes as f64 / (self.h2d_bandwidth_gbs * 1e9);
+        transfer_s * 1e3 + self.launch_overhead_us * 1e-3
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +163,28 @@ mod tests {
         // Each leaves the others on.
         let c = CostModel::without_texture_cache();
         assert!(c.model_divergence && c.model_latency_hiding && c.model_bank_conflicts);
+    }
+
+    #[test]
+    fn resident_advance_is_cheaper_than_a_launch() {
+        let c = CostModel::default();
+        assert!(c.advance_overhead_us < c.launch_overhead_us);
+    }
+
+    #[test]
+    fn demux_scales_with_mapped_slots() {
+        let c = CostModel::default();
+        assert_eq!(c.union_demux_cycles(0), 0.0);
+        assert_eq!(c.union_demux_cycles(1000), 2.0 * c.union_demux_cycles(500));
+    }
+
+    #[test]
+    fn h2d_copy_includes_enqueue_overhead() {
+        let c = CostModel::default();
+        // Zero bytes still pays the driver round trip.
+        assert!(c.h2d_copy_ms(0) > 0.0);
+        // 3 GB at 3 GB/s ≈ 1 s.
+        let ms = c.h2d_copy_ms(3_000_000_000);
+        assert!((ms - 1000.0).abs() / 1000.0 < 0.01, "{ms}");
     }
 }

@@ -38,6 +38,34 @@ pub fn simulate(
     cost: &CostModel,
     spec: &KernelSpec,
 ) -> Result<SimReport, SimError> {
+    simulate_with_overhead(dev, cost, spec, cost.launch_overhead_us)
+}
+
+/// Simulates one stage of a *resident* device pipeline: identical wave timing
+/// to [`simulate`], but the fixed per-launch cost is
+/// [`CostModel::advance_overhead_us`] (a doorbell write + pointer swap into an
+/// already-running persistent kernel) instead of
+/// [`CostModel::launch_overhead_us`] (a driver-mediated launch). This is the
+/// lever an Everest-style serving pipeline pulls: the stream and candidate
+/// buffers stay on the device across mining levels, so only the first stage
+/// pays the full launch.
+///
+/// # Errors
+/// Same validation as [`simulate`].
+pub fn simulate_resident(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    spec: &KernelSpec,
+) -> Result<SimReport, SimError> {
+    simulate_with_overhead(dev, cost, spec, cost.advance_overhead_us)
+}
+
+fn simulate_with_overhead(
+    dev: &DeviceConfig,
+    cost: &CostModel,
+    spec: &KernelSpec,
+    overhead_us: f64,
+) -> Result<SimReport, SimError> {
     let launch = spec.launch;
     if launch.blocks == 0 || launch.threads_per_block == 0 {
         return Err(SimError::EmptyLaunch);
@@ -92,7 +120,7 @@ pub fn simulate(
         run_wave(resident.min(occ.active_blocks), remainder, sms_active);
     }
 
-    let launch_cycles = cost.launch_overhead_us * 1e-6 * dev.clock_hz();
+    let launch_cycles = overhead_us * 1e-6 * dev.clock_hz();
     components.launch_cycles = launch_cycles;
     cycles += launch_cycles;
 
@@ -405,6 +433,41 @@ mod tests {
         assert!(gts.time_ms < gx2.time_ms);
         let ratio = gx2.time_ms / gts.time_ms;
         assert!((ratio - 1625.0 / 1500.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn resident_advance_amortizes_launch_overhead() {
+        let cost = CostModel::default();
+        let spec = compute_kernel(30, 256, 1_000);
+        let launched = simulate(&gtx(), &cost, &spec).unwrap();
+        let resident = simulate_resident(&gtx(), &cost, &spec).unwrap();
+        // Same wave timing, different fixed cost.
+        let launch_delta = launched.components.launch_cycles - resident.components.launch_cycles;
+        assert!((launched.cycles - resident.cycles - launch_delta).abs() < 1e-6);
+        let expected =
+            (cost.launch_overhead_us - cost.advance_overhead_us) * 1e-6 * gtx().clock_hz();
+        assert!((launch_delta - expected).abs() < 1e-6);
+        // A kernel whose work sits between the two overheads (~4k cycles vs
+        // 15 us ≈ 19k / 1 us ≈ 1.3k) is Launch-bound through the driver, not
+        // when resident.
+        let tiny = compute_kernel(1, 32, 1000);
+        assert_eq!(
+            simulate(&gtx(), &cost, &tiny).unwrap().bound,
+            BoundKind::Launch
+        );
+        assert_ne!(
+            simulate_resident(&gtx(), &cost, &tiny).unwrap().bound,
+            BoundKind::Launch
+        );
+    }
+
+    #[test]
+    fn resident_advance_validates_like_a_launch() {
+        let cost = CostModel::default();
+        assert_eq!(
+            simulate_resident(&gtx(), &cost, &compute_kernel(0, 32, 100)),
+            Err(SimError::EmptyLaunch)
+        );
     }
 
     #[test]

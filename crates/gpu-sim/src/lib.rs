@@ -44,9 +44,12 @@ pub mod warp;
 
 pub use config::{ComputeCapability, DeviceConfig};
 pub use cost::CostModel;
-pub use engine::simulate;
+pub use engine::{simulate, simulate_resident};
 pub use kernel::{BlockProfile, KernelSpec, LaunchConfig, MemKind, MemTraffic, Phase};
-pub use occupancy::{occupancy, KernelResources, Occupancy, OccupancyLimiter};
+pub use occupancy::{
+    occupancy, union_occupancy, union_resources, KernelResources, Occupancy, OccupancyLimiter,
+    UNION_SMEM_PER_TENANT,
+};
 pub use report::{BoundKind, SimCounters, SimReport};
 
 /// Errors from kernel validation and simulation.
@@ -66,6 +69,15 @@ pub enum SimError {
         /// Human-readable description of the exhausted resource.
         what: &'static str,
     },
+    /// A resident pipeline was advanced with a plan compiled against different
+    /// device state (stale or foreign stream/candidate buffers). The pipeline
+    /// must be rebuilt before it can serve the plan.
+    StalePlan {
+        /// Fingerprint of the state the pipeline holds resident.
+        expected: u64,
+        /// Fingerprint of the state the plan was compiled against.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -82,6 +94,13 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "per-block {what} exceeds a single multiprocessor's capacity"
+                )
+            }
+            SimError::StalePlan { expected, got } => {
+                write!(
+                    f,
+                    "resident pipeline holds state {expected:#018x} but the plan \
+                     was compiled against {got:#018x}; rebuild the pipeline"
                 )
             }
         }

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! reproduce [TARGETS..] [--out DIR] [--scale S] [--exact] [--quiet]
-//!           [--bench-json PATH] [--serve-bench-json PATH] [--serve-open-loop]
+//!           [--bench-json PATH] [--serve-bench-json PATH] [--gpu-bench-json PATH]
+//!           [--serve-open-loop]
 //!
 //! TARGETS: table1 table2 fig6 fig7 fig8 fig9 best characterizations grid ext
 //!          all (default: all; `ext` also runs the paper's future-work
@@ -20,6 +21,12 @@
 //!                    rungs over loopback TCP) at --scale and write the
 //!                    JSON report (e.g. BENCH_serve.json) to PATH; with no
 //!                    TARGETS, only the benchmark(s) run
+//! --gpu-bench-json PATH  run the simulated GPU serving-pipeline benchmark
+//!                    (persistent fused pipeline vs per-level launches, and
+//!                    the K-tenant union launch vs K solo launches; fully
+//!                    deterministic) and write the JSON report (e.g.
+//!                    BENCH_gpu.json) to PATH; with no TARGETS, only the
+//!                    benchmark(s) run
 //! --serve-open-loop  also run the open-loop serving benchmark (deterministic
 //!                    Poisson-ish arrivals at a target rate; reports queueing
 //!                    delay separately from service time). Folded into the
@@ -49,6 +56,7 @@ fn main() {
     let mut quiet = false;
     let mut bench_json: Option<PathBuf> = None;
     let mut serve_bench_json: Option<PathBuf> = None;
+    let mut gpu_bench_json: Option<PathBuf> = None;
     let mut serve_open_loop = false;
 
     let mut it = args.iter().peekable();
@@ -74,6 +82,11 @@ fn main() {
                     it.next().expect("--serve-bench-json needs a path"),
                 ));
             }
+            "--gpu-bench-json" => {
+                gpu_bench_json = Some(PathBuf::from(
+                    it.next().expect("--gpu-bench-json needs a path"),
+                ));
+            }
             "--serve-open-loop" => serve_open_loop = true,
             t => {
                 targets.insert(t.to_string());
@@ -83,6 +96,7 @@ fn main() {
     if (targets.is_empty()
         && bench_json.is_none()
         && serve_bench_json.is_none()
+        && gpu_bench_json.is_none()
         && !serve_open_loop)
         || targets.contains("all")
     {
@@ -216,6 +230,16 @@ fn main() {
             scale,
             ..Default::default()
         });
+        std::fs::write(&path, bench.to_json()).expect("write failed");
+        written.push(path.display().to_string());
+        if !quiet {
+            println!("\n{}", bench.summary());
+        }
+    }
+
+    if let Some(path) = gpu_bench_json {
+        eprintln!("benchmarking the GPU serving pipeline (simulated, deterministic)...");
+        let bench = tdm_bench::gpu_bench::run(&tdm_bench::gpu_bench::GpuBenchConfig::default());
         std::fs::write(&path, bench.to_json()).expect("write failed");
         written.push(path.display().to_string());
         if !quiet {

@@ -17,7 +17,10 @@
 //! *real* CPU throughput of every counting backend (the engine's perf
 //! trajectory, `BENCH_counting.json`), and [`serve_bench`] measures the
 //! multi-tenant serving layer — QPS and latency percentiles at 1/4/16
-//! concurrent clients over one shared pool (`BENCH_serve.json`).
+//! concurrent clients over one shared pool (`BENCH_serve.json`). The
+//! simulated-GPU serving trajectory ([`gpu_bench`], `BENCH_gpu.json`) models
+//! what the persistent device pipeline buys: fused advances vs per-level
+//! launches, and K-tenant union launches vs K solo ones.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +30,7 @@ pub mod chart;
 pub mod counting_bench;
 pub mod extensions;
 pub mod figures;
+pub mod gpu_bench;
 pub mod grid;
 pub mod serve_bench;
 pub mod tables;

@@ -130,6 +130,71 @@ pub enum CountStrategy {
     Bitmask,
 }
 
+/// Per-strategy cost estimates in comparable "simple op" units — the numbers
+/// behind [`CompiledCandidates::choose_strategy`], exposed via
+/// [`CompiledCandidates::strategy_costs`] so serve-time CPU-vs-GPU dispatch
+/// shares one model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyCosts {
+    /// Estimated ops of the vertical occurrence-list strategy.
+    pub vertical: f64,
+    /// Estimated ops of the word-packed Shift-And strategy (`f64::INFINITY`
+    /// when the level exceeds a 64-bit lane).
+    pub bitmask: f64,
+}
+
+impl StrategyCosts {
+    /// The cheaper CPU strategy's cost.
+    pub fn cpu_best(&self) -> f64 {
+        self.vertical.min(self.bitmask)
+    }
+}
+
+/// What [`CompiledCandidates::choose_backend_class`] picks per (level, union
+/// size) at serve time: one of the CPU strategy classes, or handing the level
+/// to a resident GPU pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchClass {
+    /// CPU, seed-style active-set scan (empty sets land here too).
+    CpuActiveSet,
+    /// CPU, vertical occurrence-list probing.
+    CpuVertical,
+    /// CPU, word-packed Shift-And.
+    CpuBitmask,
+    /// A resident device pipeline advance (the `tdm-gpu` serving backend).
+    GpuPipeline,
+}
+
+impl DispatchClass {
+    /// True for the CPU classes.
+    pub fn is_cpu(self) -> bool {
+        !matches!(self, DispatchClass::GpuPipeline)
+    }
+}
+
+/// The GPU side of the serve-time dispatch model, in the same op units as
+/// [`StrategyCosts`]. Plain numbers by design: `tdm-core` knows nothing about
+/// the simulator — the GPU crate (or a calibration pass) supplies them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuDispatchModel {
+    /// Fixed ops-equivalent of one pipeline advance: the doorbell write,
+    /// count-buffer readback, and host demux.
+    pub advance_ops: f64,
+    /// Device throughput advantage over one CPU core for the scan itself.
+    pub speedup: f64,
+}
+
+impl Default for GpuDispatchModel {
+    fn default() -> Self {
+        // ~20k ops ≈ a few microseconds of fixed cost at CPU op rates; 8× is
+        // the conservative end of the paper's measured kernel speedups.
+        GpuDispatchModel {
+            advance_ops: 20_000.0,
+            speedup: 8.0,
+        }
+    }
+}
+
 /// A candidate set compiled into flat, scan-friendly buffers.
 ///
 /// Layout (all CSR):
@@ -596,6 +661,23 @@ impl CompiledCandidates {
         if self.max_level > 64 {
             return CountStrategy::Vertical;
         }
+        let costs = self.strategy_costs(index);
+        if costs.vertical <= costs.bitmask {
+            CountStrategy::Vertical
+        } else {
+            CountStrategy::Bitmask
+        }
+    }
+
+    /// The cost model behind [`choose_strategy`], exposed so serve-time
+    /// dispatch (CPU class vs a GPU pipeline, [`choose_backend_class`]) can
+    /// reason in the same comparable "simple op" units instead of inventing a
+    /// second model. Sets too long for a 64-bit lane report an infinite
+    /// bitmask cost (that strategy does not exist for them).
+    ///
+    /// [`choose_strategy`]: CompiledCandidates::choose_strategy
+    /// [`choose_backend_class`]: CompiledCandidates::choose_backend_class
+    pub fn strategy_costs(&self, index: &OccurrenceIndex) -> StrategyCosts {
         let n = index.stream_len() as f64;
         let fallback_cost = 2.0 * n * self.repeated.len() as f64;
 
@@ -613,6 +695,12 @@ impl CompiledCandidates {
             }
         }
 
+        if self.max_level > 64 {
+            return StrategyCosts {
+                vertical,
+                bitmask: f64::INFINITY,
+            };
+        }
         let lanes = (64 / self.max_level.max(1)).max(1);
         let mut bitmask = 2.0 * n + fallback_cost;
         for c in 0..self.alphabet_len {
@@ -625,10 +713,39 @@ impl CompiledCandidates {
             bitmask += 10.0 * 2.0 * words * index.occ_len(c as u8) as f64;
         }
 
-        if vertical <= bitmask {
-            CountStrategy::Vertical
+        StrategyCosts { vertical, bitmask }
+    }
+
+    /// Serve-time backend dispatch: picks a CPU strategy class or the GPU
+    /// pipeline for this (level, candidate-set) pair, reusing
+    /// [`strategy_costs`]'s op units. The GPU side pays a fixed per-advance
+    /// cost (`gpu.advance_ops`, covering the doorbell + count readback) and
+    /// then runs the scan `gpu.speedup`× faster than one CPU core — so small
+    /// sets (level 1, narrow unions) stay on the CPU and wide levels go to the
+    /// device, per the paper's small-problem characterization.
+    ///
+    /// The CPU classes mirror [`choose_strategy`] exactly; empty sets are
+    /// [`DispatchClass::CpuActiveSet`] (nothing to scan either way).
+    ///
+    /// [`strategy_costs`]: CompiledCandidates::strategy_costs
+    /// [`choose_strategy`]: CompiledCandidates::choose_strategy
+    pub fn choose_backend_class(
+        &self,
+        index: &OccurrenceIndex,
+        gpu: &GpuDispatchModel,
+    ) -> DispatchClass {
+        if self.is_empty() {
+            return DispatchClass::CpuActiveSet;
+        }
+        let costs = self.strategy_costs(index);
+        let cpu_best = costs.vertical.min(costs.bitmask);
+        let gpu_cost = gpu.advance_ops + cpu_best / gpu.speedup.max(1.0);
+        if gpu_cost < cpu_best {
+            DispatchClass::GpuPipeline
+        } else if costs.vertical <= costs.bitmask {
+            DispatchClass::CpuVertical
         } else {
-            CountStrategy::Bitmask
+            DispatchClass::CpuBitmask
         }
     }
 

@@ -73,7 +73,7 @@ pub mod streaming;
 pub use alphabet::{Alphabet, Symbol};
 pub use engine::{
     BitmaskNfa, CandidateUnion, CompileError, CompiledCandidates, CountScratch, CountStrategy,
-    OccurrenceIndex,
+    DispatchClass, GpuDispatchModel, OccurrenceIndex, StrategyCosts,
 };
 pub use episode::Episode;
 #[allow(deprecated)]

@@ -25,10 +25,16 @@ pub mod algo1;
 pub mod algo2;
 pub mod algo3;
 pub mod algo4;
+pub mod device;
 pub mod launch;
 pub mod lockstep;
 pub mod pipeline;
 pub mod validate;
+
+pub use device::{
+    stream_fingerprint, DevicePipeline, DispatchDecision, GpuPipelineBackend, StreamResidency,
+    UnionLaunch,
+};
 
 use gpu_sim::{CostModel, DeviceConfig, KernelSpec, LaunchConfig, SimError, SimReport};
 use std::borrow::Cow;
@@ -239,21 +245,29 @@ impl<'a> MiningProblem<'a> {
         }
     }
 
+    /// Locks the profile cache, recovering from poisoning: a panicking kernel
+    /// launch on another thread must not wedge every later request through the
+    /// same problem. The map only ever holds complete, idempotent measurements
+    /// (inserted after `compute` returns), so the poisoned guard's data is
+    /// safe to keep using.
+    fn profile_lock(&self) -> std::sync::MutexGuard<'_, HashMap<(Algorithm, u32), ProfileStats>> {
+        self.profile_cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     pub(crate) fn cached_stats(
         &self,
         key: (Algorithm, u32),
         compute: impl FnOnce(&EventDb, &CompiledCandidates) -> ProfileStats,
     ) -> ProfileStats {
-        if let Some(s) = self.profile_cache.lock().expect("profile cache").get(&key) {
+        if let Some(s) = self.profile_lock().get(&key) {
             return s.clone();
         }
         // Computed outside the lock: sampling is deterministic and idempotent,
         // so a concurrent duplicate costs time, never correctness.
         let s = compute(self.db, &self.compiled);
-        self.profile_cache
-            .lock()
-            .expect("profile cache")
-            .insert(key, s.clone());
+        self.profile_lock().insert(key, s.clone());
         s
     }
 }
@@ -351,5 +365,41 @@ mod tests {
         assert_eq!(o.buffer_bytes, 4096);
         assert!(!o.exact);
         assert!(o.sample_warps >= 1);
+    }
+
+    #[test]
+    fn poisoned_profile_cache_recovers() {
+        let symbols: Vec<u8> = (0..4000u32)
+            .map(|i| ((i.wrapping_mul(2654435761) >> 9) % 26) as u8)
+            .collect();
+        let db = EventDb::new(tdm_core::Alphabet::latin26(), symbols).unwrap();
+        let episodes = tdm_core::candidate::permutations(db.alphabet(), 1);
+        let problem = MiningProblem::new(&db, &episodes);
+
+        // Poison the cache: a thread panics (like a failing profiling pass)
+        // while holding the guard.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = problem.profile_cache.lock().unwrap();
+                panic!("kernel profiling panicked while holding the cache");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err());
+        assert!(problem.profile_cache.is_poisoned());
+
+        // Later requests through the same problem must still run — and still
+        // memoize — instead of cascading the panic.
+        let run = problem
+            .run(
+                Algorithm::BlockTexture,
+                64,
+                &DeviceConfig::geforce_gtx_280(),
+                &CostModel::default(),
+                &SimOptions::default(),
+            )
+            .expect("poisoned cache must not fail later runs");
+        assert_eq!(run.counts, problem.counts());
+        assert!(!problem.profile_lock().is_empty());
     }
 }

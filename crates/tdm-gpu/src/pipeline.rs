@@ -20,7 +20,7 @@
 //! The harness's `ext` target reports both against serial execution.
 
 use crate::{Algorithm, MiningProblem, SimOptions};
-use gpu_sim::{occupancy, CostModel, DeviceConfig, KernelResources, SimError};
+use gpu_sim::{occupancy, CostModel, DeviceConfig, KernelResources, Occupancy, SimError};
 use tdm_core::{Episode, EventDb};
 
 /// One phase in a pipeline schedule.
@@ -98,6 +98,20 @@ impl PipelineReport {
     }
 }
 
+/// Occupancy of one pipeline phase's kernel shape, as a typed error instead of
+/// a panic: a stale or foreign configuration (block size / register budget not
+/// validated by the kernel run that produced the phase) must surface as
+/// [`SimError::ResourcesExceedSm`] to the caller, not unwind mid-schedule.
+fn phase_occupancy(dev: &DeviceConfig, tpb: u32, opts: &SimOptions) -> Result<Occupancy, SimError> {
+    occupancy(
+        dev,
+        &KernelResources::new(tpb).with_registers(opts.registers_per_thread),
+    )
+    .ok_or(SimError::ResourcesExceedSm {
+        what: "pipeline-phase resources (registers/threads)",
+    })
+}
+
 /// Simulates the pipelined mining of several candidate levels with one kernel
 /// configuration.
 ///
@@ -125,11 +139,7 @@ pub fn simulate_pipelined_mining(
 
         let problem = MiningProblem::new(db, episodes);
         let run = problem.run(algo, tpb, dev, cost, opts)?;
-        let occ = occupancy(
-            dev,
-            &KernelResources::new(tpb).with_registers(opts.registers_per_thread),
-        )
-        .expect("validated by run");
+        let occ = phase_occupancy(dev, tpb, opts)?;
         let sms_used = (run.launch.blocks as f64 / occ.active_blocks as f64)
             .ceil()
             .min(dev.sm_count as f64);
@@ -210,6 +220,22 @@ mod tests {
         let t = two_stage_makespan(&[2.0, 8.0, 2.0], &[10.0, 10.0, 10.0]);
         assert_eq!(t, 32.0);
         assert_eq!(two_stage_makespan(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn foreign_phase_resources_error_instead_of_panicking() {
+        // A register budget no SM can hold: the phase must report a typed
+        // SimError (previously this path was an expect() that unwound).
+        let opts = SimOptions {
+            registers_per_thread: 1_000_000,
+            ..Default::default()
+        };
+        let err = phase_occupancy(&DeviceConfig::geforce_gtx_280(), 64, &opts).unwrap_err();
+        assert!(matches!(err, SimError::ResourcesExceedSm { .. }));
+        // A sane configuration still resolves.
+        assert!(
+            phase_occupancy(&DeviceConfig::geforce_gtx_280(), 64, &SimOptions::default()).is_ok()
+        );
     }
 
     #[test]

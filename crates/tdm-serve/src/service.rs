@@ -37,16 +37,48 @@ pub enum BackendChoice {
     /// One full scan per episode on the calling thread — the GMiner-class
     /// baseline; useful for calibration, quadratically slow on big sets.
     SerialScan,
+    /// The persistent simulated-GPU serving pipeline
+    /// ([`tdm_gpu::GpuPipelineBackend`]): per-level CPU-vs-GPU dispatch, the
+    /// stream uploaded once and kept device-resident, fused batches modeled
+    /// as K-tenant union launches.
+    GpuPipeline,
 }
 
 impl BackendChoice {
-    fn instantiate(&self) -> Box<dyn Executor> {
+    /// True for the device-pipeline class (every other choice is a CPU scan).
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, BackendChoice::GpuPipeline)
+    }
+
+    /// Declaration-order rank — the deterministic tie-break of
+    /// [`vote_backend`], so a CPU-vs-GPU class split among joiners resolves
+    /// the same way regardless of join order.
+    fn rank(&self) -> u8 {
+        match self {
+            BackendChoice::Sharded => 0,
+            BackendChoice::MapReduce => 1,
+            BackendChoice::ActiveSet => 2,
+            BackendChoice::Sequential => 3,
+            BackendChoice::SerialScan => 4,
+            BackendChoice::GpuPipeline => 5,
+        }
+    }
+
+    fn instantiate(&self, tenants: usize) -> Box<dyn Executor> {
         match self {
             BackendChoice::Sharded => Box::new(ShardedScanBackend::auto()),
             BackendChoice::MapReduce => Box::new(MapReduceBackend::auto()),
             BackendChoice::ActiveSet => Box::new(ActiveSetBackend::default()),
             BackendChoice::Sequential => Box::new(SequentialBackend::default()),
             BackendChoice::SerialScan => Box::new(SerialScanBackend),
+            BackendChoice::GpuPipeline => {
+                Box::new(
+                    tdm_gpu::GpuPipelineBackend::with_defaults(
+                        gpu_sim::DeviceConfig::geforce_gtx_280(),
+                    )
+                    .tenants(tenants as u32),
+                )
+            }
         }
     }
 }
@@ -444,7 +476,7 @@ impl MiningService {
     /// [`ServeError::Overloaded`] when the waiting room is full,
     /// [`ServeError::Mine`] when the backend fails.
     pub fn submit(&self, request: &MiningRequest) -> Result<MiningResponse, ServeError> {
-        let mut backend = request.backend.instantiate();
+        let mut backend = request.backend.instantiate(1);
         self.submit_inner(request, backend.as_mut(), Some(request.backend))
     }
 
@@ -715,12 +747,23 @@ impl MiningService {
         if let Some(leader_choice) = vote {
             let winner = vote_backend(leader_choice, joiners.backends().flatten());
             if winner != leader_choice {
-                voted = Some(winner.instantiate());
+                // Counted exactly when the *leader's* declared backend lost
+                // the vote — independent of how the winner is instantiated
+                // below (a fused batch re-instantiates even an unchanged
+                // winner, to size it for the batch).
                 self.counters
                     .lock()
                     .expect("service counters")
                     .comining
                     .backend_votes_overridden += 1;
+            }
+            // A fused batch's executor is sized for its member count: the GPU
+            // pipeline models a (1 + joiners)-tenant union launch, the CPU
+            // scans ignore the hint. Solo batches keep the leader's own
+            // executor unless outvoted.
+            let tenants = 1 + joiners.len();
+            if winner != leader_choice || tenants > 1 {
+                voted = Some(winner.instantiate(tenants));
             }
         }
         let executor: &mut dyn Executor = match voted.as_mut() {
@@ -848,8 +891,12 @@ impl MiningService {
 
 /// Majority vote over a batch's declared [`BackendChoice`]s: the leader's
 /// choice starts with one vote, every voting joiner adds one, and the
-/// most-requested choice wins. The leader breaks ties (its tally is first,
-/// and a challenger must be *strictly* more requested to displace it).
+/// most-requested choice wins. The leader breaks ties against itself (a
+/// challenger must be *strictly* more requested to displace it); ties *among*
+/// challengers — including CPU-vs-GPU class splits, where the stakes are a
+/// whole backend class — resolve by the enum's declaration-order rank, so the
+/// winner never depends on which joiner happened to reach the batch board
+/// first.
 fn vote_backend(
     leader: BackendChoice,
     votes: impl Iterator<Item = BackendChoice>,
@@ -863,7 +910,11 @@ fn vote_backend(
     }
     let mut best = tally[0];
     for &(c, n) in &tally[1..] {
-        if n > best.1 {
+        let displaces_winner = n > best.1;
+        // Join order inserted `c` into the tally; rank, not insertion order,
+        // must pick among equally-requested challengers.
+        let deterministic_tie = n == best.1 && best.0 != leader && c.rank() < best.0.rank();
+        if displaces_winner || deterministic_tie {
             best = (c, n);
         }
     }
@@ -1168,6 +1219,129 @@ mod tests {
             vote_backend(Sharded, [Sharded, MapReduce].into_iter()),
             Sharded
         );
+    }
+
+    #[test]
+    fn backend_vote_challenger_ties_resolve_by_rank_not_join_order() {
+        use BackendChoice::*;
+        // Two challengers at 2 votes each both strictly outvote the leader's
+        // 1. Whichever permutation the joiners arrive in, the lower-ranked
+        // (declaration-order) challenger wins — a CPU-vs-GPU class split
+        // cannot flip on join order.
+        let winner = vote_backend(
+            Sequential,
+            [GpuPipeline, MapReduce, GpuPipeline, MapReduce].into_iter(),
+        );
+        assert_eq!(winner, MapReduce);
+        assert_eq!(
+            vote_backend(
+                Sequential,
+                [MapReduce, GpuPipeline, MapReduce, GpuPipeline].into_iter(),
+            ),
+            winner,
+            "join order changed the vote outcome"
+        );
+        // Rank only arbitrates between challengers: a lower-ranked challenger
+        // that merely *ties* the leader never displaces it.
+        assert_eq!(vote_backend(SerialScan, [Sharded].into_iter()), SerialScan);
+        // A strict GPU majority elects the pipeline over a CPU leader.
+        assert_eq!(
+            vote_backend(Sequential, [GpuPipeline, GpuPipeline].into_iter()),
+            GpuPipeline
+        );
+    }
+
+    #[test]
+    fn gpu_majority_overrides_cpu_leader_and_serves_identical_counts() {
+        let service = Arc::new(MiningService::new(ServiceConfig {
+            workers: 2,
+            max_in_flight: 8,
+            comine_window: Duration::from_secs(5),
+            comine_max_batch: 3,
+            ..Default::default()
+        }));
+        let db = db_of(&"ABCABD".repeat(50));
+        let configs = [
+            MinerConfig {
+                alpha: 0.05,
+                max_level: Some(3),
+                ..Default::default()
+            },
+            MinerConfig {
+                alpha: 0.1,
+                max_level: Some(2),
+                ..Default::default()
+            },
+            MinerConfig {
+                alpha: 0.01,
+                max_level: Some(3),
+                ..Default::default()
+            },
+        ];
+        let serial: Vec<MiningResult> = configs
+            .iter()
+            .map(|cfg| {
+                Miner::new(*cfg)
+                    .mine(&db, &mut SequentialBackend::default())
+                    .unwrap()
+            })
+            .collect();
+
+        // The leader declares a CPU backend; both joiners vote for the GPU
+        // pipeline. The 2-vs-1 class split must override the leader, count
+        // the override, and still serve bit-identical results through the
+        // union-launch pipeline sized for the 3-member batch.
+        let mut responses: Vec<Option<MiningResponse>> = vec![None, None, None];
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            {
+                let service = Arc::clone(&service);
+                let req = MiningRequest::new(Arc::clone(&db), configs[0])
+                    .backend(BackendChoice::Sequential);
+                handles.push(s.spawn(move || service.submit(&req).unwrap()));
+            }
+            while service.open_batches() == 0 {
+                std::thread::yield_now();
+            }
+            for cfg in &configs[1..] {
+                let service = Arc::clone(&service);
+                let req =
+                    MiningRequest::new(Arc::clone(&db), *cfg).backend(BackendChoice::GpuPipeline);
+                handles.push(s.spawn(move || service.submit(&req).unwrap()));
+            }
+            for (slot, h) in responses.iter_mut().zip(handles) {
+                *slot = Some(h.join().unwrap());
+            }
+        });
+        for (i, (resp, want)) in responses.iter().zip(&serial).enumerate() {
+            let resp = resp.as_ref().unwrap();
+            assert_eq!(resp.result, *want, "member {i} diverged from solo mining");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.comining.batches, 1);
+        assert_eq!(stats.comining.fused_requests, 3);
+        assert_eq!(
+            stats.comining.backend_votes_overridden, 1,
+            "the leader's CPU choice lost the vote exactly once"
+        );
+    }
+
+    #[test]
+    fn gpu_backend_serves_a_solo_request() {
+        let service = MiningService::new(ServiceConfig {
+            workers: 1,
+            ..Default::default()
+        });
+        let db = db_of(&"ABCXYZ".repeat(40));
+        let serial = Miner::new(cfg())
+            .mine(&db, &mut SequentialBackend::default())
+            .unwrap();
+        let resp = service
+            .submit(&MiningRequest::new(Arc::clone(&db), cfg()).backend(BackendChoice::GpuPipeline))
+            .unwrap();
+        assert_eq!(resp.result, serial);
+        assert!(BackendChoice::GpuPipeline.is_gpu());
+        assert!(!BackendChoice::Sharded.is_gpu());
     }
 
     #[test]

@@ -77,10 +77,13 @@ pub mod prelude {
     pub use tdm_core::{
         Alphabet, AutoBackend, BackendError, BitmaskNfa, CandidateUnion, CoSession, CompileError,
         CompiledCandidates, CountRequest, CountScratch, CountSemantics, CountStrategy, Counts,
-        Episode, EventDb, Executor, MineError, Miner, MinerConfig, MiningResult, MiningSession,
-        OccurrenceIndex, Symbol,
+        DispatchClass, Episode, EventDb, Executor, GpuDispatchModel, MineError, Miner, MinerConfig,
+        MiningResult, MiningSession, OccurrenceIndex, StrategyCosts, Symbol,
     };
-    pub use tdm_gpu::{Algorithm, GpuBackend, KernelRun, MiningProblem, SimOptions};
+    pub use tdm_gpu::{
+        Algorithm, DevicePipeline, GpuBackend, GpuPipelineBackend, KernelRun, MiningProblem,
+        SimOptions, StreamResidency, UnionLaunch,
+    };
     pub use tdm_mapreduce::pool::{Pool, Priority};
     pub use tdm_serve::{
         AppendOutcome, BackendChoice, IngestTriggers, MiningRequest, MiningResponse, MiningService,

@@ -48,9 +48,11 @@ fn cpu_executors() -> Vec<(String, Box<dyn Executor>)> {
     v
 }
 
-/// The four GPU kernels as executors.
+/// The four GPU kernels as executors, plus the persistent device pipeline:
+/// dispatching (serve-time CPU-vs-GPU choice per level), pinned to the GPU
+/// path, and modeling multi-tenant union launches with K ∈ {2, 4, 8}.
 fn gpu_executors() -> Vec<(String, Box<dyn Executor>)> {
-    Algorithm::ALL
+    let mut v: Vec<(String, Box<dyn Executor>)> = Algorithm::ALL
         .iter()
         .map(|&algo| {
             (
@@ -59,7 +61,28 @@ fn gpu_executors() -> Vec<(String, Box<dyn Executor>)> {
                     as Box<dyn Executor>,
             )
         })
-        .collect()
+        .collect();
+    v.push((
+        "gpu-pipeline-dispatch".into(),
+        Box::new(GpuPipelineBackend::with_defaults(
+            DeviceConfig::geforce_gtx_280(),
+        )),
+    ));
+    v.push((
+        "gpu-pipeline-forced".into(),
+        Box::new(GpuPipelineBackend::with_defaults(DeviceConfig::geforce_gtx_280()).force_gpu()),
+    ));
+    for k in [2u32, 4, 8] {
+        v.push((
+            format!("gpu-pipeline-union-k{k}"),
+            Box::new(
+                GpuPipelineBackend::with_defaults(DeviceConfig::geforce_gtx_280())
+                    .tenants(k)
+                    .force_gpu(),
+            ),
+        ));
+    }
+    v
 }
 
 fn assert_conformance(db: &temporal_mining::core::EventDb, episodes: &[Episode], workers: usize) {

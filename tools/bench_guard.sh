@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Bench regression guard over freshly generated benchmark artifacts.
 #
-#   tools/bench_guard.sh [BENCH_COUNTING_JSON] [BENCH_SERVE_JSON]
+#   tools/bench_guard.sh [BENCH_COUNTING_JSON] [BENCH_SERVE_JSON] [BENCH_GPU_JSON]
 #
-# Defaults: BENCH_counting.json; the serve report is guarded only when the
-# second argument is given (CI passes BENCH_serve.json after generating it).
+# Defaults: BENCH_counting.json; the serve and GPU reports are guarded only
+# when their arguments are given (CI passes BENCH_serve.json and
+# BENCH_gpu.json after generating them).
 #
 # Counting guard — fails (exit 1) when either headline ratio regresses:
 #
@@ -42,6 +43,19 @@
 #     means something pathological (per-request reconnects, quadratic
 #     encoding), not ordinary serialization cost.
 #
+# GPU guard — the simulated serving-pipeline trajectory (`BENCH_gpu.json`)
+# is fully deterministic (simulated time, no host clock), so its floors are
+# tight:
+#
+#   * `fused_pipeline_vs_per_level` < MIN_GPU_FUSED — the persistent device
+#     pipeline (one stream upload, one kernel launch, then resident advances)
+#     must beat the paper's launch-per-level discipline by >= 1.2x on the
+#     serving workload; regression means advances stopped amortizing the
+#     driver launch or the upload stopped being resident.
+#   * `union_launch_vs_k_solo` < MIN_GPU_UNION — one K-tenant union launch
+#     over the deduplicated CSR must beat K solo upload+launch cycles at all;
+#     1.0 catches batching silently degrading to concatenation.
+#
 # The JSONs are hand-rolled reports from `reproduce` (the workspace builds
 # offline without a JSON crate), so the parse here is a plain key grep —
 # every guarded key is emitted top-level, one per line.
@@ -49,6 +63,7 @@ set -euo pipefail
 
 BENCH="${1:-BENCH_counting.json}"
 SERVE="${2:-}"
+GPU="${3:-}"
 # Committed baseline 0.7455 (results/BENCH_counting.json, 1-core container —
 # the sequential compiled scan is inherently a bit slower than the seed scan
 # at level 2; the new strategies, not sharding, are what beat it) less a
@@ -66,6 +81,9 @@ MIN_INCREMENTAL="${MIN_INCREMENTAL:-2.0}"
 # it (the wire should cost a small multiple, never orders of magnitude).
 MIN_SOCKET_SCALING="${MIN_SOCKET_SCALING:-0.3}"
 MAX_SOCKET_OVERHEAD="${MAX_SOCKET_OVERHEAD:-40.0}"
+# GPU floors are deterministic (simulated time): no noise allowance needed.
+MIN_GPU_FUSED="${MIN_GPU_FUSED:-1.2}"
+MIN_GPU_UNION="${MIN_GPU_UNION:-1.0}"
 
 [ -f "$BENCH" ] || { echo "bench_guard: $BENCH not found" >&2; exit 1; }
 
@@ -111,6 +129,12 @@ if [ -n "$SERVE" ]; then
     guard incremental_vs_rescan_ratio "$(extract incremental_vs_rescan_ratio "$SERVE")" "$MIN_INCREMENTAL"
     guard socket_qps_16_clients_vs_1 "$(extract socket_qps_16_clients_vs_1 "$SERVE")" "$MIN_SOCKET_SCALING"
     guard_max socket_vs_inprocess_overhead "$(extract socket_vs_inprocess_overhead "$SERVE")" "$MAX_SOCKET_OVERHEAD"
+fi
+
+if [ -n "$GPU" ]; then
+    [ -f "$GPU" ] || { echo "bench_guard: $GPU not found" >&2; exit 1; }
+    guard fused_pipeline_vs_per_level "$(extract fused_pipeline_vs_per_level "$GPU")" "$MIN_GPU_FUSED"
+    guard union_launch_vs_k_solo "$(extract union_launch_vs_k_solo "$GPU")" "$MIN_GPU_UNION"
 fi
 
 exit "$fail"
